@@ -1,0 +1,49 @@
+"""Pebble reproduction: structural provenance for nested big-data analytics.
+
+Reproduces Diestelkaemper & Herschel, "Tracing nested data with structural
+provenance for big data analytics", EDBT 2020.  The top-level package
+re-exports the pieces a typical user needs: the Pebble session, the engine's
+expression language, and the tree-pattern builders.
+"""
+
+from repro.engine import (
+    Session,
+    avg,
+    coalesce,
+    col,
+    collect_list,
+    collect_set,
+    count,
+    lit,
+    max_,
+    min_,
+    struct_,
+    sum_,
+)
+from repro.core.treepattern import TreePattern, child, descendant, parse_pattern
+from repro.pebble import CapturedExecution, PebbleSession, query_provenance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "avg",
+    "coalesce",
+    "col",
+    "collect_list",
+    "collect_set",
+    "count",
+    "lit",
+    "max_",
+    "min_",
+    "struct_",
+    "sum_",
+    "TreePattern",
+    "child",
+    "descendant",
+    "parse_pattern",
+    "CapturedExecution",
+    "PebbleSession",
+    "query_provenance",
+    "__version__",
+]

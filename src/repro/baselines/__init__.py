@@ -1,0 +1,13 @@
+"""Baselines the paper compares against: Titian, PROVision, Lipstick."""
+
+from repro.baselines.annotations import ValueAnnotationCapture, count_annotations
+from repro.baselines.lazy import LazyProvenanceQuerier
+from repro.baselines.lineage import LineageQuerier, SourceLineage
+
+__all__ = [
+    "ValueAnnotationCapture",
+    "count_annotations",
+    "LazyProvenanceQuerier",
+    "LineageQuerier",
+    "SourceLineage",
+]

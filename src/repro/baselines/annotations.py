@@ -1,0 +1,109 @@
+"""Lipstick-style value-level annotation baseline (paper Secs. 2, 3.1).
+
+Lipstick pinpoints nested values correctly but "requires annotating all
+values, not just the tuples, e.g., 35 rather than 5 annotations" on the
+running example's input (the superscript numbers in Tab. 1).  This module
+implements that annotation scheme so its cost can be measured against the
+structural capture:
+
+* :func:`count_annotations` -- how many annotations value-level annotation
+  needs for a dataset (every constant, struct, and collection element),
+  versus one per top-level item for structural provenance.
+* :class:`ValueAnnotationCapture` -- materialises the annotation map
+  (annotation id -> value path) for a dataset and reports its size, the
+  runtime/space overhead driver that makes Lipstick "impractical when
+  needing to scale" (Sec. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.paths import Path
+from repro.nested.values import Bag, DataItem, NestedSet
+
+__all__ = ["count_annotations", "ValueAnnotationCapture"]
+
+_ID_BYTES = 8
+
+
+def _count_value(value: Any) -> int:
+    """Annotations needed below one value.
+
+    Following Tab. 1's superscripts: every constant value carries an
+    annotation; nested structs and collections are addressed through their
+    constants, and only the *top-level* item gets an annotation of its own
+    (added by :func:`count_annotations`).
+    """
+    if isinstance(value, DataItem):
+        return sum(_count_value(inner) for _, inner in value.pairs())
+    if isinstance(value, (Bag, NestedSet)):
+        return sum(_count_value(inner) for inner in value)
+    return 1
+
+
+def count_annotations(items: Iterable[DataItem]) -> int:
+    """Count the value-level annotations for a dataset (Lipstick cost).
+
+    On the running example's five tweets this yields 35 (the superscripts
+    of Tab. 1) where structural provenance needs 5 top-level identifiers.
+    """
+    total = 0
+    for item in items:
+        total += 1 + _count_value(item)  # the item itself plus its constants
+    return total
+
+
+class ValueAnnotationCapture:
+    """Materialises per-value annotations for a dataset.
+
+    ``annotations`` maps a fresh identifier to the ``(top-level index,
+    value path)`` it labels -- the bookkeeping a Lipstick-style system has
+    to propagate through every operator.
+    """
+
+    def __init__(self) -> None:
+        self.annotations: dict[int, tuple[int, Path]] = {}
+        self._next_id = 1
+
+    def annotate(self, items: Iterable[DataItem]) -> int:
+        """Annotate all values of all items; returns the annotation count."""
+        for index, item in enumerate(items):
+            self._annotate_item(index, item, Path())
+        return len(self.annotations)
+
+    def _annotate_item(self, index: int, item: DataItem, prefix: Path) -> None:
+        if prefix.is_empty():
+            self._assign(index, prefix)
+        for name, value in item.pairs():
+            self._annotate_value(index, value, prefix.child(name))
+
+    def _annotate_value(self, index: int, value: Any, path: Path) -> None:
+        if isinstance(value, DataItem):
+            for name, inner in value.pairs():
+                self._annotate_value(index, inner, path.child(name))
+        elif isinstance(value, (Bag, NestedSet)):
+            last = path.last()
+            for pos, inner in enumerate(value, start=1):
+                element_path = Path(path.parent().steps + (last.with_pos(pos),))
+                self._annotate_value(index, inner, element_path)
+        else:
+            self._assign(index, path)
+
+    def _assign(self, index: int, path: Path) -> None:
+        self.annotations[self._next_id] = (index, path)
+        self._next_id += 1
+
+    def size_bytes(self) -> int:
+        """Approximate storage for the annotation map.
+
+        Each entry stores an id plus its path string -- this is the
+        per-value space that structural provenance avoids by recording paths
+        once per operator on a schema level.
+        """
+        return sum(
+            _ID_BYTES + len(str(path)) for _, (_, path) in sorted(self.annotations.items())
+        )
+
+    def __len__(self) -> int:
+        return len(self.annotations)

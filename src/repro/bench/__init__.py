@@ -1,0 +1,41 @@
+"""Benchmark harness reproducing the paper's evaluation (Sec. 7.3)."""
+
+from repro.bench.harness import (
+    CaptureMeasurement,
+    OperatorMeasurement,
+    QueryMeasurement,
+    SizeMeasurement,
+    TitianMeasurement,
+    measure_capture_overhead,
+    measure_operator_overhead,
+    measure_provenance_size,
+    measure_query_times,
+    measure_titian_comparison,
+)
+from repro.bench.reporting import (
+    format_table,
+    render_capture_overhead,
+    render_operator_overhead,
+    render_provenance_sizes,
+    render_query_times,
+    render_titian_comparison,
+)
+
+__all__ = [
+    "CaptureMeasurement",
+    "OperatorMeasurement",
+    "QueryMeasurement",
+    "SizeMeasurement",
+    "TitianMeasurement",
+    "measure_capture_overhead",
+    "measure_operator_overhead",
+    "measure_provenance_size",
+    "measure_query_times",
+    "measure_titian_comparison",
+    "format_table",
+    "render_capture_overhead",
+    "render_operator_overhead",
+    "render_provenance_sizes",
+    "render_query_times",
+    "render_titian_comparison",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface: run scenarios, queries, and evaluation sweeps.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro example                    # the paper's running example
+    python -m repro scenario T3 --scale 1      # run a scenario + its query
+    python -m repro bench fig8                 # regenerate one figure
+    python -m repro heatmap --scale 0.5        # the Fig. 10 use-case
+    python -m repro list                       # available scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.harness import (
+    measure_capture_overhead,
+    measure_operator_overhead,
+    measure_provenance_size,
+    measure_query_times,
+    measure_titian_comparison,
+)
+from repro.bench.reporting import (
+    render_capture_overhead,
+    render_operator_overhead,
+    render_provenance_sizes,
+    render_query_times,
+    render_titian_comparison,
+)
+from repro.core.usecases.usage import UsageAnalysis
+from repro.engine.session import Session
+from repro.pebble.query import query_provenance
+from repro.workloads.scenarios import (
+    DBLP_SCENARIOS,
+    RUNNING_EXAMPLE_PATTERN,
+    RUNNING_EXAMPLE_TWEETS,
+    SCENARIOS,
+    TWITTER_SCENARIOS,
+    build_running_example,
+    load_workload,
+    scenario,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pebble reproduction: structural provenance for nested data",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the evaluation scenarios")
+
+    example = commands.add_parser("example", help="run the paper's running example")
+    example.add_argument("--pattern", default=RUNNING_EXAMPLE_PATTERN,
+                         help="tree pattern to backtrace (default: Fig. 4)")
+
+    run = commands.add_parser("scenario", help="run one scenario and its structural query")
+    run.add_argument("name", choices=sorted(SCENARIOS))
+    run.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    run.add_argument("--partitions", type=int, default=4)
+    run.add_argument("--pattern", default=None, help="override the scenario's query")
+    run.add_argument("--no-query", action="store_true", help="execute only, skip the query")
+
+    bench = commands.add_parser("bench", help="regenerate one evaluation artefact")
+    bench.add_argument(
+        "figure",
+        choices=["fig6", "fig7", "fig8", "fig9", "titian", "operators"],
+    )
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--repeats", type=int, default=3)
+
+    heatmap = commands.add_parser("heatmap", help="Fig. 10 usage heatmap over D1-D5")
+    heatmap.add_argument("--scale", type=float, default=0.5)
+    heatmap.add_argument("--items", type=int, default=25)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in sorted(SCENARIOS):
+        spec = SCENARIOS[name]
+        print(f"{name} ({spec.kind}): {spec.description}")
+        print(f"    query: {spec.pattern}")
+    return 0
+
+
+def _cmd_example(pattern: str) -> int:
+    session = Session(num_partitions=2)
+    pipeline = build_running_example(session, list(RUNNING_EXAMPLE_TWEETS))
+    execution = pipeline.execute(capture=True)
+    print("Result (Tab. 2):")
+    for item in execution.items():
+        print(" ", item)
+    provenance = query_provenance(execution, pattern)
+    print(f"\nProvenance of {pattern}:")
+    print(provenance.render())
+    return 0
+
+
+def _cmd_scenario(name: str, scale: float, partitions: int, pattern: str | None, no_query: bool) -> int:
+    spec = scenario(name)
+    data = load_workload(spec.kind, scale)
+    execution = spec.build(Session(num_partitions=partitions), data).execute(capture=True)
+    print(f"{name}: {spec.description}")
+    print(f"result rows: {len(execution)}")
+    print(f"provenance:  {execution.store.size_report()}")
+    if no_query:
+        return 0
+    query = pattern or spec.pattern
+    provenance = query_provenance(execution, query)
+    print(f"\nquery: {query}")
+    print(f"matched result items: {len(provenance.matched_output_ids)}")
+    for source in provenance.sources:
+        print(f"  {source.name}: {len(source)} input items in provenance")
+    print()
+    print(provenance.render())
+    return 0
+
+
+def _cmd_bench(figure: str, scale: float, repeats: int) -> int:
+    if figure == "fig6":
+        measurements = measure_capture_overhead(
+            TWITTER_SCENARIOS, scales=(scale,), repeats=repeats
+        )
+        print(render_capture_overhead(measurements, "Fig. 6 -- Twitter capture overhead"))
+    elif figure == "fig7":
+        measurements = measure_capture_overhead(
+            DBLP_SCENARIOS, scales=(scale,), repeats=repeats
+        )
+        print(render_capture_overhead(measurements, "Fig. 7 -- DBLP capture overhead"))
+    elif figure == "fig8":
+        print(
+            render_provenance_sizes(
+                measure_provenance_size(TWITTER_SCENARIOS, scale=scale),
+                "Fig. 8(a) -- Twitter provenance size",
+            )
+        )
+        print(
+            render_provenance_sizes(
+                measure_provenance_size(DBLP_SCENARIOS, scale=scale),
+                "Fig. 8(b) -- DBLP provenance size",
+            )
+        )
+    elif figure == "fig9":
+        print(
+            render_query_times(
+                measure_query_times(TWITTER_SCENARIOS, scale=scale, repeats=repeats),
+                "Fig. 9(a) -- Twitter query runtime",
+            )
+        )
+        print(
+            render_query_times(
+                measure_query_times(DBLP_SCENARIOS, scale=scale, repeats=repeats),
+                "Fig. 9(b) -- DBLP query runtime",
+            )
+        )
+    elif figure == "titian":
+        print(render_titian_comparison(measure_titian_comparison(scale=scale, repeats=max(repeats, 9))))
+    elif figure == "operators":
+        print(render_operator_overhead(measure_operator_overhead(scale=scale, repeats=repeats)))
+    return 0
+
+
+def _cmd_heatmap(scale: float, items: int) -> int:
+    usage = UsageAnalysis()
+    for name in DBLP_SCENARIOS:
+        spec = scenario(name)
+        data = load_workload(spec.kind, scale)
+        execution = spec.build(Session(num_partitions=4), data).execute(capture=True)
+        usage.add(query_provenance(execution, spec.pattern))
+    attributes = ["key", "title", "authors", "year", "crossref", "pages"]
+    source = "inproceedings.json"
+    print(usage.render_heatmap(source, range(1, items + 1), attributes))
+    print()
+    print(usage.partitioning_advice(source, attributes))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "example":
+        return _cmd_example(args.pattern)
+    if args.command == "scenario":
+        return _cmd_scenario(args.name, args.scale, args.partitions, args.pattern, args.no_query)
+    if args.command == "bench":
+        return _cmd_bench(args.figure, args.scale, args.repeats)
+    if args.command == "heatmap":
+        return _cmd_heatmap(args.scale, args.items)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Backtracing: provenance query-time reconstruction (paper Sec. 6)."""
+
+from repro.core.backtrace.algorithms import Backtracer, SourceProvenance
+from repro.core.backtrace.result import ProvenanceEntry, ProvenanceResult, SourceResult
+from repro.core.backtrace.tree import BacktraceNode, BacktraceStructure, BacktraceTree
+
+__all__ = [
+    "Backtracer",
+    "SourceProvenance",
+    "ProvenanceEntry",
+    "ProvenanceResult",
+    "SourceResult",
+    "BacktraceNode",
+    "BacktraceStructure",
+    "BacktraceTree",
+]

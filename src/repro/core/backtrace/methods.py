@@ -1,0 +1,244 @@
+"""Tree update methods used by the backtracing algorithms (paper Sec. 6.2).
+
+``manipulate_paths`` implements the *manipulatePath* method: for every
+``(input path, output path)`` pair in an operator's ``M``, the subtree that
+the operator wrote to the output path is moved back to the input path, and
+the operator id is added to the manipulation set of every moved node.  All
+pairs of one operator are applied in two phases (detach everything, then
+graft everything) so renamings that swap attributes cannot corrupt the tree.
+
+``access_path`` implements the *accessPath* method: the operator id is added
+to the access set of the addressed node; nodes that are not yet part of the
+tree are created with ``contributing = False`` -- they *influence* the
+queried items without being needed to reproduce them.  Accessed struct paths
+are expanded to their children per the input schema, following Example 6.6
+("marks the user and its children as accessed").
+
+``merge_trees`` implements the flatten-specific *mergeTrees*: substitute the
+``[pos]`` placeholder per row, then union all trees of the same input id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.backtrace.tree import BacktraceNode, BacktraceTree
+from repro.core.paths import POS, Path
+from repro.nested.schema import Schema
+from repro.nested.types import BagType, SetType, StructType
+
+__all__ = [
+    "manipulate_paths",
+    "access_path",
+    "merge_trees",
+    "remove_sibling_positions",
+    "prune_output_residue",
+]
+
+
+def manipulate_paths(
+    tree: BacktraceTree,
+    pairs: Sequence[tuple[Path, Path]],
+    oid: int,
+) -> bool:
+    """Undo the manipulations ``M`` of operator *oid* on *tree*.
+
+    Each pair maps an input path to the output path the operator produced;
+    backtracing therefore moves the subtree found at the *output* path back
+    to the *input* path.  Pairs whose output path is absent from the tree
+    are skipped (the queried items do not involve them) -- with one
+    refinement: if a *leaf* of the tree is a strict prefix of the output
+    path, the queried node stands for its whole subtree, so the missing tail
+    is expanded before moving (querying the ``tweet`` struct as a whole
+    traces its ``text`` constituent back to the input).
+
+    Returns ``True`` if at least one pair matched the tree.
+    """
+    detached: list[tuple[Path, BacktraceNode]] = []
+    for in_path, out_path in pairs:
+        if in_path == out_path:
+            # Identity mapping (e.g. join concatenation): nothing moves, but
+            # the nodes were (re)produced by this operator.
+            node = tree.find(out_path)
+            if node is not None:
+                node.mark_subtree_manipulated(oid)
+                detached.append((in_path, _TOUCHED))
+            continue
+        subtree = _detach_expanding(tree, out_path)
+        if subtree is not None:
+            detached.append((in_path, subtree))
+    matched = bool(detached)
+    for in_path, subtree in detached:
+        if subtree is _TOUCHED:
+            continue
+        subtree.mark_subtree_manipulated(oid)
+        tree.graft(in_path, subtree)
+    return matched
+
+
+def _detach_expanding(tree: BacktraceTree, out_path: Path) -> BacktraceNode | None:
+    """Detach the subtree at *out_path*, expanding through queried leaves.
+
+    Navigating the tree labels of *out_path*: if a label is missing but the
+    current node is a leaf, the remaining labels are created (inheriting the
+    leaf's contributing flag) -- a queried leaf addresses its entire
+    subtree.  If the label is missing on a non-leaf, the pair does not
+    concern the queried data and ``None`` is returned.
+    """
+    labels = BacktraceTree._labels(out_path)
+    node = tree.root
+    walked: list[BacktraceNode] = [node]
+    for index, label in enumerate(labels):
+        found = node.child(label)
+        if found is None:
+            if node is tree.root or node.children:
+                return None
+            for missing in labels[index:]:
+                node = node.ensure_child(missing, node.contributing)
+                walked.append(node)
+            break
+        node = found
+        walked.append(node)
+    parent = walked[-2]
+    target = walked[-1]
+    parent.remove_child(target.label)
+    return target
+
+
+def prune_output_residue(tree: BacktraceTree, pairs: Sequence[tuple[Path, Path]]) -> None:
+    """Remove leftover output-schema nodes after ``manipulate_paths``.
+
+    A projection that builds nested output (``struct_(...)``) maps input
+    paths to *deep* output paths (``text -> tweet.text``); after the moves,
+    the enclosing output attribute (``tweet``) may linger as an empty node
+    that does not exist in the operator's input schema.  The paper requires
+    the tree to "conform to the schema of the input" after manipulatePath,
+    so such now-childless top-level output attributes are dropped --
+    provided no pair also *reads* an equally named input attribute.
+    """
+    in_heads = {in_path.head().name for in_path, _ in pairs if in_path.steps}
+    out_heads = {out_path.head().name for _, out_path in pairs if out_path.steps}
+    for head in out_heads - in_heads:
+        node = tree.root.child(head)
+        if node is not None and not node.children:
+            tree.root.remove_child(head)
+
+
+#: Sentinel marking identity pairs that touched the tree without moving data.
+_TOUCHED = BacktraceNode("touched")
+
+
+def access_path(
+    tree: BacktraceTree,
+    path: Path,
+    oid: int,
+    schema: Schema | None = None,
+) -> None:
+    """Record that operator *oid* accessed *path* (the accessPath method).
+
+    If the path's nodes exist, the operator id is added to their access set;
+    otherwise the nodes are created as influencing (``c = False``).  Paths
+    carrying the ``[pos]`` placeholder mark every positional child already
+    present; if none exists a placeholder node is created, meaning "every
+    element".  When *schema* is given and the path resolves to a struct, the
+    struct's children are expanded and marked as accessed as well.
+    """
+    terminals = _mark_along(tree.root, list(_expanded_labels(path)), oid)
+    if schema is None:
+        return
+    try:
+        target_type = schema.resolve(path)
+    except Exception:
+        return
+    if isinstance(target_type, StructType):
+        for node in terminals:
+            _expand_struct(node, target_type, oid)
+
+
+def _expanded_labels(path: Path) -> Iterable[object]:
+    for step in path:
+        yield step.name
+        if step.pos is not None:
+            yield step.pos if isinstance(step.pos, int) else POS
+
+
+def _mark_along(
+    root: BacktraceNode, labels: list[object], oid: int
+) -> list[BacktraceNode]:
+    """Walk *labels* from *root*, creating influencing nodes when absent.
+
+    A ``POS`` label fans out over all existing positional children (or
+    creates one placeholder child).  Returns the terminal nodes, whose
+    access sets received *oid*.
+    """
+    frontier = [root]
+    for label in labels:
+        next_frontier: list[BacktraceNode] = []
+        for node in frontier:
+            if label is POS:
+                positional = node.positional_children()
+                if positional:
+                    next_frontier.extend(positional)
+                else:
+                    next_frontier.append(node.ensure_child(POS, contributing=False))
+            else:
+                child = node.child(label)
+                if child is None:
+                    child = node.ensure_child(label, contributing=False)
+                next_frontier.append(child)
+        frontier = next_frontier
+    for node in frontier:
+        node.access.add(oid)
+    return frontier
+
+
+def _expand_struct(node: BacktraceNode, struct: StructType, oid: int) -> None:
+    """Mark all fields of an accessed struct as accessed (Example 6.6)."""
+    for name, field_type in struct.fields:
+        child = node.child(name)
+        if child is None:
+            child = node.ensure_child(name, contributing=False)
+        child.access.add(oid)
+        if isinstance(field_type, StructType):
+            _expand_struct(child, field_type, oid)
+        elif isinstance(field_type, (BagType, SetType)) and isinstance(
+            field_type.element, StructType
+        ):
+            for positional in child.positional_children() or [
+                child.ensure_child(POS, contributing=False)
+            ]:
+                positional.access.add(oid)
+                _expand_struct(positional, field_type.element, oid)
+
+
+def merge_trees(
+    rows: Iterable[tuple[int, int, BacktraceTree]],
+) -> list[tuple[int, BacktraceTree]]:
+    """The flatten-specific mergeTrees (Alg. 2, l. 2).
+
+    *rows* are ``(input id, position, tree)`` triples produced by the generic
+    backtracing step; each tree still holds ``[pos]`` placeholder nodes.  The
+    placeholders are substituted with the row's concrete position, then all
+    trees of the same input id are unioned.
+    """
+    merged: dict[int, BacktraceTree] = {}
+    for item_id, pos, tree in rows:
+        if pos > 0:
+            tree.substitute_placeholders(pos)
+        existing = merged.get(item_id)
+        if existing is None:
+            merged[item_id] = tree
+        else:
+            existing.merge_from(tree)
+    return list(merged.items())
+
+
+def remove_sibling_positions(tree: BacktraceTree, collection_path: Path) -> None:
+    """The removeNodes call of Alg. 4 (l. 13).
+
+    After the aggregation backtracing moved the queried element of a nested
+    collection back to its input attribute, the collection node itself (with
+    the remaining positions, which belong to *other* input items) is removed
+    from this item's tree.
+    """
+    tree.remove(collection_path)

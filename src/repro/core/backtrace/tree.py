@@ -1,0 +1,331 @@
+"""Backtracing structure and trees (paper Defs. 6.2 and 6.3).
+
+The backtracing structure ``B`` is a bag of ``(id, T)`` pairs: a top-level
+item identifier together with a backtracing tree over the attributes of that
+item's schema.  Each tree node carries
+
+* its label -- an attribute name (``str``), a concrete 1-based position in a
+  nested collection (``int``), or the ``[pos]`` placeholder,
+* the set ``A`` of operators that *accessed* the attribute,
+* the set ``M`` of operators that *manipulated* (restructured) it, and
+* the contributing flag ``c``: ``True`` if the attribute is needed to
+  reproduce the queried items, ``False`` if it merely *influenced* them.
+
+Trees are mutable -- the backtracing algorithm updates them in place while
+stepping backwards through the pipeline -- and copyable, because one output
+item's tree fans out to several input items (e.g. through an aggregation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.paths import POS, Path
+from repro.errors import BacktraceError
+
+__all__ = ["BacktraceNode", "BacktraceTree", "BacktraceStructure", "NodeLabel"]
+
+#: A node label: attribute name (str), concrete position (int), or POS.
+NodeLabel = object
+
+
+class BacktraceNode:
+    """One node of a backtracing tree (Def. 6.3)."""
+
+    __slots__ = ("label", "children", "access", "manipulation", "contributing")
+
+    def __init__(self, label: NodeLabel, contributing: bool = True):
+        self.label = label
+        self.children: dict[NodeLabel, BacktraceNode] = {}
+        self.access: set[int] = set()
+        self.manipulation: set[int] = set()
+        self.contributing = contributing
+
+    def child(self, label: NodeLabel) -> "BacktraceNode | None":
+        """Return the child with the given label, or ``None``."""
+        return self.children.get(label)
+
+    def ensure_child(self, label: NodeLabel, contributing: bool) -> "BacktraceNode":
+        """Return the child with *label*, creating it if needed.
+
+        An existing node's contributing flag is only ever *raised*: once an
+        attribute is known to contribute it never degrades to influencing.
+        """
+        node = self.children.get(label)
+        if node is None:
+            node = BacktraceNode(label, contributing)
+            self.children[label] = node
+        elif contributing and not node.contributing:
+            node.contributing = True
+        return node
+
+    def remove_child(self, label: NodeLabel) -> None:
+        self.children.pop(label, None)
+
+    def positional_children(self) -> list["BacktraceNode"]:
+        """Return children whose label is a position or the placeholder."""
+        return [
+            node
+            for label, node in self.children.items()
+            if isinstance(label, int) or label is POS
+        ]
+
+    def copy(self) -> "BacktraceNode":
+        """Deep-copy the subtree rooted at this node."""
+        clone = BacktraceNode(self.label, self.contributing)
+        clone.access = set(self.access)
+        clone.manipulation = set(self.manipulation)
+        clone.children = {label: child.copy() for label, child in self.children.items()}
+        return clone
+
+    def merge_from(self, other: "BacktraceNode") -> None:
+        """Union another subtree into this one (same label assumed)."""
+        self.access |= other.access
+        self.manipulation |= other.manipulation
+        self.contributing = self.contributing or other.contributing
+        for label, other_child in other.children.items():
+            mine = self.children.get(label)
+            if mine is None:
+                self.children[label] = other_child.copy()
+            else:
+                mine.merge_from(other_child)
+
+    def mark_subtree_manipulated(self, oid: int) -> None:
+        """Add *oid* to the manipulation set of this node and all descendants."""
+        self.manipulation.add(oid)
+        for child in self.children.values():
+            child.mark_subtree_manipulated(oid)
+
+    def walk(self, prefix: tuple[NodeLabel, ...] = ()) -> Iterator[tuple[tuple[NodeLabel, ...], "BacktraceNode"]]:
+        """Yield ``(label path, node)`` pairs for all descendants (not self)."""
+        for label, child in self.children.items():
+            path = prefix + (label,)
+            yield path, child
+            yield from child.walk(path)
+
+    def __repr__(self) -> str:
+        flag = "c" if self.contributing else "i"
+        return f"BacktraceNode({self.label!r}/{flag}, children={sorted(map(repr, self.children))})"
+
+
+class BacktraceTree:
+    """A backtracing tree: a virtual root over top-level attribute nodes."""
+
+    __slots__ = ("root",)
+
+    def __init__(self) -> None:
+        self.root = BacktraceNode("root", contributing=True)
+
+    # -- path navigation -----------------------------------------------------
+
+    @staticmethod
+    def _labels(path: Path) -> list[NodeLabel]:
+        """Expand a path into tree labels: positions become child labels."""
+        labels: list[NodeLabel] = []
+        for step in path:
+            labels.append(step.name)
+            if step.pos is not None:
+                labels.append(step.pos if isinstance(step.pos, int) else POS)
+        return labels
+
+    def find(self, path: Path) -> BacktraceNode | None:
+        """Return the node at *path*, or ``None`` if absent."""
+        node = self.root
+        for label in self._labels(path):
+            found = node.child(label)
+            if found is None:
+                return None
+            node = found
+        return node
+
+    def contains(self, path: Path) -> bool:
+        return self.find(path) is not None
+
+    def ensure_path(self, path: Path, contributing: bool) -> BacktraceNode:
+        """Create (or find) the node at *path*; returns the terminal node.
+
+        Intermediate nodes inherit the contributing flag; existing nodes are
+        only upgraded, never downgraded.
+        """
+        node = self.root
+        for label in self._labels(path):
+            node = node.ensure_child(label, contributing)
+        return node
+
+    def remove(self, path: Path) -> None:
+        """Remove the node at *path* (with its subtree), if present."""
+        labels = self._labels(path)
+        if not labels:
+            raise BacktraceError("cannot remove the virtual root")
+        node = self.root
+        for label in labels[:-1]:
+            found = node.child(label)
+            if found is None:
+                return
+            node = found
+        node.remove_child(labels[-1])
+
+    def detach(self, path: Path) -> BacktraceNode | None:
+        """Remove and return the subtree at *path*, or ``None`` if absent."""
+        labels = self._labels(path)
+        if not labels:
+            raise BacktraceError("cannot detach the virtual root")
+        node = self.root
+        for label in labels[:-1]:
+            found = node.child(label)
+            if found is None:
+                return None
+            node = found
+        subtree = node.child(labels[-1])
+        if subtree is not None:
+            node.remove_child(labels[-1])
+        return subtree
+
+    def graft(self, path: Path, subtree: BacktraceNode) -> BacktraceNode:
+        """Attach *subtree* at *path*, merging into any existing node.
+
+        Intermediate nodes are created with the subtree's contributing flag
+        (context needed to reproduce a contributing value contributes too).
+        Returns the node now living at *path*.
+        """
+        labels = self._labels(path)
+        if not labels:
+            raise BacktraceError("cannot graft at the virtual root")
+        node = self.root
+        for label in labels[:-1]:
+            node = node.ensure_child(label, subtree.contributing)
+        existing = node.child(labels[-1])
+        if existing is None:
+            subtree.label = labels[-1]
+            node.children[labels[-1]] = subtree
+            return subtree
+        existing.merge_from(subtree)
+        return existing
+
+    # -- whole-tree operations -------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def copy(self) -> "BacktraceTree":
+        clone = BacktraceTree()
+        clone.root = self.root.copy()
+        return clone
+
+    def merge_from(self, other: "BacktraceTree") -> None:
+        self.root.merge_from(other.root)
+
+    def substitute_placeholders(self, pos: int) -> None:
+        """Replace every ``[pos]`` placeholder node label with *pos*.
+
+        Used by the flatten backtracing (Alg. 2): after the generic step the
+        tree holds placeholder nodes; each row knows its concrete position
+        from the id associations.
+        """
+        _substitute(self.root, pos)
+
+    def paths(self) -> list[tuple[tuple[NodeLabel, ...], BacktraceNode]]:
+        """Return all ``(label path, node)`` pairs in the tree."""
+        return list(self.root.walk())
+
+    def contributing_leaf_paths(self) -> list[tuple[NodeLabel, ...]]:
+        """Label paths of contributing nodes without contributing children."""
+        result = []
+        for labels, node in self.root.walk():
+            if node.contributing and not any(
+                child.contributing for child in node.children.values()
+            ):
+                result.append(labels)
+        return result
+
+    def render(self, indent: str = "  ") -> str:
+        """Pretty-print the tree in the style of Fig. 2."""
+        lines: list[str] = []
+
+        def visit(node: BacktraceNode, depth: int) -> None:
+            flag = "contributing" if node.contributing else "influencing"
+            marks = []
+            if node.access:
+                marks.append("A=" + ",".join(map(str, sorted(node.access))))
+            if node.manipulation:
+                marks.append("M=" + ",".join(map(str, sorted(node.manipulation))))
+            suffix = f" [{'; '.join(marks)}]" if marks else ""
+            label = "[pos]" if node.label is POS else str(node.label)
+            lines.append(f"{indent * depth}{label} ({flag}){suffix}")
+            for key in sorted(node.children, key=lambda lab: (isinstance(lab, int), str(lab))):
+                visit(node.children[key], depth + 1)
+
+        for key in sorted(self.root.children, key=lambda lab: (isinstance(lab, int), str(lab))):
+            visit(self.root.children[key], 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"BacktraceTree({len(self.root.children)} top-level nodes)"
+
+
+def _substitute(node: BacktraceNode, pos: int) -> None:
+    placeholder = node.children.pop(POS, None)
+    if placeholder is not None:
+        placeholder.label = pos
+        existing = node.children.get(pos)
+        if existing is None:
+            node.children[pos] = placeholder
+        else:
+            existing.merge_from(placeholder)
+    for child in list(node.children.values()):
+        _substitute(child, pos)
+
+
+class BacktraceStructure:
+    """The backtracing structure ``B``: a mapping ``id -> tree`` (Def. 6.2).
+
+    The paper models B as a bag of pairs; we merge trees that share an id
+    (a pure union of provenance information) so B stays small while stepping
+    backwards.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Iterable[tuple[int, BacktraceTree]] = ()):
+        self.entries: dict[int, BacktraceTree] = {}
+        for item_id, tree in entries:
+            self.add(item_id, tree)
+
+    def add(self, item_id: int, tree: BacktraceTree) -> None:
+        """Insert an ``(id, tree)`` pair, merging trees of the same id."""
+        existing = self.entries.get(item_id)
+        if existing is None:
+            self.entries[item_id] = tree
+        else:
+            existing.merge_from(tree)
+
+    def ids(self) -> list[int]:
+        return list(self.entries)
+
+    def tree(self, item_id: int) -> BacktraceTree:
+        try:
+            return self.entries[item_id]
+        except KeyError:
+            raise BacktraceError(f"backtracing structure has no entry for id {item_id}") from None
+
+    def items(self) -> list[tuple[int, BacktraceTree]]:
+        return list(self.entries.items())
+
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def copy(self) -> "BacktraceStructure":
+        clone = BacktraceStructure()
+        for item_id, tree in self.entries.items():
+            clone.entries[item_id] = tree.copy()
+        return clone
+
+    def merge_from(self, other: "BacktraceStructure") -> None:
+        for item_id, tree in other.entries.items():
+            self.add(item_id, tree.copy())
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"BacktraceStructure(ids={sorted(self.entries)})"

@@ -1,0 +1,452 @@
+"""The full structural provenance model (paper Sec. 4.3, Defs. 4.9-4.10).
+
+Before introducing the *lightweight* capture of Sec. 5.1, the paper defines
+structural provenance in full: for every operator ``O`` and every result
+item ``r_i``, the result provenance
+
+``rho_i = <r_i, I, M>``
+
+holds the input provenance ``I`` -- a bag of ``<i, I_j, A>`` triples naming
+each contributing input item together with the **value-level** paths ``A``
+accessed on it -- and the mapping ``M`` of value-level input paths to result
+paths describing the restructuring ``O`` performed.
+
+This module implements that full model as a *reference interpreter*: it
+evaluates a logical plan directly from the Tab. 5 inference rules, without
+partitioning, identifiers, or any of the lightweight optimisations.  It is
+deliberately simple and eager -- the verbose semantics the lightweight
+capture compresses -- and exists so tests can cross-validate the production
+path (executor + operator provenance + backtracing) against the definitions:
+
+* the input/output item relations per operator must agree,
+* the value-level accesses, collapsed to schema level, must equal the
+  lightweight ``A``, and
+* the value-level mappings, collapsed to placeholder form, must equal the
+  lightweight ``M``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.operator_provenance import UNDEFINED
+from repro.core.paths import Path, Step
+from repro.engine.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    FlattenNode,
+    JoinNode,
+    LimitNode,
+    MapNode,
+    PlanNode,
+    ReadNode,
+    SelectNode,
+    SortNode,
+    UnionNode,
+    WithColumnNode,
+)
+from repro.errors import ExecutionError
+from repro.nested.values import Bag, DataItem, NestedSet, coerce_value
+
+__all__ = ["InputProvenance", "ResultProvenance", "OperatorResult", "FullModelInterpreter"]
+
+
+class InputProvenance:
+    """One triple ``<i, I_j, A>`` of Def. 4.10.
+
+    ``input_index`` names which of the operator's input datasets the item
+    came from; ``accessed`` holds the value-level paths accessed on it (or
+    :data:`UNDEFINED` for opaque map functions).
+    """
+
+    __slots__ = ("item", "input_index", "accessed")
+
+    def __init__(self, item: DataItem, input_index: int, accessed: Iterable[Path] | object):
+        self.item = item
+        self.input_index = input_index
+        if accessed is UNDEFINED:
+            self.accessed: frozenset[Path] | object = UNDEFINED
+        else:
+            self.accessed = frozenset(accessed)  # type: ignore[arg-type]
+
+    def accessed_or_empty(self) -> frozenset[Path]:
+        if self.accessed is UNDEFINED:
+            return frozenset()
+        return self.accessed  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"InputProvenance(input={self.input_index}, A={sorted(map(str, self.accessed_or_empty()))})"
+
+
+class ResultProvenance:
+    """``rho = <r, I, M>`` of Def. 4.9 for one result item."""
+
+    __slots__ = ("item", "inputs", "mappings")
+
+    def __init__(
+        self,
+        item: DataItem,
+        inputs: Sequence[InputProvenance],
+        mappings: Sequence[tuple[Path, Path]] | object,
+    ):
+        self.item = item
+        self.inputs: tuple[InputProvenance, ...] = tuple(inputs)
+        if mappings is UNDEFINED:
+            self.mappings: tuple[tuple[Path, Path], ...] | object = UNDEFINED
+        else:
+            self.mappings = tuple(mappings)  # type: ignore[arg-type]
+
+    def mappings_or_empty(self) -> tuple[tuple[Path, Path], ...]:
+        if self.mappings is UNDEFINED:
+            return ()
+        return self.mappings  # type: ignore[return-value]
+
+    def input_items(self) -> list[DataItem]:
+        return [entry.item for entry in self.inputs]
+
+    def __repr__(self) -> str:
+        return f"ResultProvenance({self.item!r}, |I|={len(self.inputs)})"
+
+
+class OperatorResult:
+    """The result provenance ``R`` of one operator: a list of rho entries."""
+
+    __slots__ = ("oid", "op_type", "entries")
+
+    def __init__(self, oid: int, op_type: str, entries: list[ResultProvenance]):
+        self.oid = oid
+        self.op_type = op_type
+        self.entries = entries
+
+    def items(self) -> list[DataItem]:
+        return [entry.item for entry in self.entries]
+
+    def io_relation(self) -> list[tuple[frozenset[str], str]]:
+        """(input item reprs, output item repr) pairs, for cross-validation."""
+        return [
+            (frozenset(repr(item) for item in entry.input_items()), repr(entry.item))
+            for entry in self.entries
+        ]
+
+    def schema_level_accesses(self, input_index: int = 0) -> frozenset[Path]:
+        """All value-level accesses of the given input, collapsed to schema level."""
+        collapsed: set[Path] = set()
+        for entry in self.entries:
+            for input_provenance in entry.inputs:
+                if input_provenance.input_index != input_index:
+                    continue
+                for path in input_provenance.accessed_or_empty():
+                    collapsed.add(path.with_placeholders())
+        return frozenset(collapsed)
+
+    def schema_level_mappings(self) -> frozenset[tuple[Path, Path]]:
+        """All value-level mappings collapsed to placeholder form."""
+        collapsed: set[tuple[Path, Path]] = set()
+        for entry in self.entries:
+            for path_in, path_out in entry.mappings_or_empty():
+                collapsed.add((path_in.with_placeholders(), path_out.with_placeholders()))
+        return frozenset(collapsed)
+
+    def __repr__(self) -> str:
+        return f"OperatorResult(oid={self.oid}, {self.op_type}, {len(self.entries)} items)"
+
+
+def _positional(path: Path, pos: int) -> Path:
+    """Attach a concrete 1-based position to the last step of *path*."""
+    last = path.last()
+    return Path(path.parent().steps + (Step(last.name, pos),))
+
+
+class FullModelInterpreter:
+    """Evaluates a plan under the full provenance model (Defs. 4.9-4.10).
+
+    ``run`` returns one :class:`OperatorResult` per operator of the plan, in
+    topological order.  No identifiers, no partitions: the verbose eager
+    semantics straight from Tab. 5.
+    """
+
+    def run(self, root: PlanNode) -> dict[int, OperatorResult]:
+        results: dict[int, OperatorResult] = {}
+        for node in root.walk():
+            results[node.oid] = self._evaluate(node, results)
+        return results
+
+    # -- per-operator rules (Tab. 5) -------------------------------------------
+
+    def _evaluate(self, node: PlanNode, results: dict[int, OperatorResult]) -> OperatorResult:
+        if isinstance(node, ReadNode):
+            entries = [
+                ResultProvenance(item, (), ()) for item in node.loader()
+            ]
+            return OperatorResult(node.oid, node.op_type, entries)
+        if isinstance(node, FilterNode):
+            return self._filter(node, results[node.children[0].oid])
+        if isinstance(node, SelectNode):
+            return self._select(node, results[node.children[0].oid])
+        if isinstance(node, MapNode):
+            return self._map(node, results[node.children[0].oid])
+        if isinstance(node, FlattenNode):
+            return self._flatten(node, results[node.children[0].oid])
+        if isinstance(node, UnionNode):
+            return self._union(node, results[node.children[0].oid], results[node.children[1].oid])
+        if isinstance(node, JoinNode):
+            return self._join(node, results[node.children[0].oid], results[node.children[1].oid])
+        if isinstance(node, AggregateNode):
+            return self._aggregate(node, results[node.children[0].oid])
+        if isinstance(node, DistinctNode):
+            return self._distinct(node, results[node.children[0].oid])
+        if isinstance(node, SortNode):
+            return self._sort(node, results[node.children[0].oid])
+        if isinstance(node, LimitNode):
+            return self._limit(node, results[node.children[0].oid])
+        if isinstance(node, WithColumnNode):
+            return self._with_column(node, results[node.children[0].oid])
+        raise ExecutionError(f"full model has no rule for {type(node).__name__}")
+
+    def _distinct(self, node: DistinctNode, child: OperatorResult) -> OperatorResult:
+        """Distinct: every duplicate contributes; whole items are accessed."""
+        groups: dict[DataItem, list[DataItem]] = {}
+        order: list[DataItem] = []
+        for item in child.items():
+            if item not in groups:
+                groups[item] = []
+                order.append(item)
+            groups[item].append(item)
+        entries = []
+        for item in order:
+            accessed = [Path().child(name) for name in item.attributes()]
+            entries.append(
+                ResultProvenance(
+                    item,
+                    [InputProvenance(member, 0, accessed) for member in groups[item]],
+                    (),
+                )
+            )
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _sort(self, node: SortNode, child: OperatorResult) -> OperatorResult:
+        """Sort: items pass through; keys are accessed, M is empty."""
+        accessed = sorted(
+            {path.schematic() for key in node.keys for path in key.accessed_paths()},
+            key=str,
+        )
+
+        def sort_key(item: DataItem) -> tuple:
+            values = []
+            for key in node.keys:
+                value = key.evaluate(item)
+                values.append((value is not None, type(value).__name__, value))
+            return tuple(values)
+
+        ordered = sorted(child.items(), key=sort_key, reverse=node.descending)
+        entries = [
+            ResultProvenance(item, [InputProvenance(item, 0, accessed)], ())
+            for item in ordered
+        ]
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _limit(self, node: LimitNode, child: OperatorResult) -> OperatorResult:
+        """Limit: the first n items pass through untouched."""
+        entries = [
+            ResultProvenance(item, [InputProvenance(item, 0, ())], ())
+            for item in child.items()[: node.n]
+        ]
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _with_column(self, node: WithColumnNode, child: OperatorResult) -> OperatorResult:
+        """with_column: one derived attribute; the rest passes through."""
+        accessed = sorted(
+            (path.schematic() for path in node.expression.accessed_paths()), key=str
+        )
+        mappings = node.manipulation_pairs()
+        entries = []
+        for item in child.items():
+            out_item = item.replace(**{node.name: node.expression.evaluate(item)})
+            entries.append(
+                ResultProvenance(out_item, [InputProvenance(item, 0, accessed)], mappings)
+            )
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _filter(self, node: FilterNode, child: OperatorResult) -> OperatorResult:
+        """Filter rule: I = {{<i, I1, paths of phi>}}, M = empty."""
+        accessed = sorted(
+            (path.schematic() for path in node.predicate.accessed_paths()), key=str
+        )
+        entries = []
+        for item in child.items():
+            if node.predicate.evaluate(item):
+                entries.append(
+                    ResultProvenance(item, [InputProvenance(item, 0, accessed)], ())
+                )
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _select(self, node: SelectNode, child: OperatorResult) -> OperatorResult:
+        """Select rule: A = selected paths, M = {(a_k^i, a_k^r)}."""
+        accessed = sorted(
+            {
+                path.schematic()
+                for projection in node.projections
+                for path in projection.accessed_paths()
+            },
+            key=str,
+        )
+        mappings = node.manipulation_pairs()
+        entries = []
+        for item in child.items():
+            out_item = DataItem(
+                (name, projection.evaluate(item))
+                for name, projection in zip(node.output_names, node.projections)
+            )
+            entries.append(
+                ResultProvenance(out_item, [InputProvenance(item, 0, accessed)], mappings)
+            )
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _map(self, node: MapNode, child: OperatorResult) -> OperatorResult:
+        """Map rule: I = {{<i, I1, bot>}}, M = bot."""
+        entries = []
+        for item in child.items():
+            out_value = coerce_value(node.fn(item))
+            if not isinstance(out_value, DataItem):
+                raise ExecutionError(f"map {node.name!r} must return a data item")
+            entries.append(
+                ResultProvenance(out_value, [InputProvenance(item, 0, UNDEFINED)], UNDEFINED)
+            )
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _flatten(self, node: FlattenNode, child: OperatorResult) -> OperatorResult:
+        """Flatten rule: per element at position x,
+        I = {{<i, I1, {(a_col[x])^i}>}} and M = {((a_col[x])^i, a_new^r)}."""
+        entries = []
+        out_path = Path().child(node.new_name)
+        for item in child.items():
+            collection = (
+                node.col_path.evaluate(item) if node.col_path.resolves_in(item) else None
+            )
+            if collection is None:
+                elements: tuple[Any, ...] = ()
+            elif isinstance(collection, (Bag, NestedSet)):
+                elements = collection.items()
+            else:
+                raise ExecutionError(f"flatten path {node.col_path} is not a collection")
+            if not elements and node.outer:
+                element_path = node.element_path
+                entries.append(
+                    ResultProvenance(
+                        item.replace(**{node.new_name: None}),
+                        [InputProvenance(item, 0, [element_path])],
+                        [(element_path, out_path)],
+                    )
+                )
+                continue
+            for position, element in enumerate(elements, start=1):
+                element_path = _positional(node.col_path, position)
+                entries.append(
+                    ResultProvenance(
+                        item.replace(**{node.new_name: element}),
+                        [InputProvenance(item, 0, [element_path])],
+                        [(element_path, out_path)],
+                    )
+                )
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _union(
+        self, node: UnionNode, left: OperatorResult, right: OperatorResult
+    ) -> OperatorResult:
+        """Union rule: A = M = empty; items pass through per side."""
+        entries = [
+            ResultProvenance(item, [InputProvenance(item, 0, ())], ())
+            for item in left.items()
+        ]
+        entries.extend(
+            ResultProvenance(item, [InputProvenance(item, 1, ())], ())
+            for item in right.items()
+        )
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _join(
+        self, node: JoinNode, left: OperatorResult, right: OperatorResult
+    ) -> OperatorResult:
+        """Join rule: per matching pair, A = condition paths per side and
+        M maps every top-level schema path of both sides identically."""
+        condition_paths = node.condition_paths()
+        entries = []
+        for left_item in left.items():
+            for right_item in right.items():
+                merged = left_item.merged_with(right_item)
+                if not node.condition.evaluate(merged):
+                    continue
+                left_accessed = sorted(
+                    (path for path in condition_paths if path.steps and path.head().name in left_item),
+                    key=str,
+                )
+                right_accessed = sorted(
+                    (path for path in condition_paths if path.steps and path.head().name in right_item),
+                    key=str,
+                )
+                mappings = [
+                    (Path().child(name), Path().child(name)) for name in left_item.attributes()
+                ]
+                mappings.extend(
+                    (Path().child(name), Path().child(name)) for name in right_item.attributes()
+                )
+                entries.append(
+                    ResultProvenance(
+                        merged,
+                        [
+                            InputProvenance(left_item, 0, left_accessed),
+                            InputProvenance(right_item, 1, right_accessed),
+                        ],
+                        mappings,
+                    )
+                )
+        return OperatorResult(node.oid, node.op_type, entries)
+
+    def _aggregate(self, node: AggregateNode, child: OperatorResult) -> OperatorResult:
+        """Grouping + aggregation rule: per group, I holds every member with
+        A = group keys plus aggregated attributes; M maps aggregated
+        attributes to the new output attributes (with concrete positions for
+        nested collectors)."""
+        accessed = sorted(
+            {
+                path.schematic()
+                for key in node.keys
+                for path in key.accessed_paths()
+            }
+            | {
+                path.schematic()
+                for aggregate in node.aggregates
+                for path in aggregate.accessed_paths()
+            },
+            key=str,
+        )
+        groups: dict[tuple[Any, ...], list[DataItem]] = {}
+        for item in child.items():
+            key_values = tuple(key.evaluate(item) for key in node.keys)
+            groups.setdefault(key_values, []).append(item)
+        entries = []
+        for key_values, members in groups.items():
+            fields: list[tuple[str, Any]] = list(zip(node.key_names, key_values))
+            for aggregate in node.aggregates:
+                values = [aggregate.column.evaluate(member) for member in members]
+                fields.append((aggregate.output_name(), aggregate.apply(values)))
+            out_item = DataItem(fields)
+            # Expand the schema-level pairs of the grouping/aggregation rule
+            # to concrete positions: the x-th group member produced the x-th
+            # element of every nested collection.
+            mappings: list[tuple[Path, Path]] = []
+            for in_path, out_path in node.manipulation_pairs():
+                if out_path.has_placeholder():
+                    for position in range(1, len(members) + 1):
+                        mappings.append((in_path, out_path.substitute_placeholder(position)))
+                else:
+                    mappings.append((in_path, out_path))
+            entries.append(
+                ResultProvenance(
+                    out_item,
+                    [InputProvenance(member, 0, accessed) for member in members],
+                    mappings,
+                )
+            )
+        return OperatorResult(node.oid, node.op_type, entries)

@@ -1,0 +1,322 @@
+"""Access paths over nested data items (paper Def. 4.3).
+
+A path navigates from a context data item into nested data.  Each step names
+an attribute and may carry a positional access into the attribute's
+collection value: ``user_mentions[1].id_str`` evaluates to the ``id_str`` of
+the **first** (positions are 1-based, following the paper) element of the
+``user_mentions`` bag.
+
+Besides concrete positions, a step may carry the schema-level placeholder
+``[pos]`` used by the lightweight capture (Sec. 5.1): operator provenance
+records paths once per operator with placeholders, and backtracing
+substitutes the concrete positions stored in the id associations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Iterator
+
+from repro.errors import PathEvaluationError, PathSyntaxError
+
+# ``repro.nested`` re-exports its schema module, which itself needs the
+# Path/Step/POS types from this module.  Importing the values module lazily
+# (at first evaluation) breaks that import cycle while keeping the public
+# structure of both packages.
+Bag = DataItem = NestedSet = None  # populated by _load_value_types()
+
+
+def _load_value_types() -> None:
+    global Bag, DataItem, NestedSet
+    if DataItem is None:
+        from repro.nested.values import Bag as _Bag, DataItem as _DataItem, NestedSet as _NestedSet
+
+        Bag, DataItem, NestedSet = _Bag, _DataItem, _NestedSet
+
+__all__ = ["POS", "Step", "Path", "parse_path", "enumerate_paths"]
+
+
+class _PosPlaceholder:
+    """Singleton marker for the schema-level ``[pos]`` placeholder."""
+
+    _instance: "_PosPlaceholder | None" = None
+
+    def __new__(cls) -> "_PosPlaceholder":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "pos"
+
+
+#: The ``[pos]`` placeholder used in schema-level paths.
+POS = _PosPlaceholder()
+
+_STEP_RE = re.compile(r"^(?P<name>[A-Za-z_][A-Za-z0-9_\-]*)(\[(?P<pos>pos|\d+)\])?$")
+
+
+class Step:
+    """One path step: an attribute name with an optional positional access.
+
+    ``pos`` is ``None`` (no positional access), a 1-based ``int``, or the
+    :data:`POS` placeholder.
+    """
+
+    __slots__ = ("name", "pos")
+
+    def __init__(self, name: str, pos: int | _PosPlaceholder | None = None):
+        if not name:
+            raise PathSyntaxError("path step needs a non-empty attribute name")
+        if isinstance(pos, int) and (isinstance(pos, bool) or pos < 1):
+            raise PathSyntaxError(f"positions are 1-based integers, got {pos!r}")
+        self.name = name
+        self.pos = pos
+
+    def without_pos(self) -> "Step":
+        """Return the step with any positional access removed."""
+        if self.pos is None:
+            return self
+        return Step(self.name)
+
+    def with_placeholder(self) -> "Step":
+        """Return the step with a concrete position replaced by ``[pos]``."""
+        if isinstance(self.pos, int):
+            return Step(self.name, POS)
+        return self
+
+    def with_pos(self, pos: int) -> "Step":
+        """Return the step with the concrete 1-based position *pos*."""
+        return Step(self.name, pos)
+
+    def matches_schematically(self, other: "Step") -> bool:
+        """Compare steps by name only, ignoring positions and placeholders."""
+        return self.name == other.name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Step):
+            return NotImplemented
+        return self.name == other.name and self.pos == other.pos
+
+    def __hash__(self) -> int:
+        return hash((self.name, None if self.pos is None else repr(self.pos)))
+
+    def __str__(self) -> str:
+        if self.pos is None:
+            return self.name
+        return f"{self.name}[{self.pos!r}]" if self.pos is POS else f"{self.name}[{self.pos}]"
+
+    def __repr__(self) -> str:
+        return f"Step({str(self)!r})"
+
+
+class Path:
+    """An access path: a sequence of :class:`Step` objects.
+
+    Paths are immutable and hashable so they can populate the accessed /
+    manipulated path sets of the provenance model.
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Iterable[Step] = ()):
+        self.steps: tuple[Step, ...] = tuple(steps)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def of(cls, *names: str) -> "Path":
+        """Build a path from attribute names (or full step strings)."""
+        return parse_path(".".join(names))
+
+    def child(self, name: str, pos: int | _PosPlaceholder | None = None) -> "Path":
+        """Return this path extended by one step."""
+        return Path(self.steps + (Step(name, pos),))
+
+    def concat(self, other: "Path") -> "Path":
+        """Return the concatenation of two paths."""
+        return Path(self.steps + other.steps)
+
+    # -- structure --------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.steps
+
+    def head(self) -> Step:
+        if not self.steps:
+            raise PathEvaluationError("empty path has no head")
+        return self.steps[0]
+
+    def tail(self) -> "Path":
+        return Path(self.steps[1:])
+
+    def last(self) -> Step:
+        if not self.steps:
+            raise PathEvaluationError("empty path has no last step")
+        return self.steps[-1]
+
+    def parent(self) -> "Path":
+        """Return the path without its last step."""
+        return Path(self.steps[:-1])
+
+    def startswith(self, prefix: "Path", schematic: bool = False) -> bool:
+        """Return ``True`` if *prefix* is a prefix of this path.
+
+        With ``schematic=True`` the comparison ignores positions.
+        """
+        if len(prefix.steps) > len(self.steps):
+            return False
+        for mine, theirs in zip(self.steps, prefix.steps):
+            if schematic:
+                if not mine.matches_schematically(theirs):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def replace_prefix(self, old: "Path", new: "Path") -> "Path":
+        """Return the path with prefix *old* replaced by *new*.
+
+        Raises :class:`PathEvaluationError` if *old* is not a prefix.
+        """
+        if not self.startswith(old):
+            raise PathEvaluationError(f"{self} does not start with {old}")
+        return Path(new.steps + self.steps[len(old.steps):])
+
+    def schematic(self) -> "Path":
+        """Return the schema-level path: all positions dropped."""
+        return Path(step.without_pos() for step in self.steps)
+
+    def with_placeholders(self) -> "Path":
+        """Return the path with every concrete position replaced by ``[pos]``."""
+        return Path(step.with_placeholder() for step in self.steps)
+
+    def has_placeholder(self) -> bool:
+        """Return ``True`` if any step carries the ``[pos]`` placeholder."""
+        return any(step.pos is POS for step in self.steps)
+
+    def substitute_placeholder(self, pos: int) -> "Path":
+        """Replace the first ``[pos]`` placeholder with a concrete position."""
+        steps = list(self.steps)
+        for index, step in enumerate(steps):
+            if step.pos is POS:
+                steps[index] = step.with_pos(pos)
+                return Path(steps)
+        raise PathEvaluationError(f"{self} has no [pos] placeholder to substitute")
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, item: DataItem) -> Any:
+        """Evaluate the path against a context data item (Def. 4.3).
+
+        Raises :class:`PathEvaluationError` if a step does not resolve.
+        A step over a ``None`` value resolves to ``None`` (missing nested
+        data), mirroring SQL-style null propagation in DISC systems.
+        """
+        _load_value_types()
+        current: Any = item
+        for step in self.steps:
+            if current is None:
+                return None
+            if not isinstance(current, DataItem):
+                raise PathEvaluationError(
+                    f"cannot take attribute {step.name!r} of non-struct {type(current).__name__}"
+                )
+            if step.name not in current:
+                raise PathEvaluationError(f"no attribute {step.name!r} along {self}")
+            current = current[step.name]
+            if step.pos is not None:
+                if step.pos is POS:
+                    raise PathEvaluationError(f"cannot evaluate placeholder path {self}")
+                if not isinstance(current, (Bag, NestedSet)):
+                    raise PathEvaluationError(
+                        f"positional access {step} on non-collection value"
+                    )
+                try:
+                    current = current.at(step.pos)
+                except Exception as exc:
+                    raise PathEvaluationError(f"{step} in {self}: {exc}") from exc
+        return current
+
+    def resolves_in(self, item: DataItem) -> bool:
+        """Return ``True`` if the path evaluates without error against *item*."""
+        try:
+            self.evaluate(item)
+        except PathEvaluationError:
+            return False
+        return True
+
+    # -- dunder -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __str__(self) -> str:
+        return ".".join(str(step) for step in self.steps)
+
+    def __repr__(self) -> str:
+        return f"Path({str(self)!r})"
+
+
+def parse_path(text: str) -> Path:
+    """Parse a dotted path string such as ``user_mentions[1].id_str``.
+
+    ``[pos]`` denotes the schema-level placeholder; ``[3]`` a concrete
+    1-based position.  An empty string parses to the empty path.
+    """
+    if not isinstance(text, str):
+        raise PathSyntaxError(f"path must be a string, got {type(text).__name__}")
+    stripped = text.strip()
+    if not stripped:
+        return Path()
+    steps = []
+    for part in stripped.split("."):
+        match = _STEP_RE.match(part.strip())
+        if not match:
+            raise PathSyntaxError(f"invalid path step {part!r} in {text!r}")
+        raw_pos = match.group("pos")
+        if raw_pos is None:
+            pos: int | _PosPlaceholder | None = None
+        elif raw_pos == "pos":
+            pos = POS
+        else:
+            pos = int(raw_pos)
+            if pos < 1:
+                raise PathSyntaxError(f"positions are 1-based, got {part!r}")
+        steps.append(Step(match.group("name"), pos))
+    return Path(steps)
+
+
+def enumerate_paths(item: DataItem, prefix: Path | None = None) -> list[Path]:
+    """Enumerate all value-level paths that exist in *item* (the paper's PS_d).
+
+    Struct attributes contribute their dotted paths; collection attributes
+    additionally contribute one positional path per element, recursing into
+    struct elements.
+    """
+    _load_value_types()
+    base = prefix if prefix is not None else Path()
+    paths: list[Path] = []
+    for name, value in item.pairs():
+        attr_path = base.child(name)
+        paths.append(attr_path)
+        if isinstance(value, DataItem):
+            paths.extend(enumerate_paths(value, attr_path))
+        elif isinstance(value, (Bag, NestedSet)):
+            for position, element in enumerate(value, start=1):
+                element_path = base.child(name, position)
+                paths.append(element_path)
+                if isinstance(element, DataItem):
+                    paths.extend(enumerate_paths(element, element_path))
+    return paths

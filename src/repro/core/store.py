@@ -1,0 +1,201 @@
+"""Provenance store: all operator provenance captured for one execution.
+
+The store is the hand-over point between the eager capture phase (Sec. 5)
+and the backtracing phase (Sec. 6): the executor registers one
+:class:`~repro.core.operator_provenance.OperatorProvenance` per executed
+operator, and the backtracing algorithm walks the store from the sink to the
+sources.  The store also exposes the space accounting used for Fig. 8 and
+resolves source identifiers back to input data items.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.operator_provenance import OperatorProvenance, ReadAssociations
+from repro.errors import BacktraceError, ProvenanceError
+from repro.nested.values import DataItem
+
+__all__ = ["ProvenanceStore", "ProvenanceSizeReport"]
+
+
+class ProvenanceSizeReport:
+    """Space-overhead summary of one captured execution (Fig. 8).
+
+    ``lineage_bytes`` is what a Titian-style lineage capture would store;
+    ``structural_bytes`` is the extra that structural provenance adds
+    (positions in flattened collections plus the once-per-operator
+    schema-level path records).
+    """
+
+    __slots__ = ("lineage_bytes", "structural_bytes", "association_count", "per_operator")
+
+    def __init__(
+        self,
+        lineage_bytes: int,
+        structural_bytes: int,
+        association_count: int,
+        per_operator: dict[int, tuple[str, int, int]],
+    ):
+        self.lineage_bytes = lineage_bytes
+        self.structural_bytes = structural_bytes
+        self.association_count = association_count
+        #: oid -> (operator type, lineage bytes, structural extra bytes)
+        self.per_operator = per_operator
+
+    @property
+    def total_bytes(self) -> int:
+        return self.lineage_bytes + self.structural_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"ProvenanceSizeReport(lineage={self.lineage_bytes}B, "
+            f"structural=+{self.structural_bytes}B, records={self.association_count})"
+        )
+
+
+class ProvenanceStore:
+    """Holds the operator provenance of one (or more) executed pipelines."""
+
+    def __init__(self) -> None:
+        self._operators: dict[int, OperatorProvenance] = {}
+        self._source_items: dict[int, dict[int, DataItem]] = {}
+        self._source_names: dict[int, str] = {}
+
+    # -- registration (capture phase) ---------------------------------------
+
+    def register(self, provenance: OperatorProvenance) -> None:
+        """Register the provenance of one executed operator."""
+        if provenance.oid in self._operators:
+            raise ProvenanceError(f"operator {provenance.oid} registered twice")
+        self._operators[provenance.oid] = provenance
+
+    def register_source_items(
+        self, oid: int, name: str, items: dict[int, DataItem]
+    ) -> None:
+        """Remember the id -> item mapping of a read operator.
+
+        Backtracing results resolve input identifiers to the actual input
+        items through this mapping (the paper keeps inputs addressable via
+        their annotation ids).
+        """
+        self._source_names[oid] = name
+        self._source_items[oid] = items
+
+    # -- lookup (query phase) ------------------------------------------------
+
+    def get(self, oid: int) -> OperatorProvenance:
+        """Return the provenance of operator *oid*."""
+        provenance = self._operators.get(oid)
+        if provenance is None:
+            raise BacktraceError(f"no captured provenance for operator {oid}")
+        return provenance
+
+    def has(self, oid: int) -> bool:
+        return oid in self._operators
+
+    def operators(self) -> Iterator[OperatorProvenance]:
+        return iter(self._operators.values())
+
+    def is_source(self, oid: int) -> bool:
+        """Return ``True`` if *oid* is a read operator (recursion anchor)."""
+        return isinstance(self.get(oid).associations, ReadAssociations)
+
+    def source_name(self, oid: int) -> str:
+        """Return the dataset name of a read operator."""
+        return self._source_names.get(oid, f"source-{oid}")
+
+    def source_item(self, oid: int, item_id: int) -> DataItem:
+        """Resolve a source identifier to the input data item."""
+        items = self._source_items.get(oid)
+        if items is None or item_id not in items:
+            raise BacktraceError(f"source {oid} has no item with id {item_id}")
+        return items[item_id]
+
+    def source_items(self, oid: int) -> dict[int, DataItem]:
+        """Return all id -> item mappings of a read operator."""
+        return dict(self._source_items.get(oid, {}))
+
+    def clear(self) -> None:
+        """Drop all captured provenance (fresh run)."""
+        self._operators.clear()
+        self._source_items.clear()
+        self._source_names.clear()
+
+    # -- persistence ------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Encode the captured provenance into a compact byte string.
+
+        Eager capture does not end at collecting the pebbles -- Pebble
+        persists them so provenance queries can run later.  This encoder
+        packs every id association (8 bytes per identifier, 4 per position)
+        plus the once-per-operator schema-level path strings; benchmark
+        capture timings include it so the measured overhead covers the full
+        eager capture path.
+        """
+        from repro.core.operator_provenance import (
+            AggregationAssociations,
+            BinaryAssociations,
+            FlattenAssociations,
+            ReadAssociations,
+            UnaryAssociations,
+        )
+
+        buffer = bytearray()
+        for provenance in self._operators.values():
+            buffer += provenance.oid.to_bytes(4, "little")
+            buffer += provenance.op_type.encode()
+            for input_ref in provenance.inputs:
+                for path in sorted(input_ref.accessed_or_empty(), key=str):
+                    buffer += str(path).encode()
+            for path_in, path_out in provenance.manipulations_or_empty():
+                buffer += str(path_in).encode()
+                buffer += str(path_out).encode()
+            associations = provenance.associations
+            if isinstance(associations, ReadAssociations):
+                for id_out in associations.ids:
+                    buffer += id_out.to_bytes(8, "little")
+            elif isinstance(associations, UnaryAssociations):
+                for id_in, id_out in associations.records:
+                    buffer += id_in.to_bytes(8, "little")
+                    buffer += id_out.to_bytes(8, "little")
+            elif isinstance(associations, FlattenAssociations):
+                for id_in, pos, id_out in associations.records:
+                    buffer += id_in.to_bytes(8, "little")
+                    buffer += pos.to_bytes(4, "little")
+                    buffer += id_out.to_bytes(8, "little")
+            elif isinstance(associations, BinaryAssociations):
+                for id_in1, id_in2, id_out in associations.records:
+                    buffer += (id_in1 or 0).to_bytes(8, "little")
+                    buffer += (id_in2 or 0).to_bytes(8, "little")
+                    buffer += id_out.to_bytes(8, "little")
+            elif isinstance(associations, AggregationAssociations):
+                for ids_in, id_out in associations.records:
+                    for id_in in ids_in:
+                        buffer += id_in.to_bytes(8, "little")
+                    buffer += id_out.to_bytes(8, "little")
+        return bytes(buffer)
+
+    # -- space accounting (Fig. 8) -------------------------------------------
+
+    def size_report(self) -> ProvenanceSizeReport:
+        """Summarise the stored bytes, split into lineage vs structural."""
+        lineage = 0
+        structural = 0
+        records = 0
+        per_operator: dict[int, tuple[str, int, int]] = {}
+        for provenance in self._operators.values():
+            op_lineage = provenance.lineage_bytes()
+            op_structural = provenance.structural_extra_bytes()
+            lineage += op_lineage
+            structural += op_structural
+            records += len(provenance.associations)
+            per_operator[provenance.oid] = (provenance.op_type, op_lineage, op_structural)
+        return ProvenanceSizeReport(lineage, structural, records, per_operator)
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def __repr__(self) -> str:
+        return f"ProvenanceStore({len(self._operators)} operators)"

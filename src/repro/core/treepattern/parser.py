@@ -1,0 +1,166 @@
+"""Text syntax for tree patterns.
+
+Grammar (whitespace-insensitive)::
+
+    pattern  := "root" body
+    body     := "{" edge-node ("," edge-node)* "}"
+    edge-node:= ("//" | "/") node
+    node     := (NAME | "*") constraint? count? body?
+    constraint := "=" value
+    count    := "[" INT "," (INT | "*") "]"
+    value    := STRING | NUMBER | "true" | "false" | "null"
+
+Examples::
+
+    root{//id_str="lp", /tweets{/text="Hello World"[2,2]}}
+    root{/user{/name="Lisa Paul"}}
+
+``//`` introduces an ancestor-descendant edge, ``/`` a parent-child edge.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.core.treepattern.pattern import Edge, NO_EQUALS, PatternNode, TreePattern
+from repro.errors import TreePatternSyntaxError
+
+__all__ = ["parse_pattern"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<dslash>//)
+  | (?P<slash>/)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<eq>=)
+  | (?P<star>\*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self.tokens: list[tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                raise TreePatternSyntaxError(
+                    f"unexpected character {text[position]!r} at offset {position} in pattern"
+                )
+            position = match.end()
+            kind = match.lastgroup
+            if kind != "ws":
+                self.tokens.append((kind, match.group()))
+        self.index = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self, expected: str | None = None) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise TreePatternSyntaxError("unexpected end of pattern")
+        if expected is not None and token[0] != expected:
+            raise TreePatternSyntaxError(f"expected {expected}, got {token[1]!r}")
+        self.index += 1
+        return token
+
+    def accept(self, expected: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == expected:
+            self.index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def parse_pattern(text: str) -> TreePattern:
+    """Parse the compact tree-pattern syntax into a :class:`TreePattern`."""
+    tokenizer = _Tokenizer(text)
+    kind, value = tokenizer.next("name")
+    if value != "root":
+        raise TreePatternSyntaxError(f"pattern must start with 'root', got {value!r}")
+    children = _parse_body(tokenizer)
+    if not tokenizer.at_end():
+        leftover = tokenizer.peek()
+        raise TreePatternSyntaxError(f"trailing input after pattern: {leftover[1]!r}")  # type: ignore[index]
+    return TreePattern(children)
+
+
+def _parse_body(tokenizer: _Tokenizer) -> list[PatternNode]:
+    tokenizer.next("lbrace")
+    nodes = [_parse_edge_node(tokenizer)]
+    while tokenizer.accept("comma"):
+        nodes.append(_parse_edge_node(tokenizer))
+    tokenizer.next("rbrace")
+    return nodes
+
+
+def _parse_edge_node(tokenizer: _Tokenizer) -> PatternNode:
+    if tokenizer.accept("dslash"):
+        edge = Edge.DESCENDANT
+    elif tokenizer.accept("slash"):
+        edge = Edge.CHILD
+    else:
+        token = tokenizer.peek()
+        raise TreePatternSyntaxError(
+            f"expected '/' or '//' before node, got {token[1] if token else 'end'!r}"
+        )
+    if tokenizer.accept("star"):
+        name = "*"
+    else:
+        _, name = tokenizer.next("name")
+    equals: Any = NO_EQUALS
+    if tokenizer.accept("eq"):
+        equals = _parse_value(tokenizer)
+    count = None
+    if tokenizer.accept("lbracket"):
+        _, low_text = tokenizer.next("number")
+        tokenizer.next("comma")
+        token = tokenizer.peek()
+        if token is not None and token[0] == "star":
+            tokenizer.next("star")
+            high: int | None = None
+        else:
+            _, high_text = tokenizer.next("number")
+            high = int(high_text)
+        tokenizer.next("rbracket")
+        count = (int(low_text), high)
+    children: list[PatternNode] = []
+    token = tokenizer.peek()
+    if token is not None and token[0] == "lbrace":
+        children = _parse_body(tokenizer)
+    return PatternNode(name, edge=edge, equals=equals, count=count, children=children)
+
+
+def _parse_value(tokenizer: _Tokenizer) -> Any:
+    kind, text = tokenizer.next()
+    if kind == "string":
+        body = text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+    if kind == "number":
+        return float(text) if "." in text else int(text)
+    if kind == "name":
+        if text == "true":
+            return True
+        if text == "false":
+            return False
+        if text == "null":
+            return None
+        raise TreePatternSyntaxError(f"unknown literal {text!r}")
+    raise TreePatternSyntaxError(f"expected a value, got {text!r}")

@@ -1,0 +1,215 @@
+"""Tree patterns: the structural provenance query formalism (Sec. 6.1).
+
+A tree pattern addresses combinations of nested items that are related by
+their structure.  Each node names an attribute; edges are parent-child
+(``/``) or ancestor-descendant (``//``); nodes can constrain the matched
+value (equality or a predicate) and the number of matching occurrences
+within their parent context (the ``[2,2]`` box of Fig. 4, which requires the
+duplicate ``Hello World`` to occur exactly twice in the nested collection).
+
+Patterns are built programmatically with :func:`child` / :func:`descendant`
+or parsed from the compact text syntax of
+:mod:`repro.core.treepattern.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import TreePatternError
+
+__all__ = ["Edge", "PatternNode", "TreePattern", "child", "descendant", "NO_EQUALS"]
+
+
+class Edge:
+    """Edge types of a tree pattern."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+
+
+class _NoEquals:
+    """Marker distinguishing "no equality constraint" from ``equals=None``."""
+
+    _instance: "_NoEquals | None" = None
+
+    def __new__(cls) -> "_NoEquals":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<no equals constraint>"
+
+
+#: Sentinel: the node has no equality constraint (``equals=None`` matches null).
+NO_EQUALS = _NoEquals()
+
+
+class PatternNode:
+    """One named node of a tree pattern.
+
+    The name ``*`` is a wildcard matching any attribute (useful for audit
+    questions like "any attribute equal to this leaked value").
+
+    ``equals`` constrains the matched value to a constant (:data:`NO_EQUALS`
+    disables the check, so ``equals=None`` genuinely matches nulls);
+    ``predicate`` is an arbitrary boolean callable over the value; ``count``
+    restricts how many occurrences (satisfying both the value constraints
+    and the node's sub-pattern) must exist within one parent match:
+    ``(min, max)`` with ``max = None`` meaning unbounded.
+    """
+
+    __slots__ = ("name", "edge", "equals", "predicate", "count", "children")
+
+    def __init__(
+        self,
+        name: str,
+        edge: str = Edge.CHILD,
+        equals: Any = NO_EQUALS,
+        predicate: Callable[[Any], bool] | None = None,
+        count: tuple[int, int | None] | None = None,
+        children: Sequence["PatternNode"] = (),
+    ):
+        if not name:
+            raise TreePatternError("pattern node needs a name ('*' matches any attribute)")
+        if edge not in (Edge.CHILD, Edge.DESCENDANT):
+            raise TreePatternError(f"unknown edge type {edge!r}")
+        if count is not None:
+            low, high = count
+            if low < 0 or (high is not None and high < low):
+                raise TreePatternError(f"invalid count constraint {count!r}")
+        self.name = name
+        self.edge = edge
+        self.equals = equals
+        self.predicate = predicate
+        self.count = count
+        self.children: tuple[PatternNode, ...] = tuple(children)
+
+    def value_matches(self, value: Any) -> bool:
+        """Check the node's value constraints against a matched value."""
+        if self.equals is not NO_EQUALS and value != self.equals:
+            return False
+        if self.predicate is not None and not self.predicate(value):
+            return False
+        return True
+
+    def has_value_constraint(self) -> bool:
+        return self.equals is not NO_EQUALS or self.predicate is not None
+
+    def render(self) -> str:
+        """Render this node (and its sub-pattern) in the text syntax."""
+        parts = [self.name]
+        if self.equals is not NO_EQUALS:
+            parts.append(f"={_render_value(self.equals)}")
+        elif self.predicate is not None:
+            parts.append("=?")
+        if self.count is not None:
+            low, high = self.count
+            parts.append(f"[{low},{'*' if high is None else high}]")
+        if self.children:
+            inner = ", ".join(
+                ("/" if node.edge == Edge.CHILD else "//") + node.render()
+                for node in self.children
+            )
+            parts.append("{" + inner + "}")
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"PatternNode({self.render()!r})"
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+class TreePattern:
+    """A whole tree pattern: a virtual root over top-level constraints.
+
+    The root matches one top-level result item; every child node of the
+    root must match within that item for the item to qualify.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[PatternNode]):
+        if not children:
+            raise TreePatternError("tree pattern needs at least one node under the root")
+        self.children: tuple[PatternNode, ...] = tuple(children)
+
+    @classmethod
+    def root(cls, *children: PatternNode) -> "TreePattern":
+        """Build a pattern from the root's child nodes."""
+        return cls(children)
+
+    def render(self) -> str:
+        inner = ", ".join(
+            ("/" if node.edge == Edge.CHILD else "//") + node.render()
+            for node in self.children
+        )
+        return "root{" + inner + "}"
+
+    def __repr__(self) -> str:
+        return f"TreePattern({self.render()!r})"
+
+
+class _Unset:
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+def child(
+    name: str,
+    *children: PatternNode,
+    equals: Any = _UNSET,
+    predicate: Callable[[Any], bool] | None = None,
+    count: tuple[int, int | None] | None = None,
+) -> PatternNode:
+    """Build a parent-child pattern node.
+
+    >>> child("tweets", child("text", equals="Hello World", count=(2, 2)))
+    PatternNode('tweets{/text="Hello World"[2,2]}')
+    """
+    return PatternNode(
+        name,
+        edge=Edge.CHILD,
+        equals=NO_EQUALS if equals is _UNSET else equals,
+        predicate=predicate,
+        count=count,
+        children=children,
+    )
+
+
+def descendant(
+    name: str,
+    *children: PatternNode,
+    equals: Any = _UNSET,
+    predicate: Callable[[Any], bool] | None = None,
+    count: tuple[int, int | None] | None = None,
+) -> PatternNode:
+    """Build an ancestor-descendant pattern node (matches at any depth)."""
+    return PatternNode(
+        name,
+        edge=Edge.DESCENDANT,
+        equals=NO_EQUALS if equals is _UNSET else equals,
+        predicate=predicate,
+        count=count,
+        children=children,
+    )

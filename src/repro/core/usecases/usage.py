@@ -1,0 +1,269 @@
+"""Data-usage patterns from structural provenance (paper Sec. 7.3.5, Fig. 10).
+
+Merging the provenance of a query workload reveals *hot* input items and
+attributes (frequently contributing), *influencing-only* attributes
+(accessed but never copied into a result), and *cold* data (never touched).
+The paper uses this to argue for vertical (column-based) partitioning:
+most top-level items are hot, but only a fraction of attributes is, so
+splitting by attribute beats splitting by row.  Co-access statistics
+additionally suggest which attributes to store next to each other.
+
+:class:`UsageAnalysis` accumulates provenance results query by query and
+renders the Fig. 10-style heatmap as text.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Iterable
+
+from repro.core.backtrace.result import ProvenanceResult
+
+__all__ = ["UsageAnalysis", "HeatmapRow"]
+
+
+class HeatmapRow:
+    """One input item's row of the usage heatmap."""
+
+    __slots__ = ("item_id", "item_uses", "attribute_counts")
+
+    def __init__(self, item_id: int, item_uses: int, attribute_counts: dict[str, int]):
+        self.item_id = item_id
+        #: How often the top-level item appeared in any provenance result
+        #: (the leftmost, tuple-level column of Fig. 10 -- all a lineage
+        #: solution could provide).
+        self.item_uses = item_uses
+        #: Per top-level attribute: in how many query results it appeared
+        #: (contributing or influencing).
+        self.attribute_counts = attribute_counts
+
+
+class UsageAnalysis:
+    """Accumulates structural provenance across a query workload."""
+
+    def __init__(self) -> None:
+        self._item_uses: Counter[tuple[str, int]] = Counter()
+        self._attribute_uses: Counter[tuple[str, int, str]] = Counter()
+        self._contributing: Counter[tuple[str, str]] = Counter()
+        self._influencing: Counter[tuple[str, str]] = Counter()
+        self._co_access: Counter[tuple[str, frozenset[str]]] = Counter()
+        self.query_count = 0
+
+    # -- accumulation -----------------------------------------------------------
+
+    def add(self, provenance: ProvenanceResult) -> None:
+        """Merge the provenance of one query into the analysis."""
+        self.query_count += 1
+        for source in provenance.sources:
+            for entry in source.entries:
+                self._item_uses[(source.name, entry.item_id)] += 1
+                touched: set[str] = set()
+                contributing_attrs: set[str] = set()
+                influencing_attrs: set[str] = set()
+                for labels, node in entry.tree.paths():
+                    top = labels[0]
+                    if not isinstance(top, str):
+                        continue
+                    touched.add(top)
+                    if node.contributing:
+                        contributing_attrs.add(top)
+                    else:
+                        influencing_attrs.add(top)
+                for attr in touched:
+                    self._attribute_uses[(source.name, entry.item_id, attr)] += 1
+                for attr in contributing_attrs:
+                    self._contributing[(source.name, attr)] += 1
+                for attr in influencing_attrs - contributing_attrs:
+                    self._influencing[(source.name, attr)] += 1
+                if len(touched) > 1:
+                    for pair in combinations(sorted(touched), 2):
+                        self._co_access[(source.name, frozenset(pair))] += 1
+
+    # -- heatmap (Fig. 10) --------------------------------------------------------
+
+    def heatmap(
+        self,
+        source_name: str,
+        item_ids: Iterable[int],
+        attributes: Iterable[str],
+    ) -> list[HeatmapRow]:
+        """Build the Fig. 10 matrix for selected items and attributes."""
+        attribute_list = list(attributes)
+        rows = []
+        for item_id in item_ids:
+            counts = {
+                attr: self._attribute_uses.get((source_name, item_id, attr), 0)
+                for attr in attribute_list
+            }
+            rows.append(
+                HeatmapRow(item_id, self._item_uses.get((source_name, item_id), 0), counts)
+            )
+        return rows
+
+    def render_heatmap(
+        self,
+        source_name: str,
+        item_ids: Iterable[int],
+        attributes: Iterable[str],
+    ) -> str:
+        """Render the heatmap as an aligned text table.
+
+        The ``item`` column is the tuple-level counter (what lineage gives);
+        the remaining columns are the per-attribute counts only structural
+        provenance provides.
+        """
+        attribute_list = list(attributes)
+        rows = self.heatmap(source_name, item_ids, attribute_list)
+        headers = ["id", "item"] + attribute_list
+        table = [headers]
+        for row in rows:
+            table.append(
+                [str(row.item_id), str(row.item_uses)]
+                + [str(row.attribute_counts[attr]) for attr in attribute_list]
+            )
+        widths = [max(len(line[column]) for line in table) for column in range(len(headers))]
+        rendered = []
+        for line in table:
+            rendered.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        return "\n".join(rendered)
+
+    def render_heatmap_shaded(
+        self,
+        source_name: str,
+        item_ids: Iterable[int],
+        attributes: Iterable[str],
+    ) -> str:
+        """Render the heatmap with intensity glyphs instead of counts.
+
+        Mirrors Fig. 10's colour coding in text: ``.`` = cold (blue),
+        ``░▒▓█`` = increasingly hot.  The ``item`` column again shows the
+        tuple-level counter.
+        """
+        attribute_list = list(attributes)
+        rows = self.heatmap(source_name, item_ids, attribute_list)
+        peak = max(
+            [row.item_uses for row in rows]
+            + [count for row in rows for count in row.attribute_counts.values()]
+            + [1]
+        )
+
+        def glyph(count: int) -> str:
+            if count == 0:
+                return "."
+            shades = "░▒▓█"
+            index = min(len(shades) - 1, (count * len(shades) - 1) // peak)
+            return shades[index]
+
+        width = max((len(attr) for attr in attribute_list), default=4)
+        id_width = max((len(str(row.item_id)) for row in rows), default=2)
+        header = " " * (id_width + 1) + "item " + " ".join(
+            attr.rjust(width) for attr in attribute_list
+        )
+        lines = [header]
+        for row in rows:
+            cells = " ".join(
+                glyph(row.attribute_counts[attr]).rjust(width) for attr in attribute_list
+            )
+            lines.append(
+                f"{str(row.item_id).rjust(id_width)} {glyph(row.item_uses).rjust(4)} {cells}"
+            )
+        return "\n".join(lines)
+
+    # -- hot / cold classification ---------------------------------------------------
+
+    def hot_items(self, source_name: str, min_uses: int = 1) -> list[tuple[int, int]]:
+        """Items used at least *min_uses* times, hottest first."""
+        entries = [
+            (item_id, uses)
+            for (name, item_id), uses in self._item_uses.items()
+            if name == source_name and uses >= min_uses
+        ]
+        entries.sort(key=lambda pair: (-pair[1], pair[0]))
+        return entries
+
+    def cold_items(self, source_name: str, universe: Iterable[int]) -> list[int]:
+        """Items of *universe* that never influenced any result (blue rows)."""
+        return sorted(
+            item_id
+            for item_id in universe
+            if self._item_uses.get((source_name, item_id), 0) == 0
+        )
+
+    def hot_attributes(self, source_name: str) -> list[tuple[str, int]]:
+        """Attributes that contributed to at least one result, hottest first."""
+        entries = [
+            (attr, uses)
+            for (name, attr), uses in self._contributing.items()
+            if name == source_name
+        ]
+        entries.sort(key=lambda pair: (-pair[1], pair[0]))
+        return entries
+
+    def influencing_only_attributes(self, source_name: str) -> list[tuple[str, int]]:
+        """Attributes accessed but never contributing (e.g. ``year`` in Fig. 10).
+
+        These are invisible to both lineage solutions (no attribute
+        information) and Lipstick (no access tracking).
+        """
+        contributing = {
+            attr for (name, attr) in self._contributing if name == source_name
+        }
+        entries = [
+            (attr, uses)
+            for (name, attr), uses in self._influencing.items()
+            if name == source_name and attr not in contributing
+        ]
+        entries.sort(key=lambda pair: (-pair[1], pair[0]))
+        return entries
+
+    def cold_attributes(self, source_name: str, schema_attributes: Iterable[str]) -> list[str]:
+        """Attributes of the schema never accessed nor contributing."""
+        touched = {attr for (name, attr) in self._contributing if name == source_name}
+        touched |= {attr for (name, attr) in self._influencing if name == source_name}
+        return sorted(attr for attr in schema_attributes if attr not in touched)
+
+    # -- layout suggestions ----------------------------------------------------------
+
+    def co_accessed_pairs(self, source_name: str, top: int = 5) -> list[tuple[tuple[str, str], int]]:
+        """Attribute pairs frequently used together (layout co-location)."""
+        entries = [
+            (tuple(sorted(pair)), uses)
+            for (name, pair), uses in self._co_access.items()
+            if name == source_name
+        ]
+        entries.sort(key=lambda entry: (-entry[1], entry[0]))
+        return entries[:top]
+
+    def partitioning_advice(self, source_name: str, schema_attributes: Iterable[str]) -> str:
+        """Summarise the Fig. 10 argument for this workload as text."""
+        schema_list = list(schema_attributes)
+        hot_item_count = len(self.hot_items(source_name))
+        hot_attrs = self.hot_attributes(source_name)
+        cold_attrs = self.cold_attributes(source_name, schema_list)
+        lines = [
+            f"source {source_name}: {hot_item_count} hot top-level items over "
+            f"{self.query_count} queries",
+            f"hot attributes ({len(hot_attrs)}/{len(schema_list)}): "
+            + ", ".join(attr for attr, _ in hot_attrs),
+            f"cold attributes ({len(cold_attrs)}/{len(schema_list)}): " + ", ".join(cold_attrs),
+        ]
+        influencing = self.influencing_only_attributes(source_name)
+        if influencing:
+            lines.append(
+                "influencing-only attributes: "
+                + ", ".join(f"{attr} ({uses}x)" for attr, uses in influencing)
+            )
+        if 2 * len(hot_attrs) < len(schema_list):
+            # Only a fraction of the attributes contributes -- the Fig. 10
+            # conclusion: split columns, not rows.
+            lines.append("advice: vertical (column-based) partitioning of hot vs cold attributes")
+        else:
+            lines.append("advice: horizontal partitioning may suffice; most attributes are hot")
+        pairs = self.co_accessed_pairs(source_name)
+        if pairs:
+            lines.append(
+                "co-locate: "
+                + "; ".join(f"{a}+{b} ({uses}x)" for (a, b), uses in pairs)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Spark-like partitioned dataflow engine substrate (paper Sec. 4.2)."""
+
+from repro.engine.dataset import Dataset, GroupedDataset
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.expressions import (
+    AggregateExpr,
+    Expression,
+    avg,
+    coalesce,
+    col,
+    collect_list,
+    collect_set,
+    count,
+    lit,
+    max_,
+    min_,
+    struct_,
+    sum_,
+)
+from repro.engine.session import Session
+from repro.engine.storage import InMemorySource, JsonlSource, Source
+
+__all__ = [
+    "Dataset",
+    "GroupedDataset",
+    "ExecutionResult",
+    "Executor",
+    "AggregateExpr",
+    "Expression",
+    "avg",
+    "coalesce",
+    "col",
+    "collect_list",
+    "collect_set",
+    "count",
+    "lit",
+    "max_",
+    "min_",
+    "struct_",
+    "sum_",
+    "Session",
+    "InMemorySource",
+    "JsonlSource",
+    "Source",
+]

@@ -1,0 +1,678 @@
+"""Partitioned plan execution with optional provenance capture.
+
+The executor walks the logical plan DAG bottom-up (memoised, so shared
+sub-plans run once), processes every dataset as a list of partitions, and --
+when capture is enabled -- assigns identifiers to top-level items at the
+sources and emits one
+:class:`~repro.core.operator_provenance.OperatorProvenance` per operator
+into a fresh :class:`~repro.core.store.ProvenanceStore` (the lightweight
+capture of Sec. 5.1).
+
+Rows are ``(pid, item)`` pairs; ``pid`` is ``None`` when capture is off, so
+the plain execution path carries no provenance cost beyond the tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.operator_provenance import (
+    AggregationAssociations,
+    BinaryAssociations,
+    FlattenAssociations,
+    InputRef,
+    OperatorProvenance,
+    ReadAssociations,
+    UNDEFINED,
+    UnaryAssociations,
+)
+from repro.core.paths import Path
+from repro.core.store import ProvenanceStore
+from repro.engine.expressions import BinaryExpr, ColumnExpr, Expression
+from repro.engine.metrics import ExecutionMetrics, Stopwatch
+from repro.engine.partition import concat_partitions, hash_partition, partition_rows
+from repro.engine.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    FlattenNode,
+    JoinNode,
+    LimitNode,
+    MapNode,
+    PlanNode,
+    ReadNode,
+    SelectNode,
+    SortNode,
+    UnionNode,
+    WithColumnNode,
+)
+from repro.errors import ExecutionError, PlanError, SchemaMismatchError
+from repro.nested.schema import Schema, infer_schema
+from repro.nested.types import StructType
+from repro.nested.values import Bag, DataItem, NestedSet, coerce_value
+
+__all__ = ["Executor", "ExecutionResult"]
+
+Row = tuple[Any, DataItem]  # (pid or None, item)
+
+#: Number of items sampled when inferring a dataset schema at runtime.
+_SCHEMA_SAMPLE = 200
+
+
+class _NodeResult:
+    """Partitions plus inferred schema of one executed node."""
+
+    __slots__ = ("partitions", "schema")
+
+    def __init__(self, partitions: list[list[Row]], schema: Schema):
+        self.partitions = partitions
+        self.schema = schema
+
+
+class ExecutionResult:
+    """The outcome of executing one plan: rows, schema, provenance, metrics."""
+
+    def __init__(
+        self,
+        root: PlanNode,
+        partitions: list[list[Row]],
+        schema: Schema,
+        store: ProvenanceStore | None,
+        metrics: ExecutionMetrics,
+    ):
+        self.root = root
+        self.partitions = partitions
+        self.schema = schema
+        #: Captured provenance, or ``None`` when capture was disabled.
+        self.store = store
+        self.metrics = metrics
+
+    def rows(self) -> list[Row]:
+        """Return all ``(pid, item)`` rows in deterministic order."""
+        return concat_partitions(self.partitions)
+
+    def items(self) -> list[DataItem]:
+        """Return the result data items (provenance ids stripped)."""
+        return [item for _, item in self.rows()]
+
+    def __len__(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    def __repr__(self) -> str:
+        captured = "captured" if self.store is not None else "plain"
+        return f"ExecutionResult({len(self)} rows, {captured})"
+
+
+class Executor:
+    """Executes one plan DAG; create a fresh instance per run."""
+
+    def __init__(self, num_partitions: int = 4, capture: bool = False, lineage_only: bool = False):
+        if num_partitions < 1:
+            raise ExecutionError(f"need at least one partition, got {num_partitions}")
+        self._num_partitions = num_partitions
+        self._capture = capture
+        #: Titian-style mode: record only id associations, no schema-level
+        #: accessed/manipulated paths (used by the baseline comparison of
+        #: Sec. 7.3.4).  Structural backtracing over such a store degrades
+        #: to plain lineage.
+        self._lineage_only = lineage_only
+        self._store: ProvenanceStore | None = ProvenanceStore() if capture else None
+        self._metrics = ExecutionMetrics()
+        self._memo: dict[int, _NodeResult] = {}
+        self._next_id = 1
+
+    # -- public entry --------------------------------------------------------
+
+    def execute(self, root: PlanNode) -> ExecutionResult:
+        """Execute the plan rooted at *root* and return its result."""
+        with Stopwatch() as watch:
+            result = self._run(root)
+        self._metrics.total_seconds = watch.elapsed
+        return ExecutionResult(root, result.partitions, result.schema, self._store, self._metrics)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _run(self, node: PlanNode) -> _NodeResult:
+        memoised = self._memo.get(node.oid)
+        if memoised is not None:
+            return memoised
+        handler = self._HANDLERS.get(type(node))
+        if handler is None:
+            raise ExecutionError(f"no handler for plan node {type(node).__name__}")
+        metrics = self._metrics.operator(node.oid, node.op_type, node.label())
+        with Stopwatch() as watch:
+            result = handler(self, node)
+        metrics.seconds += watch.elapsed
+        metrics.rows_out = sum(len(partition) for partition in result.partitions)
+        self._memo[node.oid] = result
+        return result
+
+    def _fresh_id(self) -> int:
+        assigned = self._next_id
+        self._next_id += 1
+        return assigned
+
+    def _schema_of(self, rows: Iterable[Row]) -> Schema:
+        sample = []
+        for _, item in rows:
+            sample.append(item)
+            if len(sample) >= _SCHEMA_SAMPLE:
+                break
+        if not sample:
+            return Schema(StructType())
+        return infer_schema(sample)
+
+
+    def _input_ref(self, predecessor: int, accessed, schema: Schema) -> InputRef:
+        """Build an input reference; lineage-only mode drops A and schema."""
+        if self._lineage_only:
+            return InputRef(predecessor, frozenset(), schema=schema)
+        return InputRef(predecessor, accessed, schema=schema)
+
+    def _manipulations(self, pairs):
+        """Return M for registration; lineage-only mode records nothing."""
+        if self._lineage_only:
+            return ()
+        return pairs
+
+    # -- operators --------------------------------------------------------------
+
+    def _run_read(self, node: ReadNode) -> _NodeResult:
+        items = node.loader()
+        rows: list[Row] = []
+        if self._capture:
+            associations = ReadAssociations()
+            by_id: dict[int, DataItem] = {}
+            for item in items:
+                pid = self._fresh_id()
+                associations.add(pid)
+                by_id[pid] = item
+                rows.append((pid, item))
+            assert self._store is not None
+            self._store.register(
+                OperatorProvenance(node.oid, node.op_type, (), (), associations, node.label())
+            )
+            self._store.register_source_items(node.oid, node.name, by_id)
+        else:
+            rows = [(None, item) for item in items]
+        partitions = partition_rows(rows, self._num_partitions)
+        metrics = self._metrics.operator(node.oid, node.op_type, node.label())
+        metrics.rows_in = len(rows)
+        return _NodeResult(partitions, self._schema_of(rows))
+
+    def _run_filter(self, node: FilterNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        associations = UnaryAssociations() if self._capture else None
+        partitions: list[list[Row]] = []
+        for partition in child.partitions:
+            kept: list[Row] = []
+            for pid, item in partition:
+                if node.predicate.evaluate(item):
+                    if associations is not None:
+                        out_id = self._fresh_id()
+                        associations.add(pid, out_id)
+                        kept.append((out_id, item))
+                    else:
+                        kept.append((pid, item))
+            partitions.append(kept)
+        self._register_unary(node, child, associations, manipulations=[])
+        return _NodeResult(partitions, child.schema)
+
+    def _run_select(self, node: SelectNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        associations = UnaryAssociations() if self._capture else None
+        partitions: list[list[Row]] = []
+        for partition in child.partitions:
+            projected: list[Row] = []
+            for pid, item in partition:
+                out_item = DataItem(
+                    (name, projection.evaluate(item))
+                    for name, projection in zip(node.output_names, node.projections)
+                )
+                if associations is not None:
+                    out_id = self._fresh_id()
+                    associations.add(pid, out_id)
+                    projected.append((out_id, out_item))
+                else:
+                    projected.append((pid, out_item))
+            partitions.append(projected)
+        self._register_unary(node, child, associations, manipulations=node.manipulation_pairs())
+        rows = concat_partitions(partitions)
+        return _NodeResult(partitions, self._schema_of(rows))
+
+    def _run_map(self, node: MapNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        associations = UnaryAssociations() if self._capture else None
+        partitions: list[list[Row]] = []
+        for partition in child.partitions:
+            mapped: list[Row] = []
+            for pid, item in partition:
+                try:
+                    out_value = node.fn(item)
+                except Exception as exc:
+                    raise ExecutionError(f"map {node.name!r} failed on item: {exc}") from exc
+                out_item = coerce_value(out_value)
+                if not isinstance(out_item, DataItem):
+                    raise ExecutionError(
+                        f"map {node.name!r} must return a data item, got {type(out_value).__name__}"
+                    )
+                if associations is not None:
+                    out_id = self._fresh_id()
+                    associations.add(pid, out_id)
+                    mapped.append((out_id, out_item))
+                else:
+                    mapped.append((pid, out_item))
+            partitions.append(mapped)
+        if self._capture:
+            assert self._store is not None and associations is not None
+            input_ref = self._input_ref(node.children[0].oid, UNDEFINED, child.schema)
+            manipulations = () if self._lineage_only else UNDEFINED
+            self._store.register(
+                OperatorProvenance(
+                    node.oid, node.op_type, (input_ref,), manipulations, associations, node.label()
+                )
+            )
+        rows = concat_partitions(partitions)
+        return _NodeResult(partitions, self._schema_of(rows))
+
+    def _run_flatten(self, node: FlattenNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        if child.schema.struct.has_field(node.new_name):
+            raise PlanError(f"flatten output attribute {node.new_name!r} already exists")
+        associations = FlattenAssociations() if self._capture else None
+        partitions: list[list[Row]] = []
+        for partition in child.partitions:
+            flattened: list[Row] = []
+            for pid, item in partition:
+                collection = (
+                    node.col_path.evaluate(item) if node.col_path.resolves_in(item) else None
+                )
+                if collection is None:
+                    elements: tuple[Any, ...] = ()
+                elif isinstance(collection, (Bag, NestedSet)):
+                    elements = collection.items()
+                else:
+                    raise ExecutionError(
+                        f"flatten path {node.col_path} is not a collection "
+                        f"(got {type(collection).__name__})"
+                    )
+                if not elements and node.outer:
+                    out_item = item.replace(**{node.new_name: None})
+                    if associations is not None:
+                        out_id = self._fresh_id()
+                        associations.add(pid, 0, out_id)
+                        flattened.append((out_id, out_item))
+                    else:
+                        flattened.append((pid, out_item))
+                    continue
+                for position, element in enumerate(elements, start=1):
+                    out_item = item.replace(**{node.new_name: element})
+                    if associations is not None:
+                        out_id = self._fresh_id()
+                        associations.add(pid, position, out_id)
+                        flattened.append((out_id, out_item))
+                    else:
+                        flattened.append((pid, out_item))
+            partitions.append(flattened)
+        if self._capture:
+            assert self._store is not None and associations is not None
+            input_ref = self._input_ref(
+                node.children[0].oid, node.accessed_paths(0), child.schema
+            )
+            self._store.register(
+                OperatorProvenance(
+                    node.oid,
+                    node.op_type,
+                    (input_ref,),
+                    self._manipulations(node.manipulation_pairs()),
+                    associations,
+                    node.label(),
+                )
+            )
+        rows = concat_partitions(partitions)
+        return _NodeResult(partitions, self._schema_of(rows))
+
+    def _run_union(self, node: UnionNode) -> _NodeResult:
+        left = self._run(node.children[0])
+        right = self._run(node.children[1])
+        try:
+            schema = left.schema.merged_with(right.schema)
+        except Exception as exc:
+            raise SchemaMismatchError(f"union over incompatible schemas: {exc}") from exc
+        associations = BinaryAssociations() if self._capture else None
+        partitions: list[list[Row]] = []
+        for partition in left.partitions:
+            unioned: list[Row] = []
+            for pid, item in partition:
+                if associations is not None:
+                    out_id = self._fresh_id()
+                    associations.add(pid, None, out_id)
+                    unioned.append((out_id, item))
+                else:
+                    unioned.append((pid, item))
+            partitions.append(unioned)
+        for partition in right.partitions:
+            unioned = []
+            for pid, item in partition:
+                if associations is not None:
+                    out_id = self._fresh_id()
+                    associations.add(None, pid, out_id)
+                    unioned.append((out_id, item))
+                else:
+                    unioned.append((pid, item))
+            partitions.append(unioned)
+        if self._capture:
+            assert self._store is not None and associations is not None
+            inputs = (
+                self._input_ref(node.children[0].oid, frozenset(), left.schema),
+                self._input_ref(node.children[1].oid, frozenset(), right.schema),
+            )
+            self._store.register(
+                OperatorProvenance(node.oid, node.op_type, inputs, (), associations, node.label())
+            )
+        return _NodeResult(partitions, schema)
+
+    def _run_join(self, node: JoinNode) -> _NodeResult:
+        left = self._run(node.children[0])
+        right = self._run(node.children[1])
+        clash = set(left.schema.attribute_names()) & set(right.schema.attribute_names())
+        if clash:
+            raise PlanError(
+                f"join inputs share attribute names {sorted(clash)}; rename before joining"
+            )
+        associations = BinaryAssociations() if self._capture else None
+        equi_keys = _extract_equi_keys(node.condition, left.schema, right.schema)
+        out_partitions: list[list[Row]] = [[] for _ in range(self._num_partitions)]
+
+        def emit(bucket: int, left_row: Row, right_row: Row) -> None:
+            left_pid, left_item = left_row
+            right_pid, right_item = right_row
+            out_item = left_item.merged_with(right_item)
+            if associations is not None:
+                out_id = self._fresh_id()
+                associations.add(left_pid, right_pid, out_id)
+                out_partitions[bucket].append((out_id, out_item))
+            else:
+                out_partitions[bucket].append((None, out_item))
+
+        if equi_keys is not None:
+            left_keys, right_keys = equi_keys
+            left_shuffled = hash_partition(
+                concat_partitions(left.partitions),
+                self._num_partitions,
+                lambda row: tuple(expr.evaluate(row[1]) for expr in left_keys),
+            )
+            right_shuffled = hash_partition(
+                concat_partitions(right.partitions),
+                self._num_partitions,
+                lambda row: tuple(expr.evaluate(row[1]) for expr in right_keys),
+            )
+            for bucket in range(self._num_partitions):
+                build: dict[tuple[Any, ...], list[Row]] = {}
+                for row in left_shuffled[bucket]:
+                    key = tuple(expr.evaluate(row[1]) for expr in left_keys)
+                    build.setdefault(key, []).append(row)
+                for right_row in right_shuffled[bucket]:
+                    key = tuple(expr.evaluate(right_row[1]) for expr in right_keys)
+                    for left_row in build.get(key, ()):
+                        emit(bucket, left_row, right_row)
+        else:
+            left_rows = concat_partitions(left.partitions)
+            right_rows = concat_partitions(right.partitions)
+            for index, left_row in enumerate(left_rows):
+                bucket = index % self._num_partitions
+                for right_row in right_rows:
+                    merged = left_row[1].merged_with(right_row[1])
+                    if node.condition.evaluate(merged):
+                        emit(bucket, left_row, right_row)
+        if self._capture:
+            assert self._store is not None and associations is not None
+            condition_paths = node.condition_paths()
+            left_accessed = {path for path in condition_paths if left.schema.contains(path)}
+            right_accessed = {path for path in condition_paths if right.schema.contains(path)}
+            manipulations = [
+                (Path().child(name), Path().child(name))
+                for name in left.schema.attribute_names()
+            ]
+            manipulations.extend(
+                (Path().child(name), Path().child(name))
+                for name in right.schema.attribute_names()
+            )
+            inputs = (
+                self._input_ref(node.children[0].oid, left_accessed, left.schema),
+                self._input_ref(node.children[1].oid, right_accessed, right.schema),
+            )
+            self._store.register(
+                OperatorProvenance(
+                    node.oid,
+                    node.op_type,
+                    inputs,
+                    self._manipulations(manipulations),
+                    associations,
+                    node.label(),
+                )
+            )
+        rows = concat_partitions(out_partitions)
+        return _NodeResult(out_partitions, self._schema_of(rows))
+
+    def _run_aggregate(self, node: AggregateNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        associations = AggregationAssociations() if self._capture else None
+
+        def key_of(row: Row) -> tuple[Any, ...]:
+            return tuple(key.evaluate(row[1]) for key in node.keys)
+
+        shuffled = hash_partition(
+            concat_partitions(child.partitions), self._num_partitions, key_of
+        )
+        partitions: list[list[Row]] = []
+        for bucket_rows in shuffled:
+            groups: dict[tuple[Any, ...], list[Row]] = {}
+            for row in bucket_rows:
+                groups.setdefault(key_of(row), []).append(row)
+            aggregated: list[Row] = []
+            for key_values, members in groups.items():
+                fields: list[tuple[str, Any]] = list(zip(node.key_names, key_values))
+                for aggregate in node.aggregates:
+                    values = [aggregate.column.evaluate(item) for _, item in members]
+                    fields.append((aggregate.output_name(), aggregate.apply(values)))
+                out_item = DataItem(fields)
+                if associations is not None:
+                    out_id = self._fresh_id()
+                    associations.add([pid for pid, _ in members], out_id)
+                    aggregated.append((out_id, out_item))
+                else:
+                    aggregated.append((None, out_item))
+            partitions.append(aggregated)
+        if self._capture:
+            assert self._store is not None and associations is not None
+            input_ref = self._input_ref(
+                node.children[0].oid, node.accessed_paths(0), child.schema
+            )
+            self._store.register(
+                OperatorProvenance(
+                    node.oid,
+                    node.op_type,
+                    (input_ref,),
+                    self._manipulations(node.manipulation_pairs()),
+                    associations,
+                    node.label(),
+                )
+            )
+        rows = concat_partitions(partitions)
+        return _NodeResult(partitions, self._schema_of(rows))
+
+    def _register_unary(
+        self,
+        node: PlanNode,
+        child: _NodeResult,
+        associations: UnaryAssociations | None,
+        manipulations: list[tuple[Path, Path]],
+    ) -> None:
+        if not self._capture:
+            return
+        assert self._store is not None and associations is not None
+        input_ref = self._input_ref(node.children[0].oid, node.accessed_paths(0), child.schema)
+        self._store.register(
+            OperatorProvenance(
+                node.oid,
+                node.op_type,
+                (input_ref,),
+                self._manipulations(manipulations),
+                associations,
+                node.label(),
+            )
+        )
+
+    def _run_distinct(self, node: DistinctNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        rows = concat_partitions(child.partitions)
+        groups: dict[DataItem, list[Any]] = {}
+        order: list[DataItem] = []
+        for pid, item in rows:
+            if item not in groups:
+                groups[item] = []
+                order.append(item)
+            groups[item].append(pid)
+        associations = AggregationAssociations() if self._capture else None
+        distinct_rows: list[Row] = []
+        for item in order:
+            if associations is not None:
+                out_id = self._fresh_id()
+                associations.add(groups[item], out_id)
+                distinct_rows.append((out_id, item))
+            else:
+                distinct_rows.append((None, item))
+        if self._capture:
+            assert self._store is not None and associations is not None
+            # Comparing whole items accesses every top-level attribute.
+            accessed = {Path().child(name) for name in child.schema.attribute_names()}
+            input_ref = self._input_ref(node.children[0].oid, accessed, child.schema)
+            self._store.register(
+                OperatorProvenance(
+                    node.oid, node.op_type, (input_ref,), (), associations, node.label()
+                )
+            )
+        return _NodeResult(partition_rows(distinct_rows, self._num_partitions), child.schema)
+
+    def _run_sort(self, node: SortNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        rows = concat_partitions(child.partitions)
+
+        def sort_key(row: Row) -> tuple:
+            # None sorts first; mixed types are kept apart by type name.
+            values = []
+            for key in node.keys:
+                value = key.evaluate(row[1])
+                values.append((value is not None, type(value).__name__, value))
+            return tuple(values)
+
+        ordered = sorted(rows, key=sort_key, reverse=node.descending)
+        associations = UnaryAssociations() if self._capture else None
+        out_rows: list[Row] = []
+        for pid, item in ordered:
+            if associations is not None:
+                out_id = self._fresh_id()
+                associations.add(pid, out_id)
+                out_rows.append((out_id, item))
+            else:
+                out_rows.append((pid, item))
+        self._register_unary(node, child, associations, manipulations=[])
+        return _NodeResult(partition_rows(out_rows, self._num_partitions), child.schema)
+
+    def _run_limit(self, node: LimitNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        rows = concat_partitions(child.partitions)[: node.n]
+        associations = UnaryAssociations() if self._capture else None
+        out_rows: list[Row] = []
+        for pid, item in rows:
+            if associations is not None:
+                out_id = self._fresh_id()
+                associations.add(pid, out_id)
+                out_rows.append((out_id, item))
+            else:
+                out_rows.append((pid, item))
+        self._register_unary(node, child, associations, manipulations=[])
+        return _NodeResult(partition_rows(out_rows, self._num_partitions), child.schema)
+
+    def _run_with_column(self, node: WithColumnNode) -> _NodeResult:
+        child = self._run(node.children[0])
+        associations = UnaryAssociations() if self._capture else None
+        partitions: list[list[Row]] = []
+        for partition in child.partitions:
+            extended: list[Row] = []
+            for pid, item in partition:
+                out_item = item.replace(**{node.name: node.expression.evaluate(item)})
+                if associations is not None:
+                    out_id = self._fresh_id()
+                    associations.add(pid, out_id)
+                    extended.append((out_id, out_item))
+                else:
+                    extended.append((pid, out_item))
+            partitions.append(extended)
+        self._register_unary(node, child, associations, manipulations=node.manipulation_pairs())
+        rows = concat_partitions(partitions)
+        return _NodeResult(partitions, self._schema_of(rows))
+
+
+    _HANDLERS: dict[type, Callable[["Executor", Any], _NodeResult]] = {}
+
+
+Executor._HANDLERS = {
+    ReadNode: Executor._run_read,
+    FilterNode: Executor._run_filter,
+    SelectNode: Executor._run_select,
+    MapNode: Executor._run_map,
+    FlattenNode: Executor._run_flatten,
+    UnionNode: Executor._run_union,
+    JoinNode: Executor._run_join,
+    AggregateNode: Executor._run_aggregate,
+    DistinctNode: Executor._run_distinct,
+    SortNode: Executor._run_sort,
+    LimitNode: Executor._run_limit,
+    WithColumnNode: Executor._run_with_column,
+}
+
+
+def _extract_equi_keys(
+    condition: Expression, left_schema: Schema, right_schema: Schema
+) -> tuple[list[Expression], list[Expression]] | None:
+    """Extract hash-join keys from a conjunction of column equalities.
+
+    Returns ``(left_keys, right_keys)`` if the whole condition is a
+    conjunction of ``col == col`` terms whose sides resolve unambiguously to
+    the two inputs; otherwise ``None`` (the join falls back to a nested-loop
+    evaluation of the condition on the merged item).
+    """
+    conjuncts: list[Expression] = []
+
+    def split(expr: Expression) -> bool:
+        if isinstance(expr, BinaryExpr) and expr.name == "and":
+            return split(expr.left) and split(expr.right)
+        conjuncts.append(expr)
+        return True
+
+    split(condition)
+    left_keys: list[Expression] = []
+    right_keys: list[Expression] = []
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, BinaryExpr) and conjunct.name == "=="):
+            return None
+        sides = [conjunct.left, conjunct.right]
+        if not all(isinstance(side, ColumnExpr) for side in sides):
+            return None
+        first, second = sides
+        assert isinstance(first, ColumnExpr) and isinstance(second, ColumnExpr)
+        first_left = left_schema.contains(first.path.schematic())
+        first_right = right_schema.contains(first.path.schematic())
+        second_left = left_schema.contains(second.path.schematic())
+        second_right = right_schema.contains(second.path.schematic())
+        if first_left and second_right and not (first_right or second_left):
+            left_keys.append(first)
+            right_keys.append(second)
+        elif first_right and second_left and not (first_left or second_right):
+            left_keys.append(second)
+            right_keys.append(first)
+        else:
+            return None
+    return (left_keys, right_keys) if left_keys else None

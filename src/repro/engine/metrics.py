@@ -1,0 +1,80 @@
+"""Execution instrumentation: per-operator and per-pipeline metrics.
+
+The evaluation (Sec. 7.3.1 / 7.3.2) reports wall-clock runtime with and
+without capture plus the size of the collected provenance.  The executor
+fills one :class:`OperatorMetrics` per operator and aggregates them into an
+:class:`ExecutionMetrics` for the run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+__all__ = ["OperatorMetrics", "ExecutionMetrics", "Stopwatch"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+
+
+class OperatorMetrics:
+    """Runtime and cardinality counters of one executed operator."""
+
+    __slots__ = ("oid", "op_type", "label", "rows_in", "rows_out", "seconds", "capture_seconds")
+
+    def __init__(self, oid: int, op_type: str, label: str):
+        self.oid = oid
+        self.op_type = op_type
+        self.label = label
+        self.rows_in = 0
+        self.rows_out = 0
+        self.seconds = 0.0
+        #: Share of ``seconds`` spent assembling provenance records.
+        self.capture_seconds = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorMetrics({self.label!r}: {self.rows_in} -> {self.rows_out} rows, "
+            f"{self.seconds * 1000:.2f} ms)"
+        )
+
+
+class ExecutionMetrics:
+    """Aggregated metrics of one pipeline execution."""
+
+    def __init__(self) -> None:
+        self._operators: dict[int, OperatorMetrics] = {}
+        self.total_seconds = 0.0
+
+    def operator(self, oid: int, op_type: str, label: str) -> OperatorMetrics:
+        """Return (creating if needed) the metrics slot for operator *oid*."""
+        metrics = self._operators.get(oid)
+        if metrics is None:
+            metrics = OperatorMetrics(oid, op_type, label)
+            self._operators[oid] = metrics
+        return metrics
+
+    def operators(self) -> Iterator[OperatorMetrics]:
+        return iter(self._operators.values())
+
+    def by_type(self) -> dict[str, float]:
+        """Sum operator seconds per operator type (per-operator overhead study)."""
+        summed: dict[str, float] = {}
+        for metrics in self._operators.values():
+            summed[metrics.op_type] = summed.get(metrics.op_type, 0.0) + metrics.seconds
+        return summed
+
+    def __repr__(self) -> str:
+        return f"ExecutionMetrics({len(self._operators)} operators, {self.total_seconds:.3f} s)"

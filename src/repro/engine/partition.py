@@ -1,0 +1,58 @@
+"""Partitioning utilities for the simulated distributed execution.
+
+The engine processes every dataset as a list of partitions, mirroring how a
+DISC system distributes bags across workers.  Narrow operators (filter,
+select, map, flatten) run partition-by-partition; joins and aggregations
+repartition their inputs by a hash of the key, simulating a shuffle.  This
+keeps the provenance capture and the tree-pattern matcher exercising the
+same per-partition code paths as a distributed deployment, which is what the
+paper's scalability argument rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+Row = TypeVar("Row")
+
+__all__ = ["partition_rows", "hash_partition", "concat_partitions"]
+
+
+def partition_rows(rows: Sequence[Row], num_partitions: int) -> list[list[Row]]:
+    """Split *rows* into ``num_partitions`` contiguous chunks.
+
+    Contiguous (range) partitioning keeps the input order reconstructable by
+    concatenation, which makes executions deterministic and therefore
+    testable; DISC systems give the same guarantee for file splits.
+    """
+    if num_partitions < 1:
+        raise ValueError(f"need at least one partition, got {num_partitions}")
+    total = len(rows)
+    base, remainder = divmod(total, num_partitions)
+    partitions: list[list[Row]] = []
+    start = 0
+    for index in range(num_partitions):
+        size = base + (1 if index < remainder else 0)
+        partitions.append(list(rows[start:start + size]))
+        start += size
+    return partitions
+
+
+def hash_partition(
+    rows: Iterable[Row],
+    num_partitions: int,
+    key_of: Callable[[Row], Any],
+) -> list[list[Row]]:
+    """Repartition *rows* by ``hash(key) % num_partitions`` (a shuffle)."""
+    partitions: list[list[Row]] = [[] for _ in range(num_partitions)]
+    for row in rows:
+        partitions[hash(key_of(row)) % num_partitions].append(row)
+    return partitions
+
+
+def concat_partitions(partitions: Iterable[Iterable[Row]]) -> list[Row]:
+    """Concatenate partitions back into one list (a collect)."""
+    collected: list[Row] = []
+    for partition in partitions:
+        collected.extend(partition)
+    return collected

@@ -1,0 +1,66 @@
+"""Dataset sources backing the engine's read operator.
+
+A source provides a name (for provenance reports) and a loader producing the
+data items.  In-memory sources serve tests and examples; JSONL sources mirror
+the paper's ``read tweets.json`` and re-read the file on every execution,
+exactly like a DISC system re-scans its input (which matters for the lazy
+provenance baseline that re-runs pipelines).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path as FsPath
+from typing import Callable, Iterable
+
+from repro.nested.json_io import read_jsonl
+from repro.nested.values import DataItem, coerce_value
+from repro.errors import DataModelError
+
+__all__ = ["Source", "InMemorySource", "JsonlSource"]
+
+
+class Source:
+    """A named provider of nested data items."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def load(self) -> list[DataItem]:
+        raise NotImplementedError
+
+    def loader(self) -> Callable[[], list[DataItem]]:
+        """Return a zero-argument loader for the read plan node."""
+        return self.load
+
+
+class InMemorySource(Source):
+    """Serves a fixed list of items (dicts are coerced on construction)."""
+
+    def __init__(self, name: str, items: Iterable[object]):
+        super().__init__(name)
+        coerced: list[DataItem] = []
+        for item in items:
+            value = coerce_value(item)
+            if not isinstance(value, DataItem):
+                raise DataModelError(
+                    f"dataset items must be data items, got {type(item).__name__}"
+                )
+            coerced.append(value)
+        self._items = coerced
+
+    def load(self) -> list[DataItem]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class JsonlSource(Source):
+    """Reads items from a JSON-lines file on every load."""
+
+    def __init__(self, path: FsPath | str, name: str | None = None):
+        self.path = FsPath(path)
+        super().__init__(name or self.path.name)
+
+    def load(self) -> list[DataItem]:
+        return read_jsonl(self.path)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Pebble reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DataModelError(ReproError):
+    """A value does not conform to the nested data model (Sec. 4.1)."""
+
+
+class TypeInferenceError(DataModelError):
+    """Type inference or unification failed, e.g. a heterogeneous bag."""
+
+
+class PathError(ReproError):
+    """An access path is syntactically invalid or cannot be evaluated."""
+
+
+class PathSyntaxError(PathError):
+    """An access path string could not be parsed."""
+
+
+class PathEvaluationError(PathError):
+    """An access path does not resolve against a given data item."""
+
+
+class ExpressionError(ReproError):
+    """A column expression is invalid or cannot be evaluated."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed (unknown attribute, schema mismatch, ...)."""
+
+
+class SchemaMismatchError(PlanError):
+    """Two datasets have incompatible schemas (e.g. for a union)."""
+
+
+class ExecutionError(ReproError):
+    """An operator failed while processing data."""
+
+
+class ProvenanceError(ReproError):
+    """Provenance capture or storage failed."""
+
+
+class CaptureDisabledError(ProvenanceError):
+    """A provenance query was issued but capture was not enabled."""
+
+
+class BacktraceError(ProvenanceError):
+    """Backtracing could not complete (missing operator provenance, ...)."""
+
+
+class TreePatternError(ReproError):
+    """A tree pattern is invalid."""
+
+
+class TreePatternSyntaxError(TreePatternError):
+    """A tree-pattern string could not be parsed."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator or scenario was configured incorrectly."""

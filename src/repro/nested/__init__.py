@@ -1,0 +1,40 @@
+"""Nested data model substrate (paper Sec. 4.1)."""
+
+from repro.nested.values import Bag, DataItem, NestedSet, coerce_value, to_python
+from repro.nested.types import (
+    BagType,
+    BOOLEAN,
+    DataType,
+    DOUBLE,
+    INT,
+    NULL,
+    PrimitiveType,
+    SetType,
+    STRING,
+    StructType,
+    infer_type,
+    unify,
+)
+from repro.nested.schema import Schema, infer_schema
+
+__all__ = [
+    "Bag",
+    "DataItem",
+    "NestedSet",
+    "coerce_value",
+    "to_python",
+    "BagType",
+    "BOOLEAN",
+    "DataType",
+    "DOUBLE",
+    "INT",
+    "NULL",
+    "PrimitiveType",
+    "SetType",
+    "STRING",
+    "StructType",
+    "infer_type",
+    "unify",
+    "Schema",
+    "infer_schema",
+]

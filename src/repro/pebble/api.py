@@ -1,0 +1,113 @@
+"""PebbleSession: the user-facing API wrapper (paper Sec. 7.1, Fig. 5).
+
+Pebble wraps the engine's session so that user programs look exactly like
+plain engine programs; the wrapper routes execution either to the plain
+engine (capture off) or to the capture-enabled executor, and exposes
+provenance querying on the captured execution -- the "integrated" user
+experience the paper contrasts with offloading provenance to external
+tools.
+
+>>> pebble = PebbleSession()
+>>> tweets = pebble.create_dataset([...], "tweets.json")      # doctest: +SKIP
+>>> result = tweets.filter(...).select(...)                   # doctest: +SKIP
+>>> captured = pebble.run(result)                             # doctest: +SKIP
+>>> provenance = captured.backtrace('root{//id_str="lp"}')    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from pathlib import Path as FsPath
+from typing import Iterable
+
+from repro.core.backtrace.result import ProvenanceResult
+from repro.core.store import ProvenanceSizeReport
+from repro.core.treepattern.matcher import PatternMatch, match_partitions
+from repro.core.treepattern.pattern import TreePattern
+from repro.engine.dataset import Dataset
+from repro.engine.executor import ExecutionResult
+from repro.engine.session import Session
+from repro.errors import CaptureDisabledError
+from repro.nested.values import DataItem
+from repro.pebble.query import as_pattern, query_provenance
+
+__all__ = ["PebbleSession", "CapturedExecution"]
+
+
+class CapturedExecution:
+    """A pipeline execution with eagerly captured structural provenance."""
+
+    def __init__(self, execution: ExecutionResult):
+        if execution.store is None:
+            raise CaptureDisabledError("CapturedExecution needs a capture-enabled run")
+        self._execution = execution
+
+    @property
+    def execution(self) -> ExecutionResult:
+        return self._execution
+
+    def items(self) -> list[DataItem]:
+        """The pipeline's result items."""
+        return self._execution.items()
+
+    def rows(self) -> list[tuple[int, DataItem]]:
+        """The result items with their provenance identifiers."""
+        return self._execution.rows()
+
+    def match(self, pattern: TreePattern | str) -> list[PatternMatch]:
+        """Run only the tree-pattern matching phase over the result."""
+        return match_partitions(as_pattern(pattern), self._execution.partitions)
+
+    def backtrace(self, pattern: TreePattern | str) -> ProvenanceResult:
+        """Answer a structural provenance question (match + backtrace)."""
+        return query_provenance(self._execution, pattern)
+
+    def size_report(self) -> ProvenanceSizeReport:
+        """Space taken by the captured provenance (Fig. 8 accounting)."""
+        assert self._execution.store is not None
+        return self._execution.store.size_report()
+
+    def save(self, path: FsPath | str) -> None:
+        """Persist the annotated result and provenance to a JSON file."""
+        from repro.pebble.persistence import save_execution
+
+        save_execution(self._execution, path)
+
+    @classmethod
+    def load(cls, path: FsPath | str, num_partitions: int = 4) -> "CapturedExecution":
+        """Restore a persisted capture; supports querying, not re-running."""
+        from repro.pebble.persistence import load_execution
+
+        return cls(load_execution(path, num_partitions))
+
+    def __repr__(self) -> str:
+        return f"CapturedExecution({len(self._execution)} result items)"
+
+
+class PebbleSession:
+    """Transparent wrapper over the engine session (the PebbleAPI of Fig. 5)."""
+
+    def __init__(self, num_partitions: int = 4):
+        self.session = Session(num_partitions=num_partitions)
+
+    # -- dataset creation (routed to the engine) ------------------------------
+
+    def create_dataset(self, items: Iterable[object], name: str = "inline") -> Dataset:
+        """Create a dataset from in-memory items."""
+        return self.session.create_dataset(items, name)
+
+    def read_jsonl(self, path: FsPath | str, name: str | None = None) -> Dataset:
+        """Create a dataset reading a JSON-lines file."""
+        return self.session.read_jsonl(path, name)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, dataset: Dataset) -> CapturedExecution:
+        """Execute with provenance capture (the Pebble Core path)."""
+        return CapturedExecution(dataset.execute(capture=True))
+
+    def run_plain(self, dataset: Dataset) -> ExecutionResult:
+        """Execute without capture (the plain SparkSQL path)."""
+        return dataset.execute(capture=False)
+
+    def __repr__(self) -> str:
+        return f"PebbleSession({self.session!r})"

@@ -1,0 +1,220 @@
+"""Persisting captured provenance for later querying.
+
+Eager capture is only useful if the collected pebbles outlive the pipeline
+run: auditing and data-usage analyses happen days after execution.  This
+module saves a captured execution -- the provenance-annotated result rows
+plus the full provenance store -- to a single JSON file and restores it into
+a queryable :class:`~repro.pebble.api.CapturedExecution`-equivalent object.
+
+The format is deliberately plain JSON: one document with the result rows,
+the per-operator provenance (id associations, accessed/manipulated paths,
+input schemas), and the source items, so external tools can read it too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FsPath
+from typing import Any
+
+from repro.core.operator_provenance import (
+    AggregationAssociations,
+    Associations,
+    BinaryAssociations,
+    FlattenAssociations,
+    InputRef,
+    OperatorProvenance,
+    ReadAssociations,
+    UNDEFINED,
+    UnaryAssociations,
+)
+from repro.core.paths import parse_path
+from repro.core.store import ProvenanceStore
+from repro.engine.executor import ExecutionResult
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.plan import PlanNode
+from repro.errors import ProvenanceError
+from repro.nested.json_io import _jsonable  # shared encoder for model values
+from repro.nested.schema import Schema
+from repro.nested.types import type_from_obj, type_to_obj
+from repro.nested.values import DataItem
+
+__all__ = ["save_execution", "load_execution"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_associations(associations: Associations) -> dict[str, Any]:
+    if isinstance(associations, ReadAssociations):
+        return {"kind": "read", "ids": list(associations.ids)}
+    if isinstance(associations, UnaryAssociations):
+        return {"kind": "unary", "records": [list(record) for record in associations.records]}
+    if isinstance(associations, FlattenAssociations):
+        return {"kind": "flatten", "records": [list(record) for record in associations.records]}
+    if isinstance(associations, BinaryAssociations):
+        return {"kind": "binary", "records": [list(record) for record in associations.records]}
+    if isinstance(associations, AggregationAssociations):
+        return {
+            "kind": "aggregation",
+            "records": [[list(ids_in), id_out] for ids_in, id_out in associations.records],
+        }
+    raise ProvenanceError(f"cannot encode associations {type(associations).__name__}")
+
+
+def _decode_associations(obj: dict[str, Any]) -> Associations:
+    kind = obj["kind"]
+    if kind == "read":
+        return ReadAssociations(obj["ids"])
+    if kind == "unary":
+        return UnaryAssociations([tuple(record) for record in obj["records"]])
+    if kind == "flatten":
+        return FlattenAssociations([tuple(record) for record in obj["records"]])
+    if kind == "binary":
+        return BinaryAssociations([tuple(record) for record in obj["records"]])
+    if kind == "aggregation":
+        return AggregationAssociations(
+            [(tuple(ids_in), id_out) for ids_in, id_out in obj["records"]]
+        )
+    raise ProvenanceError(f"unknown association kind {kind!r}")
+
+
+def _encode_operator(provenance: OperatorProvenance) -> dict[str, Any]:
+    inputs = []
+    for input_ref in provenance.inputs:
+        inputs.append(
+            {
+                "predecessor": input_ref.predecessor,
+                "accessed": (
+                    None
+                    if input_ref.accessed is UNDEFINED
+                    else sorted(str(path) for path in input_ref.accessed)
+                ),
+                "schema": (
+                    None if input_ref.schema is None else type_to_obj(input_ref.schema.struct)
+                ),
+            }
+        )
+    return {
+        "oid": provenance.oid,
+        "type": provenance.op_type,
+        "label": provenance.label,
+        "inputs": inputs,
+        "manipulations": (
+            None
+            if provenance.manipulations_undefined()
+            else [
+                [str(path_in), str(path_out)]
+                for path_in, path_out in provenance.manipulations_or_empty()
+            ]
+        ),
+        "associations": _encode_associations(provenance.associations),
+    }
+
+
+def _decode_operator(obj: dict[str, Any]) -> OperatorProvenance:
+    inputs = []
+    for entry in obj["inputs"]:
+        accessed = (
+            UNDEFINED
+            if entry["accessed"] is None
+            else [parse_path(text) for text in entry["accessed"]]
+        )
+        schema = (
+            None if entry["schema"] is None else Schema(type_from_obj(entry["schema"]))
+        )
+        inputs.append(InputRef(entry["predecessor"], accessed, schema=schema))
+    manipulations = (
+        UNDEFINED
+        if obj["manipulations"] is None
+        else [
+            (parse_path(path_in), parse_path(path_out))
+            for path_in, path_out in obj["manipulations"]
+        ]
+    )
+    return OperatorProvenance(
+        obj["oid"],
+        obj["type"],
+        inputs,
+        manipulations,
+        _decode_associations(obj["associations"]),
+        obj["label"],
+    )
+
+
+class _RestoredPlanNode(PlanNode):
+    """Placeholder root carrying only the sink's operator id."""
+
+    op_type = "restored"
+
+    def __init__(self, oid: int):
+        super().__init__(oid, ())
+
+
+def save_execution(execution: ExecutionResult, path: FsPath | str) -> None:
+    """Persist a capture-enabled execution (rows + provenance) to JSON."""
+    if execution.store is None:
+        raise ProvenanceError("only capture-enabled executions can be persisted")
+    store = execution.store
+    sources = []
+    for provenance in store.operators():
+        if not isinstance(provenance.associations, ReadAssociations):
+            continue
+        sources.append(
+            {
+                "oid": provenance.oid,
+                "name": store.source_name(provenance.oid),
+                "items": [
+                    [item_id, _jsonable(item)]
+                    for item_id, item in sorted(store.source_items(provenance.oid).items())
+                ],
+            }
+        )
+    document = {
+        "format": _FORMAT_VERSION,
+        "sink": execution.root.oid,
+        "rows": [[pid, _jsonable(item)] for pid, item in execution.rows()],
+        "operators": [_encode_operator(provenance) for provenance in store.operators()],
+        "sources": sources,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_execution(path: FsPath | str, num_partitions: int = 4) -> ExecutionResult:
+    """Restore a persisted execution into a queryable object.
+
+    The result supports everything provenance querying needs: tree-pattern
+    matching over its partitions and backtracing over its store.  The plan
+    itself is not restored (only the sink id), so the execution cannot be
+    re-run -- that is what the original program is for.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT_VERSION:
+        raise ProvenanceError(f"unsupported provenance file format: {document.get('format')!r}")
+    store = ProvenanceStore()
+    for entry in document["operators"]:
+        store.register(_decode_operator(entry))
+    for source in document["sources"]:
+        store.register_source_items(
+            source["oid"],
+            source["name"],
+            {item_id: DataItem(raw) for item_id, raw in source["items"]},
+        )
+    rows = [(pid, DataItem(raw)) for pid, raw in document["rows"]]
+    from repro.engine.partition import partition_rows
+    from repro.nested.schema import infer_schema
+    from repro.nested.types import StructType
+
+    schema = (
+        infer_schema(item for _, item in rows[:200])
+        if rows
+        else Schema(StructType())
+    )
+    return ExecutionResult(
+        _RestoredPlanNode(document["sink"]),
+        partition_rows(rows, num_partitions),
+        schema,
+        store,
+        ExecutionMetrics(),
+    )

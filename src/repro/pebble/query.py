@@ -1,0 +1,51 @@
+"""Provenance query processing: tree-pattern match + backtrace (Sec. 6).
+
+One function, :func:`query_provenance`, covers the two phases of the paper's
+provenance querying: the distributed tree-pattern matching over the
+pipeline's (provenance-annotated) result, and the backtracing of the matched
+items through the captured operator provenance to every input dataset.
+"""
+
+from __future__ import annotations
+
+from repro.core.backtrace.algorithms import Backtracer
+from repro.core.backtrace.result import ProvenanceResult
+from repro.core.treepattern.matcher import match_partitions, seed_structure
+from repro.core.treepattern.parser import parse_pattern
+from repro.core.treepattern.pattern import TreePattern
+from repro.engine.executor import ExecutionResult
+from repro.errors import CaptureDisabledError
+
+__all__ = ["query_provenance", "as_pattern"]
+
+
+def as_pattern(pattern: TreePattern | str) -> TreePattern:
+    """Coerce a pattern argument: text is parsed, patterns pass through."""
+    if isinstance(pattern, TreePattern):
+        return pattern
+    return parse_pattern(pattern)
+
+
+def query_provenance(
+    execution: ExecutionResult, pattern: TreePattern | str
+) -> ProvenanceResult:
+    """Answer a structural provenance question over a captured execution.
+
+    Phase 1 matches the tree pattern against the execution's result
+    partitions, identifying the queried items and seeding the backtracing
+    structure with their matched paths (contributing nodes).  Phase 2 runs
+    the backtracing algorithm over the captured operator provenance down to
+    every read operator and resolves the surviving input identifiers to the
+    actual input items.
+    """
+    if execution.store is None:
+        raise CaptureDisabledError(
+            "provenance was not captured for this execution; re-run with capture=True"
+        )
+    tree_pattern = as_pattern(pattern)
+    matches = match_partitions(tree_pattern, execution.partitions)
+    seeds = seed_structure(matches)
+    backtracer = Backtracer(execution.store)
+    raw = backtracer.backtrace(execution.root.oid, seeds)
+    matched_ids = sorted(match.item_id for match in matches if match.item_id is not None)
+    return ProvenanceResult.resolve(execution.store, raw, matched_ids)

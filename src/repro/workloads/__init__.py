@@ -1,0 +1,31 @@
+"""Workload generators and evaluation scenarios (paper Sec. 7.2)."""
+
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.workloads.scenarios import (
+    DBLP_SCENARIOS,
+    RUNNING_EXAMPLE_PATTERN,
+    RUNNING_EXAMPLE_TWEETS,
+    SCENARIOS,
+    TWITTER_SCENARIOS,
+    Scenario,
+    build_running_example,
+    load_workload,
+    scenario,
+)
+from repro.workloads.twitter import TwitterConfig, generate_tweets
+
+__all__ = [
+    "DblpConfig",
+    "generate_dblp",
+    "DBLP_SCENARIOS",
+    "RUNNING_EXAMPLE_PATTERN",
+    "RUNNING_EXAMPLE_TWEETS",
+    "SCENARIOS",
+    "TWITTER_SCENARIOS",
+    "Scenario",
+    "build_running_example",
+    "load_workload",
+    "scenario",
+    "TwitterConfig",
+    "generate_tweets",
+]

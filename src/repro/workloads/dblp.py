@@ -1,0 +1,185 @@
+"""Synthetic DBLP-like corpus (paper Sec. 7.2).
+
+The paper's DBLP dataset holds up to 1.5 billion records of ten types,
+split by type and upscaled such that characteristics like the average
+number of inproceedings per proceeding are preserved.  This generator
+produces four record collections at laptop scale with the same structural
+characteristics the D scenarios depend on:
+
+* ``proceedings`` -- conference volumes (keys like ``conf/pebble/2015``),
+* ``inproceedings`` -- papers referencing a proceeding via ``crossref`` and
+  carrying a nested ``authors`` list,
+* ``articles`` -- journal papers,
+* ``persons`` -- author records with nested ``aliases``.
+
+Compared to the Twitter corpus, records are narrow (< 20 attributes) and
+numerous -- the property behind the paper's observation that DBLP
+provenance is orders of magnitude larger than Twitter provenance for the
+same input bytes (Sec. 7.3.2).
+
+Sentinels guaranteed at every scale: proceeding ``conf/pebble/2015``
+(year 2015), inproceedings ``conf/pebble/2015/1`` titled
+"Structural Provenance for Nested Data" authored by ``Ralf Diestel``, and a
+person record for ``Ralf Diestel`` with alias ``R. Diestel``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.errors import WorkloadError
+
+__all__ = ["DblpConfig", "generate_dblp"]
+
+_TITLE_WORDS = (
+    "structural provenance nested data scalable tracing big analytics "
+    "lineage workload pattern partitioning query optimization distributed "
+    "capture backtracing annotation schema path operator"
+).split()
+
+_VENUES = ("pebble", "edbt", "vldb", "sigmod", "icde", "cidr")
+_JOURNALS = ("VLDBJ", "TODS", "SIGMOD Record", "PVLDB")
+_FIRST = ("Ralf", "Melanie", "Ada", "Grace", "Alan", "Barbara", "Leslie", "Tim")
+_LAST = ("Diestel", "Herschel", "Lovelace", "Hopper", "Turing", "Liskov", "Lamport", "Berners")
+
+
+class DblpConfig:
+    """Configuration of the synthetic DBLP corpus."""
+
+    #: Inproceedings per unit of scale (scale=1 stands in for 100 GB).
+    #: A DBLP record is roughly 50x smaller than a payload-bearing tweet, so
+    #: byte-parity with the Twitter corpus means several times more items --
+    #: the property behind Fig. 8's "DBLP provenance is orders of magnitude
+    #: larger" observation.
+    BASE_INPROCEEDINGS = 2400
+    #: Average inproceedings per proceeding, preserved across scales.
+    PAPERS_PER_PROCEEDING = 25
+
+    def __init__(self, scale: float = 1.0, seed: int = 11):
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.seed = seed
+        self.inproceedings_count = max(2, int(round(self.BASE_INPROCEEDINGS * scale)))
+        self.proceedings_count = max(2, self.inproceedings_count // self.PAPERS_PER_PROCEEDING)
+        self.articles_count = max(1, self.inproceedings_count // 2)
+        self.persons_count = max(4, self.inproceedings_count // 20)
+
+
+def _author_pool(rng: random.Random, count: int) -> list[str]:
+    pool = ["Ralf Diestel"]
+    for index in range(1, count):
+        pool.append(f"{rng.choice(_FIRST)} {rng.choice(_LAST)} {index:03d}")
+    return pool
+
+
+def _title(rng: random.Random) -> str:
+    words = [rng.choice(_TITLE_WORDS) for _ in range(rng.randrange(3, 8))]
+    return " ".join(words).title()
+
+
+def generate_dblp(config: DblpConfig | None = None, **kwargs: Any) -> dict[str, list[dict[str, Any]]]:
+    """Generate the DBLP-like corpus as four record collections."""
+    if config is None:
+        config = DblpConfig(**kwargs)
+    elif kwargs:
+        raise WorkloadError("pass either a DblpConfig or keyword arguments, not both")
+    rng = random.Random(config.seed)
+    authors = _author_pool(rng, config.persons_count)
+
+    proceedings = [
+        {
+            "key": "conf/pebble/2015",
+            "title": "Pebble Conference 2015",
+            "year": 2015,
+            "publisher": "OpenProceedings",
+            "editors": ["Melanie Herschel"],
+        }
+    ]
+    for index in range(1, config.proceedings_count):
+        venue = rng.choice(_VENUES)
+        year = rng.randrange(2010, 2021)
+        proceedings.append(
+            {
+                "key": f"conf/{venue}/{year}-{index}",
+                "title": f"{venue.upper()} {year} Volume {index}",
+                "year": year,
+                "publisher": rng.choice(("OpenProceedings", "ACM", "IEEE")),
+                "editors": rng.sample(authors, k=min(2, len(authors))),
+            }
+        )
+
+    inproceedings = [
+        {
+            "key": "conf/pebble/2015/1",
+            "title": "Structural Provenance for Nested Data",
+            "authors": ["Ralf Diestel", authors[1 % len(authors)]],
+            "year": 2015,
+            "crossref": "conf/pebble/2015",
+            "pages": "1-12",
+        }
+    ]
+    for index in range(1, config.inproceedings_count):
+        volume = rng.choice(proceedings)
+        author_count = rng.randrange(1, 5)
+        inproceedings.append(
+            {
+                "key": f"{volume['key']}/{index + 1}",
+                "title": _title(rng),
+                "authors": rng.sample(authors, k=min(author_count, len(authors))),
+                "year": volume["year"],
+                "crossref": volume["key"],
+                "pages": f"{index}-{index + 11}",
+            }
+        )
+
+    articles = [
+        {
+            "key": "journals/vldbj/Sentinel2015",
+            "title": "A Survey On Provenance",
+            "authors": ["Melanie Herschel", "Ralf Diestel"],
+            "journal": "VLDBJ",
+            "year": 2015,
+            "volume": 26,
+        }
+    ]
+    for index in range(1, config.articles_count):
+        articles.append(
+            {
+                "key": f"journals/{rng.choice(_JOURNALS).split()[0].lower()}/A{index}",
+                "title": _title(rng),
+                "authors": rng.sample(authors, k=min(rng.randrange(1, 4), len(authors))),
+                "journal": rng.choice(_JOURNALS),
+                "year": rng.randrange(2005, 2021),
+                "volume": rng.randrange(1, 40),
+            }
+        )
+
+    persons = [
+        {
+            "name": "Ralf Diestel",
+            "aliases": ["R. Diestel", "Ralf D."],
+            "affiliation": "University of Stuttgart",
+        }
+    ]
+    for name in authors[1:]:
+        alias_count = rng.randrange(0, 3)
+        parts = name.split()
+        aliases = [f"{parts[0][0]}. {' '.join(parts[1:])}"][:alias_count] + [
+            f"{parts[0]} {parts[1][0]}." for _ in range(max(0, alias_count - 1))
+        ]
+        persons.append(
+            {
+                "name": name,
+                "aliases": aliases,
+                "affiliation": rng.choice(("U Stuttgart", "MIT", "ETH", "KAIST", "Inria")),
+            }
+        )
+
+    return {
+        "proceedings": proceedings,
+        "inproceedings": inproceedings,
+        "articles": articles,
+        "persons": persons,
+    }

@@ -1,0 +1,245 @@
+"""Synthetic nested Twitter corpus (paper Sec. 7.2).
+
+The paper evaluates on 100-500 GB of real tweets: up to 130 million items
+with up to ~1000 attributes and eight layers of nesting.  This generator
+produces a deterministic, structurally equivalent corpus at laptop scale:
+
+* nested ``user`` structs with a location sub-struct (depth),
+* ``user_mentions`` / ``hashtags`` / ``media`` nested lists (the attributes
+  the scenarios flatten),
+* a ``payload`` subtree of configurable width that stands in for the real
+  corpus' ~1000 rarely used attributes (it drives the "wide data lowers the
+  relative capture overhead" effect of Sec. 7.3.1), nested four levels deep
+  so the deepest leaf sits at nesting level eight,
+* sentinel values (user ``u1`` alias Lisa Paul, hashtag ``pebble``, the
+  words ``good`` and ``BTS``) guaranteed to exist at every scale so the
+  scenario queries always have matches.
+
+Scale factors mirror the paper's 100 GB steps: ``scale=1`` corresponds to
+the base size, ``scale=5`` to five times as many tweets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.errors import WorkloadError
+
+__all__ = ["TwitterConfig", "generate_tweets", "user_pool"]
+
+#: Words used to build tweet texts; includes the scenario trigger words.
+_WORDS = (
+    "the data pipeline runs fast and the nested lists keep growing while "
+    "analytics engines trace provenance across operators with paths and ids "
+    "every flatten select join union grouping aggregation counts"
+).split()
+
+_FIRST_NAMES = (
+    "Lisa", "Lauren", "John", "Ralf", "Melanie", "Ada", "Grace", "Alan",
+    "Edsger", "Barbara", "Tim", "Leslie", "Donald", "Frances", "Margaret",
+)
+_LAST_NAMES = (
+    "Paul", "Smith", "Miller", "Diestel", "Herschel", "Lovelace", "Hopper",
+    "Turing", "Dijkstra", "Liskov", "Berners", "Lamport", "Knuth", "Allen",
+)
+_CITIES = ("Stuttgart", "Berlin", "Seoul", "Boston", "Lyon", "Kyoto")
+_COUNTRIES = ("DE", "KR", "US", "FR", "JP")
+_LANGS = ("en", "de", "ko", "fr", "ja")
+_MEDIA_TYPES = ("photo", "video", "animated_gif")
+_HASHTAGS = ("pebble", "provenance", "bigdata", "spark", "nested", "edbt", "gdpr")
+
+
+class TwitterConfig:
+    """Configuration of the synthetic Twitter corpus."""
+
+    #: Tweets per unit of scale (scale=1 stands in for the paper's 100 GB).
+    BASE_TWEETS = 400
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 7,
+        payload_width: int = 24,
+        user_count: int | None = None,
+    ):
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        if payload_width < 0:
+            raise WorkloadError(f"payload_width must be >= 0, got {payload_width}")
+        self.scale = scale
+        self.seed = seed
+        #: Number of filler attributes in the ``payload`` subtree; stands in
+        #: for the real corpus' ~1000-attribute width.
+        self.payload_width = payload_width
+        self.tweet_count = max(1, int(round(self.BASE_TWEETS * scale)))
+        self.user_count = user_count or max(8, self.tweet_count // 12)
+
+
+def user_pool(config: TwitterConfig) -> list[dict[str, Any]]:
+    """Deterministic pool of users; ``u1`` is the sentinel Lisa Paul."""
+    rng = random.Random(config.seed * 31 + 1)
+    users = [
+        {
+            "id_str": "u1",
+            "name": "Lisa Paul",
+            "screen_name": "lp",
+            "followers_count": 2048,
+            "verified": True,
+            "location": {"city": "Stuttgart", "country": "DE", "geo": {"lat": 48.78, "lon": 9.18}},
+        }
+    ]
+    for index in range(2, config.user_count + 1):
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        users.append(
+            {
+                "id_str": f"u{index}",
+                "name": f"{first} {last}",
+                "screen_name": f"{first[0].lower()}{last.lower()}{index}",
+                "followers_count": rng.randrange(0, 100_000),
+                "verified": rng.random() < 0.05,
+                "location": {
+                    "city": rng.choice(_CITIES),
+                    "country": rng.choice(_COUNTRIES),
+                    "geo": {"lat": round(rng.uniform(-90, 90), 4), "lon": round(rng.uniform(-180, 180), 4)},
+                },
+            }
+        )
+    return users
+
+
+def _mention_of(user: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "id_str": user["id_str"],
+        "name": user["name"],
+        "screen_name": user["screen_name"],
+    }
+
+
+def _text(rng: random.Random, mentions: list[dict[str, Any]], hashtags: list[str]) -> str:
+    words = [rng.choice(_WORDS) for _ in range(rng.randrange(4, 12))]
+    if rng.random() < 0.20:
+        words.insert(rng.randrange(len(words)), "good")
+    if rng.random() < 0.12:
+        words.insert(rng.randrange(len(words)), "BTS")
+    words.extend(f"@{mention['screen_name']}" for mention in mentions)
+    words.extend(f"#{tag}" for tag in hashtags)
+    return " ".join(words)
+
+
+def _payload(rng: random.Random, width: int) -> dict[str, Any]:
+    """Filler subtree emulating the real corpus' unused attribute width.
+
+    Four levels deep (payload -> group -> entry -> leaf struct) so tweets
+    reach the paper's eight layers of nesting through
+    ``payload.group_k.entries[i].meta.flags``.
+    """
+    groups: dict[str, Any] = {}
+    per_group = 4
+    for group_index in range((width + per_group - 1) // per_group or 0):
+        entries = []
+        for entry_index in range(min(per_group, width - group_index * per_group)):
+            entries.append(
+                {
+                    "key": f"attr_{group_index}_{entry_index}",
+                    "value": rng.randrange(0, 1_000_000),
+                    "meta": {"source": rng.choice(("api", "web", "sdk")), "flags": [rng.randrange(0, 9)]},
+                }
+            )
+        groups[f"group_{group_index}"] = {"entries": entries, "checksum": rng.randrange(0, 2**31)}
+    return groups
+
+
+def generate_tweets(config: TwitterConfig | None = None, **kwargs: Any) -> list[dict[str, Any]]:
+    """Generate the synthetic tweet corpus.
+
+    Accepts either a :class:`TwitterConfig` or its keyword arguments.  The
+    first three tweets are sentinels: a ``good``/``BTS`` tweet authored by
+    ``u1``, a retweeted tweet mentioning ``u1``, and a ``#pebble`` tweet by
+    ``u1`` mentioning another user -- they guarantee non-empty results for
+    every scenario query at every scale.
+    """
+    if config is None:
+        config = TwitterConfig(**kwargs)
+    elif kwargs:
+        raise WorkloadError("pass either a TwitterConfig or keyword arguments, not both")
+    rng = random.Random(config.seed)
+    users = user_pool(config)
+    lisa = users[0]
+    other = users[1 % len(users)]
+    tweets: list[dict[str, Any]] = [
+        {
+            "id_str": "t1",
+            "text": "good BTS concert tonight #pebble",
+            "user": dict(lisa),
+            "user_mentions": [_mention_of(other)],
+            "hashtags": [{"text": "pebble", "indices": [0, 7]}],
+            "media": [],
+            "retweet_count": 0,
+            "favorite_count": 3,
+            "lang": "en",
+            "created_at": "2019-06-01T10:00:00Z",
+            "payload": _payload(rng, config.payload_width),
+        },
+        {
+            "id_str": "t2",
+            "text": f"good BTS news everyone @{lisa['screen_name']}",
+            "user": dict(other),
+            "user_mentions": [_mention_of(lisa)],
+            "hashtags": [{"text": "bigdata", "indices": [0, 8]}],
+            "media": [],
+            "retweet_count": 2,
+            "favorite_count": 1,
+            "lang": "en",
+            "created_at": "2019-06-01T11:00:00Z",
+            "payload": _payload(rng, config.payload_width),
+        },
+        {
+            "id_str": "t3",
+            "text": f"tracing nested data is good #pebble @{other['screen_name']}",
+            "user": dict(lisa),
+            "user_mentions": [_mention_of(other), _mention_of(lisa)],
+            "hashtags": [{"text": "pebble", "indices": [0, 7]}, {"text": "provenance", "indices": [8, 19]}],
+            "media": [{"media_url": "https://m/1.jpg", "type": "photo", "sizes": {"large": {"w": 1024, "h": 768}}}],
+            "retweet_count": 0,
+            "favorite_count": 9,
+            "lang": "en",
+            "created_at": "2019-06-01T12:00:00Z",
+            "payload": _payload(rng, config.payload_width),
+        },
+    ]
+    for index in range(4, config.tweet_count + 1):
+        author = rng.choice(users)
+        mention_count = rng.randrange(0, 4)
+        mentions = [_mention_of(rng.choice(users)) for _ in range(mention_count)]
+        hashtag_count = rng.randrange(0, 3)
+        hashtags = [rng.choice(_HASHTAGS) for _ in range(hashtag_count)]
+        media = []
+        for _ in range(rng.randrange(0, 3)):
+            media.append(
+                {
+                    "media_url": f"https://m/{rng.randrange(10_000)}.jpg",
+                    "type": rng.choice(_MEDIA_TYPES),
+                    "sizes": {"large": {"w": rng.choice((640, 1024, 2048)), "h": rng.choice((480, 768, 1536))}},
+                }
+            )
+        tweets.append(
+            {
+                "id_str": f"t{index}",
+                "text": _text(rng, mentions, hashtags),
+                "user": dict(author),
+                "user_mentions": mentions,
+                "hashtags": [
+                    {"text": tag, "indices": [position * 8, position * 8 + len(tag)]}
+                    for position, tag in enumerate(hashtags)
+                ],
+                "media": media,
+                "retweet_count": rng.choice((0, 0, 0, 1, 2, 5, 17)),
+                "favorite_count": rng.randrange(0, 50),
+                "lang": rng.choice(_LANGS),
+                "created_at": f"2019-06-{rng.randrange(1, 29):02d}T{rng.randrange(0, 24):02d}:00:00Z",
+                "payload": _payload(rng, config.payload_width),
+            }
+        )
+    return tweets

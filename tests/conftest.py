@@ -1,0 +1,49 @@
+"""Shared fixtures: the paper's running example and small helper sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.session import Session
+from repro.pebble.api import PebbleSession
+from repro.workloads.scenarios import (
+    RUNNING_EXAMPLE_PATTERN,
+    RUNNING_EXAMPLE_TWEETS,
+    build_running_example,
+)
+
+
+@pytest.fixture
+def session() -> Session:
+    """A fresh two-partition engine session."""
+    return Session(num_partitions=2)
+
+
+@pytest.fixture
+def pebble() -> PebbleSession:
+    """A fresh Pebble session."""
+    return PebbleSession(num_partitions=2)
+
+
+@pytest.fixture
+def example_tweets() -> list[dict]:
+    """The five tweets of Tab. 1."""
+    return [dict(tweet) for tweet in RUNNING_EXAMPLE_TWEETS]
+
+
+@pytest.fixture
+def example_pattern() -> str:
+    """The provenance question of Fig. 4."""
+    return RUNNING_EXAMPLE_PATTERN
+
+
+@pytest.fixture
+def example_pipeline(session, example_tweets):
+    """The Fig. 1 pipeline over the Tab. 1 data."""
+    return build_running_example(session, example_tweets)
+
+
+@pytest.fixture
+def captured_example(example_pipeline):
+    """The running example executed with provenance capture."""
+    return example_pipeline.execute(capture=True)

@@ -1,0 +1,71 @@
+"""Integration tests for provenance persistence (capture once, query later)."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.pebble.api import CapturedExecution
+from repro.pebble.persistence import load_execution, save_execution
+from repro.workloads.scenarios import (
+    RUNNING_EXAMPLE_PATTERN,
+    build_running_example,
+    load_workload,
+    scenario,
+)
+
+
+class TestSaveLoadRoundtrip:
+    def test_running_example_queries_agree(self, pebble, example_tweets, tmp_path):
+        pipeline = build_running_example(pebble.session, example_tweets)
+        captured = pebble.run(pipeline)
+        before = captured.backtrace(RUNNING_EXAMPLE_PATTERN)
+
+        path = tmp_path / "capture.json"
+        captured.save(path)
+        restored = CapturedExecution.load(path, num_partitions=2)
+        after = restored.backtrace(RUNNING_EXAMPLE_PATTERN)
+
+        assert after.all_ids() == before.all_ids()
+        assert after.sources[0].entries[0].tree.render() == (
+            before.sources[0].entries[0].tree.render()
+        )
+
+    def test_rows_and_sizes_preserved(self, pebble, example_tweets, tmp_path):
+        pipeline = build_running_example(pebble.session, example_tweets)
+        captured = pebble.run(pipeline)
+        path = tmp_path / "capture.json"
+        captured.save(path)
+        restored = CapturedExecution.load(path)
+        assert sorted(map(repr, restored.items())) == sorted(map(repr, captured.items()))
+        assert restored.size_report().lineage_bytes == captured.size_report().lineage_bytes
+        assert (
+            restored.size_report().structural_bytes
+            == captured.size_report().structural_bytes
+        )
+
+    @pytest.mark.parametrize("name", ["T1", "D4", "D5"])
+    def test_scenarios_roundtrip(self, name, tmp_path):
+        from repro.engine.session import Session
+
+        spec = scenario(name)
+        data = load_workload(spec.kind, 0.1)
+        execution = spec.build(Session(2), data).execute(capture=True)
+        from repro.pebble.query import query_provenance
+
+        before = query_provenance(execution, spec.pattern)
+        path = tmp_path / "capture.json"
+        save_execution(execution, path)
+        restored = load_execution(path, num_partitions=2)
+        after = query_provenance(restored, spec.pattern)
+        assert after.all_ids() == before.all_ids()
+
+    def test_plain_execution_rejected(self, pebble, example_tweets, tmp_path):
+        pipeline = build_running_example(pebble.session, example_tweets)
+        execution = pebble.run_plain(pipeline)
+        with pytest.raises(ProvenanceError):
+            save_execution(execution, tmp_path / "x.json")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": 99}')
+        with pytest.raises(ProvenanceError, match="unsupported"):
+            load_execution(path)

@@ -1,0 +1,148 @@
+"""Property-based tests for access paths and tree patterns."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.paths import POS, Path, Step, enumerate_paths, parse_path
+from repro.core.treepattern.parser import parse_pattern
+from repro.core.treepattern.pattern import PatternNode, TreePattern, child, descendant
+from repro.nested.values import DataItem
+
+_names = st.text(alphabet="abcxyz_", min_size=1, max_size=5)
+_positions = st.one_of(st.none(), st.integers(min_value=1, max_value=9), st.just(POS))
+_steps = st.builds(Step, _names, _positions)
+_paths = st.builds(Path, st.lists(_steps, max_size=5))
+
+
+@given(_paths)
+@settings(max_examples=100)
+def test_path_parse_print_roundtrip(path):
+    assert parse_path(str(path)) == path
+
+
+@given(_paths)
+@settings(max_examples=100)
+def test_schematic_is_idempotent(path):
+    assert path.schematic().schematic() == path.schematic()
+
+
+@given(_paths)
+@settings(max_examples=100)
+def test_placeholders_then_schematic_equals_schematic(path):
+    assert path.with_placeholders().schematic() == path.schematic()
+
+
+@given(_paths, _paths)
+@settings(max_examples=100)
+def test_concat_prefix_relation(prefix, suffix):
+    combined = prefix.concat(suffix)
+    assert combined.startswith(prefix)
+    assert combined.replace_prefix(prefix, prefix) == combined
+
+
+@given(_paths)
+@settings(max_examples=100)
+def test_every_path_is_prefix_of_itself(path):
+    assert path.startswith(path)
+    assert path.startswith(path, schematic=True)
+
+
+# -- enumerate_paths over random items ------------------------------------------
+
+_attr_names = st.text(alphabet="abcde", min_size=1, max_size=4)
+_constants = st.one_of(st.integers(), st.text(max_size=5), st.none())
+
+
+def _nested_values(depth=2):
+    if depth == 0:
+        return _constants
+    inner = _nested_values(depth - 1)
+    return st.one_of(
+        _constants,
+        st.lists(inner, max_size=3),
+        st.dictionaries(_attr_names, inner, max_size=3),
+    )
+
+
+@given(st.dictionaries(_attr_names, _nested_values(), min_size=1, max_size=4))
+@settings(max_examples=80)
+def test_enumerated_paths_all_evaluate(raw):
+    item = DataItem(raw)
+    for path in enumerate_paths(item):
+        assert path.resolves_in(item)
+
+
+# -- tree patterns ----------------------------------------------------------------
+
+_pattern_values = st.one_of(
+    st.integers(min_value=-99, max_value=99),
+    st.text(alphabet="abc \"\\", max_size=6),
+    st.booleans(),
+    st.none(),
+)
+
+
+def _pattern_nodes(depth=2):
+    base_kwargs = {
+        "equals": _pattern_values,
+        "count": st.one_of(
+            st.none(),
+            st.tuples(st.integers(0, 3), st.integers(3, 9)),
+            st.tuples(st.integers(0, 3), st.none()),
+        ),
+    }
+    if depth == 0:
+        children = st.just(())
+    else:
+        children = st.lists(_pattern_nodes(depth - 1), max_size=2).map(tuple)
+
+    def build(name, edge_is_child, equals, count, kids):
+        builder = child if edge_is_child else descendant
+        return builder(name, *kids, equals=equals, count=count)
+
+    return st.builds(
+        build, _names, st.booleans(), base_kwargs["equals"], base_kwargs["count"], children
+    )
+
+
+@given(st.lists(_pattern_nodes(), min_size=1, max_size=3))
+@settings(max_examples=80)
+def test_pattern_render_parse_roundtrip(nodes):
+    pattern = TreePattern(nodes)
+    rendered = pattern.render()
+    assert parse_pattern(rendered).render() == rendered
+
+
+# -- matcher vs. a naive reference ------------------------------------------------
+
+
+@given(st.dictionaries(_attr_names, _nested_values(), min_size=1, max_size=4))
+@settings(max_examples=60)
+def test_descendant_matching_agrees_with_path_enumeration(raw):
+    """``//name`` matches exactly the enumerated paths ending in ``name``."""
+    from repro.core.treepattern.matcher import match_item
+    from repro.core.treepattern.pattern import TreePattern, descendant
+
+    item = DataItem(raw)
+    for name in item.attributes():
+        matched = match_item(TreePattern.root(descendant(name)), item)
+        assert matched is not None
+        expected = {
+            path
+            for path in enumerate_paths(item)
+            if path.last().name == name and path.last().pos is None
+        }
+        assert {p for p in matched} == expected
+
+
+@given(st.dictionaries(_attr_names, _nested_values(), min_size=1, max_size=4))
+@settings(max_examples=60)
+def test_wildcard_descendant_matches_all_attribute_paths(raw):
+    from repro.core.treepattern.matcher import match_item
+    from repro.core.treepattern.pattern import TreePattern, descendant
+
+    item = DataItem(raw)
+    matched = match_item(TreePattern.root(descendant("*")), item)
+    expected = {
+        path for path in enumerate_paths(item) if path.last().pos is None
+    }
+    assert matched == expected

@@ -1,0 +1,187 @@
+"""Unit tests for backtracing trees and structures (Defs. 6.2, 6.3)."""
+
+import pytest
+
+from repro.core.backtrace.tree import BacktraceNode, BacktraceStructure, BacktraceTree
+from repro.core.paths import POS, parse_path
+from repro.errors import BacktraceError
+
+
+class TestEnsureFind:
+    def test_ensure_creates_chain(self):
+        tree = BacktraceTree()
+        node = tree.ensure_path(parse_path("user.id_str"), contributing=True)
+        assert node.label == "id_str"
+        assert tree.find(parse_path("user")) is not None
+
+    def test_positions_become_child_nodes(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("tweets[2].text"), contributing=True)
+        tweets = tree.find(parse_path("tweets"))
+        assert set(tweets.children) == {2}
+        assert tree.find(parse_path("tweets[2].text")) is not None
+
+    def test_placeholder_nodes(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("mentions[pos].id_str"), contributing=True)
+        mentions = tree.find(parse_path("mentions"))
+        assert POS in mentions.children
+
+    def test_find_missing_returns_none(self):
+        assert BacktraceTree().find(parse_path("missing")) is None
+
+    def test_contributing_upgraded_never_downgraded(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("a"), contributing=False)
+        assert not tree.find(parse_path("a")).contributing
+        tree.ensure_path(parse_path("a"), contributing=True)
+        assert tree.find(parse_path("a")).contributing
+        tree.ensure_path(parse_path("a"), contributing=False)
+        assert tree.find(parse_path("a")).contributing
+
+
+class TestDetachGraft:
+    def test_detach_returns_subtree(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("user.name"), contributing=True)
+        subtree = tree.detach(parse_path("user.name"))
+        assert subtree.label == "name"
+        assert tree.find(parse_path("user.name")) is None
+        assert tree.find(parse_path("user")) is not None
+
+    def test_detach_missing_returns_none(self):
+        assert BacktraceTree().detach(parse_path("a.b")) is None
+
+    def test_detach_root_rejected(self):
+        with pytest.raises(BacktraceError):
+            BacktraceTree().detach(parse_path(""))
+
+    def test_graft_creates_scaffolding(self):
+        tree = BacktraceTree()
+        subtree = BacktraceNode("id_str", contributing=True)
+        tree.graft(parse_path("user.id_str"), subtree)
+        assert tree.find(parse_path("user")).contributing
+        assert tree.find(parse_path("user.id_str")) is subtree
+
+    def test_graft_merges_into_existing(self):
+        tree = BacktraceTree()
+        existing = tree.ensure_path(parse_path("user"), contributing=False)
+        existing.access.add(1)
+        incoming = BacktraceNode("user", contributing=True)
+        incoming.manipulation.add(2)
+        merged = tree.graft(parse_path("user"), incoming)
+        assert merged is existing
+        assert merged.contributing
+        assert merged.access == {1}
+        assert merged.manipulation == {2}
+
+    def test_remove(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("a.b"), contributing=True)
+        tree.remove(parse_path("a.b"))
+        assert tree.find(parse_path("a.b")) is None
+        tree.remove(parse_path("never.there"))  # no-op
+
+
+class TestCopyMerge:
+    def test_copy_is_deep(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("a.b"), contributing=True).access.add(1)
+        clone = tree.copy()
+        clone.find(parse_path("a.b")).access.add(2)
+        assert tree.find(parse_path("a.b")).access == {1}
+
+    def test_merge_unions_marks(self):
+        left = BacktraceTree()
+        left.ensure_path(parse_path("a"), contributing=False).access.add(1)
+        right = BacktraceTree()
+        right.ensure_path(parse_path("a"), contributing=True).manipulation.add(2)
+        right.ensure_path(parse_path("b"), contributing=True)
+        left.merge_from(right)
+        node = left.find(parse_path("a"))
+        assert node.contributing and node.access == {1} and node.manipulation == {2}
+        assert left.find(parse_path("b")) is not None
+
+    def test_mark_subtree_manipulated(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("user.name"), contributing=True)
+        tree.find(parse_path("user")).mark_subtree_manipulated(9)
+        assert tree.find(parse_path("user")).manipulation == {9}
+        assert tree.find(parse_path("user.name")).manipulation == {9}
+
+
+class TestPlaceholders:
+    def test_substitute_placeholders(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("mentions[pos].id_str"), contributing=True)
+        tree.substitute_placeholders(3)
+        assert tree.find(parse_path("mentions[3].id_str")) is not None
+        assert POS not in tree.find(parse_path("mentions")).children
+
+    def test_substitute_merges_with_existing_position(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("mentions[2].id_str"), contributing=False)
+        tree.ensure_path(parse_path("mentions[pos].name"), contributing=True)
+        tree.substitute_placeholders(2)
+        node = tree.find(parse_path("mentions[2]"))
+        assert set(node.children) == {"id_str", "name"}
+
+
+class TestIntrospection:
+    def test_paths_walk(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("a.b"), contributing=True)
+        labels = {labels for labels, _ in tree.paths()}
+        assert labels == {("a",), ("a", "b")}
+
+    def test_contributing_leaf_paths(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("a.b"), contributing=True)
+        tree.ensure_path(parse_path("c"), contributing=False)
+        assert tree.contributing_leaf_paths() == [("a", "b")]
+
+    def test_render_contains_flags_and_marks(self):
+        tree = BacktraceTree()
+        node = tree.ensure_path(parse_path("user.name"), contributing=False)
+        node.access.add(9)
+        node.manipulation.update({3, 8})
+        rendered = tree.render()
+        assert "name (influencing) [A=9; M=3,8]" in rendered
+
+    def test_is_empty(self):
+        tree = BacktraceTree()
+        assert tree.is_empty()
+        tree.ensure_path(parse_path("a"), contributing=True)
+        assert not tree.is_empty()
+
+
+class TestStructure:
+    def test_add_merges_same_id(self):
+        left = BacktraceTree()
+        left.ensure_path(parse_path("a"), contributing=True)
+        right = BacktraceTree()
+        right.ensure_path(parse_path("b"), contributing=True)
+        structure = BacktraceStructure([(1, left), (1, right)])
+        assert len(structure) == 1
+        merged = structure.tree(1)
+        assert merged.find(parse_path("a")) and merged.find(parse_path("b"))
+
+    def test_missing_id_raises(self):
+        with pytest.raises(BacktraceError):
+            BacktraceStructure().tree(5)
+
+    def test_copy_independent(self):
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("a"), contributing=True)
+        structure = BacktraceStructure([(1, tree)])
+        clone = structure.copy()
+        clone.tree(1).ensure_path(parse_path("b"), contributing=True)
+        assert structure.tree(1).find(parse_path("b")) is None
+
+    def test_merge_from(self):
+        first = BacktraceStructure()
+        tree = BacktraceTree()
+        tree.ensure_path(parse_path("a"), contributing=True)
+        second = BacktraceStructure([(2, tree)])
+        first.merge_from(second)
+        assert first.ids() == [2]

@@ -1,0 +1,185 @@
+"""Unit tests for access paths (paper Def. 4.3, Ex. 4.4)."""
+
+import pytest
+
+from repro.core.paths import POS, Path, Step, enumerate_paths, parse_path
+from repro.errors import PathEvaluationError, PathSyntaxError
+from repro.nested.values import Bag, DataItem
+
+
+@pytest.fixture
+def d102() -> DataItem:
+    """The result item 102 of Tab. 2 (used in Ex. 4.4)."""
+    return DataItem(
+        {
+            "user": {"id_str": "lp", "name": "Lisa Paul"},
+            "tweets": [
+                {"text": "Hello @ls @jm @ls"},
+                {"text": "Hello World"},
+                {"text": "Hello World"},
+                {"text": "Hello @lp"},
+            ],
+        }
+    )
+
+
+class TestParsing:
+    def test_simple(self):
+        path = parse_path("user.id_str")
+        assert [step.name for step in path] == ["user", "id_str"]
+
+    def test_positions_one_based(self):
+        path = parse_path("user_mentions[1].id_str")
+        assert path.head().pos == 1
+
+    def test_placeholder(self):
+        path = parse_path("user_mentions[pos]")
+        assert path.head().pos is POS
+
+    def test_str_roundtrip(self):
+        for text in ("a", "a.b.c", "a[3].b", "a[pos].b", "x-y.z_1"):
+            assert str(parse_path(text)) == text
+
+    def test_empty_string_is_empty_path(self):
+        assert parse_path("").is_empty()
+
+    def test_whitespace_tolerated(self):
+        assert parse_path(" a . b ") == parse_path("a.b")
+
+    @pytest.mark.parametrize("bad", ["a..b", "a[0]", "a[-1]", "1a", "a[", "a]b", ".a"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(PathSyntaxError):
+            parse_path(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            parse_path(123)
+
+
+class TestStep:
+    def test_zero_position_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            Step("a", 0)
+
+    def test_without_pos(self):
+        assert Step("a", 3).without_pos() == Step("a")
+
+    def test_with_placeholder(self):
+        assert Step("a", 3).with_placeholder() == Step("a", POS)
+        assert Step("a").with_placeholder() == Step("a")
+
+    def test_schematic_match(self):
+        assert Step("a", 1).matches_schematically(Step("a", 2))
+        assert not Step("a").matches_schematically(Step("b"))
+
+    def test_hashable(self):
+        assert len({Step("a", 1), Step("a", 1), Step("a", POS)}) == 2
+
+
+class TestEvaluation:
+    def test_attribute_path(self, d102):
+        assert parse_path("user.id_str").evaluate(d102) == "lp"
+
+    def test_positional_path_example_4_4(self, d102):
+        tweets = parse_path("tweets").evaluate(d102)
+        assert isinstance(tweets, Bag)
+        assert len(tweets) == 4
+        assert parse_path("tweets[2].text").evaluate(d102) == "Hello World"
+
+    def test_missing_attribute_raises(self, d102):
+        with pytest.raises(PathEvaluationError, match="no attribute"):
+            parse_path("missing").evaluate(d102)
+
+    def test_null_propagates(self):
+        item = DataItem(user=None)
+        assert parse_path("user.id_str").evaluate(item) is None
+
+    def test_position_on_non_collection(self, d102):
+        with pytest.raises(PathEvaluationError, match="non-collection"):
+            parse_path("user[1]").evaluate(d102)
+
+    def test_placeholder_cannot_evaluate(self, d102):
+        with pytest.raises(PathEvaluationError, match="placeholder"):
+            parse_path("tweets[pos].text").evaluate(d102)
+
+    def test_attribute_of_constant(self, d102):
+        with pytest.raises(PathEvaluationError, match="non-struct"):
+            parse_path("user.id_str.deeper").evaluate(d102)
+
+    def test_resolves_in(self, d102):
+        assert parse_path("tweets[4]").resolves_in(d102)
+        assert not parse_path("tweets[5]").resolves_in(d102)
+
+
+class TestStructure:
+    def test_prefix(self):
+        assert parse_path("a.b.c").startswith(parse_path("a.b"))
+        assert not parse_path("a.b").startswith(parse_path("a.b.c"))
+
+    def test_prefix_respects_positions(self):
+        assert not parse_path("a[1].b").startswith(parse_path("a[2]"))
+        assert parse_path("a[1].b").startswith(parse_path("a[2]"), schematic=True)
+
+    def test_replace_prefix(self):
+        replaced = parse_path("m_user.id_str").replace_prefix(
+            parse_path("m_user"), parse_path("user_mentions[1]")
+        )
+        assert str(replaced) == "user_mentions[1].id_str"
+
+    def test_replace_prefix_requires_prefix(self):
+        with pytest.raises(PathEvaluationError):
+            parse_path("a.b").replace_prefix(parse_path("x"), parse_path("y"))
+
+    def test_schematic_strips_positions(self):
+        assert str(parse_path("a[3].b[pos].c").schematic()) == "a.b.c"
+
+    def test_with_placeholders(self):
+        assert str(parse_path("a[3].b").with_placeholders()) == "a[pos].b"
+
+    def test_substitute_placeholder(self):
+        substituted = parse_path("a[pos].b").substitute_placeholder(7)
+        assert str(substituted) == "a[7].b"
+
+    def test_substitute_without_placeholder_raises(self):
+        with pytest.raises(PathEvaluationError):
+            parse_path("a.b").substitute_placeholder(1)
+
+    def test_substitute_only_first_placeholder(self):
+        substituted = parse_path("a[pos].b[pos]").substitute_placeholder(2)
+        assert str(substituted) == "a[2].b[pos]"
+
+    def test_head_tail_last_parent(self):
+        path = parse_path("a.b.c")
+        assert path.head() == Step("a")
+        assert str(path.tail()) == "b.c"
+        assert path.last() == Step("c")
+        assert str(path.parent()) == "a.b"
+
+    def test_empty_path_head_raises(self):
+        with pytest.raises(PathEvaluationError):
+            Path().head()
+
+    def test_child_and_concat(self):
+        assert str(Path().child("a").child("b", 2)) == "a.b[2]"
+        assert str(parse_path("a").concat(parse_path("b.c"))) == "a.b.c"
+
+    def test_hashable(self):
+        assert len({parse_path("a.b"), parse_path("a.b")}) == 1
+
+    def test_of_builder(self):
+        assert str(Path.of("user", "id_str")) == "user.id_str"
+
+
+class TestEnumeratePaths:
+    def test_enumerates_value_level_paths(self, d102):
+        rendered = {str(path) for path in enumerate_paths(d102)}
+        assert "user" in rendered
+        assert "user.id_str" in rendered
+        assert "tweets" in rendered
+        assert "tweets[2]" in rendered
+        assert "tweets[2].text" in rendered
+        assert "tweets[5]" not in rendered
+
+    def test_count_matches_structure(self, d102):
+        # user, user.id_str, user.name, tweets, tweets[1..4], tweets[i].text
+        assert len(enumerate_paths(d102)) == 3 + 1 + 4 + 4

@@ -1,0 +1,83 @@
+"""Unit tests for the tree-pattern text syntax."""
+
+import pytest
+
+from repro.core.treepattern.parser import parse_pattern
+from repro.core.treepattern.pattern import Edge, NO_EQUALS
+from repro.errors import TreePatternSyntaxError
+
+
+class TestParsing:
+    def test_figure_4(self):
+        pattern = parse_pattern('root{//id_str="lp", /tweets{/text="Hello World"[2,2]}}')
+        first, second = pattern.children
+        assert first.name == "id_str" and first.edge == Edge.DESCENDANT
+        assert first.equals == "lp"
+        text = second.children[0]
+        assert text.equals == "Hello World"
+        assert text.count == (2, 2)
+
+    def test_whitespace_insensitive(self):
+        pattern = parse_pattern('  root {  / a = 1 ,  // b }  ')
+        assert [node.name for node in pattern.children] == ["a", "b"]
+
+    def test_number_values(self):
+        pattern = parse_pattern("root{/a=2, /b=-3, /c=1.5}")
+        values = [node.equals for node in pattern.children]
+        assert values == [2, -3, 1.5]
+
+    def test_boolean_and_null(self):
+        pattern = parse_pattern("root{/a=true, /b=false, /c=null}")
+        assert [node.equals for node in pattern.children] == [True, False, None]
+
+    def test_no_constraint(self):
+        pattern = parse_pattern("root{/a}")
+        assert pattern.children[0].equals is NO_EQUALS
+
+    def test_unbounded_count(self):
+        pattern = parse_pattern("root{/a[2,*]}")
+        assert pattern.children[0].count == (2, None)
+
+    def test_string_escapes(self):
+        pattern = parse_pattern('root{/a="say \\"hi\\""}')
+        assert pattern.children[0].equals == 'say "hi"'
+
+    def test_deep_nesting(self):
+        pattern = parse_pattern("root{/a{/b{//c=1}}}")
+        assert pattern.children[0].children[0].children[0].name == "c"
+
+    def test_roundtrip_through_render(self):
+        texts = [
+            'root{//id_str="lp", /tweets{/text="Hello World"[2,2]}}',
+            "root{/a=true, /b{//c=null}}",
+            "root{/a[0,*]}",
+        ]
+        for text in texts:
+            pattern = parse_pattern(text)
+            assert parse_pattern(pattern.render()).render() == pattern.render()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "notroot{/a}",
+            "root",
+            "root{}",
+            "root{a}",  # missing edge
+            "root{/a=}",
+            "root{/a[1]}",  # count needs two bounds
+            "root{/a} trailing",
+            "root{/a=unknownliteral}",
+            "root{/a",
+            "root{/1a}",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(TreePatternSyntaxError):
+            parse_pattern(bad)
+
+    def test_unexpected_character(self):
+        with pytest.raises(TreePatternSyntaxError, match="unexpected character"):
+            parse_pattern("root{/a=§}")

@@ -1,0 +1,103 @@
+"""Unit tests for the tree-pattern model and builders."""
+
+import pytest
+
+from repro.core.treepattern.pattern import (
+    Edge,
+    NO_EQUALS,
+    PatternNode,
+    TreePattern,
+    child,
+    descendant,
+)
+from repro.errors import TreePatternError
+
+
+class TestBuilders:
+    def test_child_edge(self):
+        node = child("tweets")
+        assert node.edge == Edge.CHILD
+        assert node.equals is NO_EQUALS
+
+    def test_descendant_edge(self):
+        assert descendant("id_str").edge == Edge.DESCENDANT
+
+    def test_equals_none_is_a_real_constraint(self):
+        node = child("x", equals=None)
+        assert node.equals is None
+        assert node.value_matches(None)
+        assert not node.value_matches(0)
+
+    def test_no_equals_matches_everything(self):
+        node = child("x")
+        assert node.value_matches("anything")
+        assert not node.has_value_constraint()
+
+    def test_predicate(self):
+        node = child("n", predicate=lambda value: value > 3)
+        assert node.value_matches(4)
+        assert not node.value_matches(2)
+        assert node.has_value_constraint()
+
+    def test_equals_and_predicate_combine(self):
+        node = child("n", equals=4, predicate=lambda value: value % 2 == 0)
+        assert node.value_matches(4)
+        assert not node.value_matches(2)  # equals fails
+
+    def test_nested_children(self):
+        pattern = TreePattern.root(
+            descendant("id_str", equals="lp"),
+            child("tweets", child("text", equals="Hello World", count=(2, 2))),
+        )
+        assert len(pattern.children) == 2
+        assert pattern.children[1].children[0].count == (2, 2)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(TreePatternError):
+            PatternNode("")
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(TreePatternError):
+            PatternNode("a", edge="sideways")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TreePatternError):
+            child("a", count=(-1, 2))
+
+    def test_inverted_count_rejected(self):
+        with pytest.raises(TreePatternError):
+            child("a", count=(3, 2))
+
+    def test_unbounded_count_allowed(self):
+        assert child("a", count=(1, None)).count == (1, None)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(TreePatternError):
+            TreePattern([])
+
+
+class TestRendering:
+    def test_figure_4_pattern(self):
+        pattern = TreePattern.root(
+            descendant("id_str", equals="lp"),
+            child("tweets", child("text", equals="Hello World", count=(2, 2))),
+        )
+        assert pattern.render() == (
+            'root{//id_str="lp", /tweets{/text="Hello World"[2,2]}}'
+        )
+
+    def test_escaping(self):
+        assert child("t", equals='say "hi"').render() == 't="say \\"hi\\""'
+
+    def test_literals(self):
+        assert child("a", equals=None).render() == "a=null"
+        assert child("a", equals=True).render() == "a=true"
+        assert child("a", equals=3).render() == "a=3"
+
+    def test_unbounded_count_rendering(self):
+        assert child("a", count=(1, None)).render() == "a[1,*]"
+
+    def test_predicate_rendering(self):
+        assert child("a", predicate=bool).render() == "a=?"

@@ -1,0 +1,77 @@
+"""Unit tests for wildcard (*) pattern nodes."""
+
+from repro.core.treepattern.matcher import match_item
+from repro.core.treepattern.parser import parse_pattern
+from repro.core.treepattern.pattern import TreePattern, child, descendant
+from repro.nested.values import DataItem
+
+
+ITEM = DataItem(
+    {
+        "name": "Lisa",
+        "card": "4111",
+        "contact": {"email": "lisa@x", "backup": "4111"},
+        "orders": [{"ref": "4111", "total": 9}],
+    }
+)
+
+
+class TestWildcardMatching:
+    def test_child_wildcard_matches_any_top_level(self):
+        paths = match_item(parse_pattern('root{/*="4111"}'), ITEM)
+        assert {str(path) for path in paths} == {"card"}
+
+    def test_descendant_wildcard_matches_any_depth(self):
+        paths = match_item(parse_pattern('root{//*="4111"}'), ITEM)
+        assert {str(path) for path in paths} == {
+            "card",
+            "contact.backup",
+            "orders[1].ref",
+        }
+
+    def test_wildcard_without_constraint_matches_everything(self):
+        paths = match_item(parse_pattern("root{/*}"), ITEM)
+        assert {str(path) for path in paths} == {"name", "card", "contact", "orders"}
+
+    def test_wildcard_with_children(self):
+        """Any attribute whose subtree holds an email field."""
+        pattern = TreePattern.root(child("*", child("email", equals="lisa@x")))
+        paths = match_item(pattern, ITEM)
+        assert {str(path) for path in paths} == {"contact", "contact.email"}
+
+    def test_wildcard_through_collection_elements(self):
+        pattern = TreePattern.root(child("orders", child("*", equals=9)))
+        paths = match_item(pattern, ITEM)
+        assert {str(path) for path in paths} == {"orders", "orders[1].total"}
+
+    def test_no_match_returns_none(self):
+        assert match_item(parse_pattern('root{//*="nope"}'), ITEM) is None
+
+    def test_render_roundtrip(self):
+        pattern = parse_pattern('root{//*="4111"}')
+        assert pattern.render() == 'root{//*="4111"}'
+        assert parse_pattern(pattern.render()).render() == pattern.render()
+
+    def test_builder(self):
+        assert descendant("*", equals=1).render() == "*=1"
+
+
+class TestWildcardAuditing:
+    def test_find_leak_site_of_a_value(self, session):
+        """The audit question: which inputs contain the leaked constant?"""
+        from repro.engine.expressions import col
+        from repro.pebble.query import query_provenance
+
+        data = [
+            {"who": "a", "payload": {"secret": "k-123"}},
+            {"who": "b", "payload": {"secret": "other"}},
+        ]
+        ds = session.create_dataset(data, "records").select(
+            col("who"), col("payload.secret").alias("secret")
+        )
+        execution = ds.execute(capture=True)
+        provenance = query_provenance(execution, 'root{//*="k-123"}')
+        [source] = provenance.sources
+        assert source.ids() == [1]
+        entry = source.entry(1)
+        assert "payload.secret" in entry.contributing_paths()

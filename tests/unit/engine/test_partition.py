@@ -1,0 +1,53 @@
+"""Unit tests for partitioning utilities."""
+
+import pytest
+
+from repro.engine.partition import concat_partitions, hash_partition, partition_rows
+
+
+class TestPartitionRows:
+    def test_even_split(self):
+        partitions = partition_rows(list(range(8)), 4)
+        assert [len(partition) for partition in partitions] == [2, 2, 2, 2]
+
+    def test_remainder_spread_to_front(self):
+        partitions = partition_rows(list(range(10)), 4)
+        assert [len(partition) for partition in partitions] == [3, 3, 2, 2]
+
+    def test_order_reconstructable(self):
+        rows = list(range(17))
+        assert concat_partitions(partition_rows(rows, 5)) == rows
+
+    def test_more_partitions_than_rows(self):
+        partitions = partition_rows([1], 4)
+        assert sum(len(partition) for partition in partitions) == 1
+        assert len(partitions) == 4
+
+    def test_empty_input(self):
+        assert partition_rows([], 3) == [[], [], []]
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            partition_rows([1], 0)
+
+
+class TestHashPartition:
+    def test_same_key_same_partition(self):
+        rows = [("a", 1), ("b", 2), ("a", 3)]
+        partitions = hash_partition(rows, 3, key_of=lambda row: row[0])
+        for partition in partitions:
+            keys = {key for key, _ in partition}
+            # "a" rows must be co-located.
+            if "a" in keys:
+                assert [row for row in partition if row[0] == "a"] == [("a", 1), ("a", 3)]
+
+    def test_all_rows_preserved(self):
+        rows = list(range(100))
+        partitions = hash_partition(rows, 7, key_of=lambda row: row % 10)
+        assert sorted(concat_partitions(partitions)) == rows
+
+    def test_order_within_partition_is_arrival_order(self):
+        rows = [(1, "x"), (1, "y"), (1, "z")]
+        partitions = hash_partition(rows, 4, key_of=lambda row: row[0])
+        non_empty = [partition for partition in partitions if partition]
+        assert non_empty == [[(1, "x"), (1, "y"), (1, "z")]]

@@ -1,0 +1,166 @@
+"""Unit tests for logical plan nodes and their capture metadata (Tab. 5)."""
+
+import pytest
+
+from repro.core.paths import POS, parse_path
+from repro.engine.expressions import col, collect_list, count, struct_, sum_
+from repro.engine.plan import (
+    AggregateNode,
+    FilterNode,
+    FlattenNode,
+    JoinNode,
+    MapNode,
+    ReadNode,
+    SelectNode,
+    UnionNode,
+    collection_element_path,
+)
+from repro.errors import PlanError
+
+
+def _read(oid=1):
+    return ReadNode(oid, "in", lambda: [])
+
+
+class TestCollectionElementPath:
+    def test_appends_placeholder(self):
+        assert str(collection_element_path(parse_path("user_mentions"))) == "user_mentions[pos]"
+
+    def test_nested_collection_path(self):
+        assert str(collection_element_path(parse_path("entities.urls"))) == "entities.urls[pos]"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            collection_element_path(parse_path(""))
+
+    def test_positional_rejected(self):
+        with pytest.raises(PlanError):
+            collection_element_path(parse_path("a[1]"))
+
+
+class TestFilterNode:
+    def test_accessed_paths(self):
+        node = FilterNode(2, _read(), col("retweet_count") == 0)
+        assert {str(path) for path in node.accessed_paths()} == {"retweet_count"}
+
+    def test_no_manipulations(self):
+        node = FilterNode(2, _read(), col("a") == 1)
+        assert node.manipulation_pairs() == []
+
+
+class TestSelectNode:
+    def test_manipulation_pairs(self):
+        node = SelectNode(2, _read(), [col("user.id_str"), col("text")])
+        rendered = [(str(a), str(b)) for a, b in node.manipulation_pairs()]
+        assert rendered == [("user.id_str", "id_str"), ("text", "text")]
+
+    def test_struct_projection_pairs(self):
+        node = SelectNode(
+            2, _read(), [struct_(id_str=col("id_str"), name=col("name")).alias("user")]
+        )
+        rendered = [(str(a), str(b)) for a, b in node.manipulation_pairs()]
+        assert ("id_str", "user.id_str") in rendered
+
+    def test_duplicate_output_names_rejected(self):
+        with pytest.raises(PlanError, match="duplicate"):
+            SelectNode(2, _read(), [col("a.x"), col("b.x")])
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(PlanError):
+            SelectNode(2, _read(), [])
+
+    def test_accessed_paths(self):
+        node = SelectNode(2, _read(), [col("user.id_str"), (col("a") + col("b")).alias("s")])
+        assert {str(path) for path in node.accessed_paths()} == {"user.id_str", "a", "b"}
+
+
+class TestFlattenNode:
+    def test_metadata(self):
+        node = FlattenNode(2, _read(), "user_mentions", "m_user")
+        assert {str(path) for path in node.accessed_paths()} == {"user_mentions[pos]"}
+        [(path_in, path_out)] = node.manipulation_pairs()
+        assert str(path_in) == "user_mentions[pos]"
+        assert str(path_out) == "m_user"
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            FlattenNode(2, _read(), "", "x")
+        with pytest.raises(PlanError):
+            FlattenNode(2, _read(), "a", "")
+
+
+class TestAggregateNode:
+    def test_nested_collect_pairs_carry_placeholder(self):
+        node = AggregateNode(
+            2, _read(), [col("user")], [collect_list(col("tweet")).alias("tweets")]
+        )
+        [(path_in, path_out)] = node.manipulation_pairs()
+        assert str(path_in) == "tweet"
+        assert str(path_out) == "tweets[pos]"
+        assert path_out.has_placeholder()
+
+    def test_struct_collect_maps_fields(self):
+        node = AggregateNode(
+            2,
+            _read(),
+            [col("grp")],
+            [collect_list(struct_(t=col("text"), r=col("rts"))).alias("items")],
+        )
+        rendered = [(str(a), str(b)) for a, b in node.manipulation_pairs()]
+        assert ("text", "items[pos].t") in rendered
+        assert ("rts", "items[pos].r") in rendered
+
+    def test_scalar_aggregate_pairs(self):
+        node = AggregateNode(2, _read(), [col("grp")], [sum_(col("val")).alias("total")])
+        rendered = [(str(a), str(b)) for a, b in node.manipulation_pairs()]
+        assert rendered == [("val", "total")]
+
+    def test_identity_keys_not_in_manipulations(self):
+        node = AggregateNode(2, _read(), [col("grp")], [count()])
+        assert all(str(out) != "grp" for _, out in node.manipulation_pairs())
+
+    def test_renaming_key_recorded(self):
+        node = AggregateNode(2, _read(), [col("user.id_str").alias("uid")], [count()])
+        rendered = [(str(a), str(b)) for a, b in node.manipulation_pairs()]
+        assert ("user.id_str", "uid") in rendered
+
+    def test_accessed_paths_cover_keys_and_aggregates(self):
+        node = AggregateNode(
+            2, _read(), [col("grp")], [sum_(col("val")), collect_list(col("label"))]
+        )
+        assert {str(path) for path in node.accessed_paths()} == {"grp", "val", "label"}
+
+    def test_needs_aggregate(self):
+        with pytest.raises(PlanError):
+            AggregateNode(2, _read(), [col("grp")], [])
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(PlanError, match="duplicate"):
+            AggregateNode(
+                2, _read(), [col("x")], [sum_(col("a")).alias("x")]
+            )
+
+
+class TestDagWalk:
+    def test_walk_topological_children_first(self):
+        read = _read(1)
+        filter_node = FilterNode(2, read, col("a") == 1)
+        select_node = SelectNode(3, filter_node, [col("a")])
+        order = [node.oid for node in select_node.walk()]
+        assert order == [1, 2, 3]
+
+    def test_walk_shared_child_visited_once(self):
+        read = _read(1)
+        left = FilterNode(2, read, col("a") == 1)
+        right = FilterNode(3, read, col("a") == 2)
+        union = UnionNode(4, left, right)
+        order = [node.oid for node in union.walk()]
+        assert order.count(1) == 1
+        assert order.index(1) < order.index(2)
+
+    def test_labels(self):
+        read = _read(1)
+        assert read.label() == "read in"
+        assert "filter" in FilterNode(2, read, col("a") == 1).label()
+        assert MapNode(3, read, lambda item: item, "udf").label() == "map udf"
+        assert "join" in JoinNode(4, read, _read(5), col("a") == col("b")).label()

@@ -1,0 +1,114 @@
+"""Unit tests for schemas and schema-level path enumeration."""
+
+import pytest
+
+from repro.core.paths import parse_path
+from repro.errors import PathEvaluationError, TypeInferenceError
+from repro.nested.schema import Schema, infer_schema
+from repro.nested.types import BagType, INT, STRING, StructType
+from repro.nested.values import DataItem
+
+
+@pytest.fixture
+def tweet_schema() -> Schema:
+    return Schema(
+        StructType(
+            [
+                ("text", STRING),
+                ("user", StructType([("id_str", STRING), ("name", STRING)])),
+                (
+                    "user_mentions",
+                    BagType(StructType([("id_str", STRING), ("name", STRING)])),
+                ),
+                ("retweet_count", INT),
+            ]
+        )
+    )
+
+
+class TestResolve:
+    def test_top_level(self, tweet_schema):
+        assert tweet_schema.resolve(parse_path("text")) == STRING
+
+    def test_nested_struct(self, tweet_schema):
+        assert tweet_schema.resolve(parse_path("user.id_str")) == STRING
+
+    def test_placeholder_into_collection(self, tweet_schema):
+        assert tweet_schema.resolve(parse_path("user_mentions[pos].name")) == STRING
+
+    def test_concrete_position_into_collection(self, tweet_schema):
+        assert tweet_schema.resolve(parse_path("user_mentions[2].id_str")) == STRING
+
+    def test_missing_attribute(self, tweet_schema):
+        with pytest.raises(PathEvaluationError, match="no attribute"):
+            tweet_schema.resolve(parse_path("missing"))
+
+    def test_position_on_non_collection(self, tweet_schema):
+        with pytest.raises(PathEvaluationError, match="non-collection"):
+            tweet_schema.resolve(parse_path("user[1]"))
+
+    def test_descend_into_primitive(self, tweet_schema):
+        with pytest.raises(PathEvaluationError, match="non-struct"):
+            tweet_schema.resolve(parse_path("text.inner"))
+
+    def test_contains(self, tweet_schema):
+        assert tweet_schema.contains(parse_path("user.name"))
+        assert not tweet_schema.contains(parse_path("user.missing"))
+
+    def test_empty_path_resolves_to_struct(self, tweet_schema):
+        assert tweet_schema.resolve(parse_path("")) == tweet_schema.struct
+
+
+class TestPaths:
+    def test_enumeration_includes_placeholder_paths(self, tweet_schema):
+        rendered = {str(path) for path in tweet_schema.paths()}
+        assert "user_mentions" in rendered
+        assert "user_mentions[pos]" in rendered
+        assert "user_mentions[pos].id_str" in rendered
+        assert "user.name" in rendered
+
+    def test_leaf_paths_exclude_containers(self, tweet_schema):
+        rendered = {str(path) for path in tweet_schema.leaf_paths()}
+        assert "user" not in rendered
+        assert "user_mentions" not in rendered
+        assert "user.id_str" in rendered
+        assert "user_mentions[pos].name" in rendered
+
+    def test_attribute_names(self, tweet_schema):
+        assert tweet_schema.attribute_names() == (
+            "text",
+            "user",
+            "user_mentions",
+            "retweet_count",
+        )
+
+
+class TestInferSchema:
+    def test_unifies_items(self):
+        schema = infer_schema([DataItem(a=1), DataItem(a=2.5, b="x")])
+        assert schema.resolve(parse_path("a")).name == "Double"
+        assert schema.contains(parse_path("b"))
+
+    def test_empty_iterable(self):
+        schema = infer_schema([])
+        assert schema.attribute_names() == ()
+
+    def test_merged_with(self):
+        left = infer_schema([DataItem(a=1)])
+        right = infer_schema([DataItem(b="x")])
+        merged = left.merged_with(right)
+        assert merged.attribute_names() == ("a", "b")
+
+    def test_merge_conflict_rejected(self):
+        left = infer_schema([DataItem(a=1)])
+        right = infer_schema([DataItem(a="x")])
+        with pytest.raises(TypeInferenceError):
+            left.merged_with(right)
+
+    def test_schema_of_convenience(self):
+        schema = Schema.of(a=INT, b=STRING)
+        assert schema.attribute_names() == ("a", "b")
+
+    def test_equality_and_hash(self):
+        assert Schema.of(a=INT) == Schema.of(a=INT)
+        assert hash(Schema.of(a=INT)) == hash(Schema.of(a=INT))

@@ -1,0 +1,139 @@
+"""Unit tests for the type system (paper Sec. 4.1, Tab. 4)."""
+
+import pytest
+
+from repro.errors import TypeInferenceError
+from repro.nested.types import (
+    BagType,
+    BOOLEAN,
+    DOUBLE,
+    INT,
+    NULL,
+    SetType,
+    STRING,
+    StructType,
+    check_same_type,
+    infer_type,
+    unify,
+    unify_all,
+)
+from repro.nested.values import Bag, DataItem, NestedSet
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (None, NULL),
+            (True, BOOLEAN),
+            (3, INT),
+            (2.5, DOUBLE),
+            ("x", STRING),
+        ],
+    )
+    def test_constants(self, value, expected):
+        assert infer_type(value) == expected
+
+    def test_bool_is_not_int(self):
+        # Python bools are ints; the model types them as Boolean.
+        assert infer_type(True) == BOOLEAN
+
+    def test_struct(self):
+        item = DataItem(a=1, b="x")
+        assert infer_type(item) == StructType([("a", INT), ("b", STRING)])
+
+    def test_bag(self):
+        assert infer_type(Bag([1, 2])) == BagType(INT)
+
+    def test_set(self):
+        assert infer_type(NestedSet(["a"])) == SetType(STRING)
+
+    def test_empty_bag_is_null_element(self):
+        assert infer_type(Bag([])) == BagType(NULL)
+
+    def test_nested(self):
+        item = DataItem(user=DataItem(id_str="lp"), tags=Bag(["a"]))
+        expected = StructType(
+            [("user", StructType([("id_str", STRING)])), ("tags", BagType(STRING))]
+        )
+        assert infer_type(item) == expected
+
+    def test_heterogeneous_bag_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            infer_type(Bag([1, "x"]))
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            infer_type(object())
+
+
+class TestUnify:
+    def test_identical(self):
+        assert unify(INT, INT) == INT
+
+    def test_null_unifies_with_anything(self):
+        assert unify(NULL, STRING) == STRING
+        assert unify(BagType(INT), NULL) == BagType(INT)
+
+    def test_int_widens_to_double(self):
+        assert unify(INT, DOUBLE) == DOUBLE
+        assert unify(DOUBLE, INT) == DOUBLE
+
+    def test_int_string_rejected(self):
+        with pytest.raises(TypeInferenceError, match="cannot unify"):
+            unify(INT, STRING)
+
+    def test_struct_fieldwise(self):
+        left = StructType([("a", INT)])
+        right = StructType([("a", DOUBLE)])
+        assert unify(left, right) == StructType([("a", DOUBLE)])
+
+    def test_struct_missing_fields_become_nullable(self):
+        left = StructType([("a", INT)])
+        right = StructType([("b", STRING)])
+        unified = unify(left, right)
+        assert unified.field_type("a") == INT
+        assert unified.field_type("b") == STRING
+
+    def test_struct_field_order_left_first(self):
+        left = StructType([("a", INT), ("c", INT)])
+        right = StructType([("b", INT)])
+        assert unify(left, right).field_names() == ("a", "c", "b")
+
+    def test_collections_elementwise(self):
+        assert unify(BagType(INT), BagType(DOUBLE)) == BagType(DOUBLE)
+        assert unify(SetType(NULL), SetType(STRING)) == SetType(STRING)
+
+    def test_bag_set_mismatch_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            unify(BagType(INT), SetType(INT))
+
+    def test_unify_all_empty_is_null(self):
+        assert unify_all([]) == NULL
+
+    def test_check_same_type(self):
+        assert check_same_type([1, 2, None]) == INT
+
+    def test_accepts(self):
+        assert DOUBLE.accepts(INT)
+        assert not INT.accepts(STRING)
+
+    def test_struct_field_type_missing(self):
+        with pytest.raises(TypeInferenceError, match="no field"):
+            StructType([]).field_type("a")
+
+
+class TestTypeRendering:
+    def test_struct_str(self):
+        assert str(StructType([("a", INT)])) == "<a: Int>"
+
+    def test_bag_str(self):
+        assert str(BagType(INT)) == "{{Int}}"
+
+    def test_set_str(self):
+        assert str(SetType(INT)) == "{Int}"
+
+    def test_hashable(self):
+        assert {StructType([("a", INT)]), StructType([("a", INT)])} == {
+            StructType([("a", INT)])
+        }

@@ -1,0 +1,197 @@
+"""Unit tests for the nested value model (paper Sec. 4.1)."""
+
+import pytest
+
+from repro.errors import DataModelError
+from repro.nested.values import Bag, DataItem, NestedSet, coerce_value, is_constant, to_python
+
+
+class TestDataItem:
+    def test_construction_from_dict(self):
+        item = DataItem({"a": 1, "b": "x"})
+        assert item["a"] == 1
+        assert item["b"] == "x"
+
+    def test_construction_from_kwargs(self):
+        item = DataItem(a=1, b=2)
+        assert item.attributes() == ("a", "b")
+
+    def test_construction_from_pairs(self):
+        item = DataItem([("b", 2), ("a", 1)])
+        assert item.attributes() == ("b", "a")
+
+    def test_attribute_order_preserved(self):
+        item = DataItem({"z": 1, "a": 2, "m": 3})
+        assert item.attributes() == ("z", "a", "m")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DataModelError, match="duplicate attribute"):
+            DataItem([("a", 1), ("a", 2)])
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(DataModelError):
+            DataItem({"": 1})
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(DataModelError):
+            DataItem([(1, "x")])
+
+    def test_nested_dict_coerced(self):
+        item = DataItem({"user": {"id_str": "lp"}})
+        assert isinstance(item["user"], DataItem)
+
+    def test_nested_list_coerced_to_bag(self):
+        item = DataItem({"tags": [1, 2, 3]})
+        assert isinstance(item["tags"], Bag)
+
+    def test_get_with_default(self):
+        item = DataItem(a=1)
+        assert item.get("a") == 1
+        assert item.get("missing") is None
+        assert item.get("missing", 42) == 42
+
+    def test_getitem_missing_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no attribute 'missing'"):
+            DataItem(a=1)["missing"]
+
+    def test_contains(self):
+        item = DataItem(a=1)
+        assert "a" in item
+        assert "b" not in item
+
+    def test_replace_existing(self):
+        item = DataItem(a=1, b=2)
+        updated = item.replace(a=10)
+        assert updated["a"] == 10
+        assert item["a"] == 1  # original unchanged
+
+    def test_replace_appends_new_attribute(self):
+        updated = DataItem(a=1).replace(b=2)
+        assert updated.attributes() == ("a", "b")
+
+    def test_without(self):
+        item = DataItem(a=1, b=2, c=3)
+        assert item.without("b").attributes() == ("a", "c")
+
+    def test_project(self):
+        item = DataItem(a=1, b=2, c=3)
+        assert item.project(["c", "a"]).attributes() == ("c", "a")
+
+    def test_merged_with(self):
+        merged = DataItem(a=1).merged_with(DataItem(b=2))
+        assert merged.attributes() == ("a", "b")
+
+    def test_merged_with_overwrites(self):
+        merged = DataItem(a=1).merged_with(DataItem(a=9))
+        assert merged["a"] == 9
+
+    def test_equality_and_hash(self):
+        left = DataItem({"a": 1, "b": [1, 2]})
+        right = DataItem({"a": 1, "b": [1, 2]})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality_on_order(self):
+        assert DataItem([("a", 1), ("b", 2)]) != DataItem([("b", 2), ("a", 1)])
+
+    def test_to_python_roundtrip(self):
+        raw = {"a": 1, "b": {"c": [1, {"d": "x"}]}}
+        assert DataItem(raw).to_python() == raw
+
+    def test_len_and_iter(self):
+        item = DataItem(a=1, b=2)
+        assert len(item) == 2
+        assert list(item) == ["a", "b"]
+
+    def test_repr(self):
+        assert repr(DataItem(a=1)) == "<a: 1>"
+
+
+class TestBag:
+    def test_positional_access_is_one_based(self):
+        bag = Bag(["x", "y", "z"])
+        assert bag.at(1) == "x"
+        assert bag.at(3) == "z"
+
+    def test_python_indexing_is_zero_based(self):
+        bag = Bag(["x", "y"])
+        assert bag[0] == "x"
+
+    def test_at_zero_rejected(self):
+        with pytest.raises(DataModelError, match="1-based"):
+            Bag(["x"]).at(0)
+
+    def test_at_out_of_range(self):
+        with pytest.raises(DataModelError, match="out of range"):
+            Bag(["x"]).at(2)
+
+    def test_at_bool_rejected(self):
+        with pytest.raises(DataModelError):
+            Bag(["x"]).at(True)
+
+    def test_duplicates_preserved(self):
+        bag = Bag([1, 1, 2])
+        assert len(bag) == 3
+
+    def test_appended(self):
+        bag = Bag([1]).appended(2)
+        assert bag.items() == (1, 2)
+
+    def test_concat(self):
+        assert Bag([1]).concat(Bag([2, 3])).items() == (1, 2, 3)
+
+    def test_elements_coerced(self):
+        bag = Bag([{"a": 1}])
+        assert isinstance(bag.at(1), DataItem)
+
+    def test_equality_and_hash(self):
+        assert Bag([1, 2]) == Bag([1, 2])
+        assert hash(Bag([1, 2])) == hash(Bag([1, 2]))
+
+    def test_bag_not_equal_to_set(self):
+        assert Bag([1]) != NestedSet([1])
+
+    def test_repr_uses_double_braces(self):
+        assert repr(Bag([1])) == "{{1}}"
+
+
+class TestNestedSet:
+    def test_deduplicates_keeping_first(self):
+        nested = NestedSet([3, 1, 3, 2, 1])
+        assert nested.items() == (3, 1, 2)
+
+    def test_deduplicates_nested_items(self):
+        nested = NestedSet([{"a": 1}, {"a": 1}, {"a": 2}])
+        assert len(nested) == 2
+
+    def test_positional_access(self):
+        assert NestedSet(["x", "y"]).at(2) == "y"
+
+    def test_repr_uses_single_braces(self):
+        assert repr(NestedSet([1])) == "{1}"
+
+
+class TestCoercion:
+    def test_constants_pass_through(self):
+        for value in (1, 1.5, "x", True, None):
+            assert coerce_value(value) == value
+
+    def test_is_constant(self):
+        assert is_constant(None)
+        assert is_constant(3.14)
+        assert not is_constant([1])
+
+    def test_set_coerced_deterministically(self):
+        coerced = coerce_value({3, 1, 2})
+        assert isinstance(coerced, NestedSet)
+        assert coerced == coerce_value({2, 3, 1})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(DataModelError, match="does not fit"):
+            coerce_value(object())
+
+    def test_to_python_on_constants(self):
+        assert to_python(5) == 5
+
+    def test_tuple_coerced_to_bag(self):
+        assert isinstance(coerce_value((1, 2)), Bag)

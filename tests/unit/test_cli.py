@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "T9"])
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(["bench", "fig8", "--scale", "0.5"])
+        assert args.figure == "fig8"
+        assert args.scale == 0.5
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("T1", "T5", "D1", "D5"):
+            assert name in out
+
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Lisa Paul" in out
+        assert "contributing" in out
+
+    def test_scenario_with_query(self, capsys):
+        assert main(["scenario", "D1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "result rows:" in out
+        assert "matched result items: 1" in out
+
+    def test_scenario_no_query(self, capsys):
+        assert main(["scenario", "T1", "--scale", "0.1", "--no-query"]) == 0
+        out = capsys.readouterr().out
+        assert "query:" not in out
+
+    def test_scenario_pattern_override(self, capsys):
+        assert main(
+            ["scenario", "D2", "--scale", "0.1", "--pattern", 'root{/key="conf/pebble/2015"}']
+        ) == 0
+        out = capsys.readouterr().out
+        assert 'root{/key="conf/pebble/2015"}' in out
+
+    def test_bench_fig8(self, capsys):
+        assert main(["bench", "fig8", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8(a)" in out and "Fig. 8(b)" in out
+
+    def test_heatmap(self, capsys):
+        assert main(["heatmap", "--scale", "0.1", "--items", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "id" in out.splitlines()[0]
+        assert "advice:" in out

@@ -1,0 +1,46 @@
+"""Unit tests for the DOT export of plans and provenance."""
+
+from repro.pebble.export import plan_to_dot, provenance_to_dot
+from repro.pebble.query import query_provenance
+from repro.workloads.scenarios import (
+    RUNNING_EXAMPLE_PATTERN,
+    build_running_example,
+)
+
+
+class TestPlanToDot:
+    def test_all_operators_present(self, session, example_tweets):
+        pipeline = build_running_example(session, example_tweets)
+        dot = plan_to_dot(pipeline.plan)
+        assert dot.startswith("digraph pipeline {")
+        assert dot.rstrip().endswith("}")
+        for oid in range(1, 10):
+            assert f"op{oid} " in dot
+        # Union has two incoming edges.
+        assert "op3 -> op7;" in dot
+        assert "op6 -> op7;" in dot
+
+    def test_labels_escaped(self, session):
+        from repro.engine.expressions import col
+
+        ds = session.create_dataset([{"a": 'x"y'}], "in").filter(col("a") == 'x"y')
+        dot = plan_to_dot(ds.plan)
+        assert '\\"' in dot
+
+
+class TestProvenanceToDot:
+    def test_contributing_and_influencing_styles(self, captured_example):
+        provenance = query_provenance(captured_example, RUNNING_EXAMPLE_PATTERN)
+        dot = provenance_to_dot(provenance)
+        assert "subgraph cluster_0" in dot
+        assert '"tweets.json (operator 1)"' in dot
+        # Contributing nodes solid, influencing nodes dashed.
+        assert 'style=filled, fillcolor="#c8e6c9"' in dot
+        assert 'style="filled,dashed"' in dot
+        # Access/manipulation marks are carried into labels.
+        assert "A=2" in dot  # retweet_count accessed by the filter
+
+    def test_empty_sources_render(self, captured_example):
+        provenance = query_provenance(captured_example, 'root{//id_str="nobody"}')
+        dot = provenance_to_dot(provenance)
+        assert dot.count("subgraph") == 2  # both reads, both empty

@@ -1,0 +1,119 @@
+"""Unit tests for the persistence encoders/decoders and type serialisation."""
+
+import pytest
+
+from repro.core.operator_provenance import (
+    AggregationAssociations,
+    BinaryAssociations,
+    FlattenAssociations,
+    InputRef,
+    OperatorProvenance,
+    ReadAssociations,
+    UNDEFINED,
+    UnaryAssociations,
+)
+from repro.core.paths import parse_path
+from repro.errors import ProvenanceError, TypeInferenceError
+from repro.nested.schema import Schema
+from repro.nested.types import (
+    BagType,
+    INT,
+    SetType,
+    STRING,
+    StructType,
+    type_from_obj,
+    type_to_obj,
+)
+from repro.pebble.persistence import (
+    _decode_associations,
+    _decode_operator,
+    _encode_associations,
+    _encode_operator,
+)
+
+
+class TestTypeSerialisation:
+    @pytest.mark.parametrize(
+        "typ",
+        [
+            INT,
+            STRING,
+            StructType([("a", INT), ("b", BagType(STRING))]),
+            BagType(StructType([("x", SetType(INT))])),
+            SetType(INT),
+        ],
+    )
+    def test_roundtrip(self, typ):
+        assert type_from_obj(type_to_obj(typ)) == typ
+
+    def test_json_compatible(self):
+        import json
+
+        typ = StructType([("a", BagType(StructType([("b", INT)])))])
+        assert type_from_obj(json.loads(json.dumps(type_to_obj(typ)))) == typ
+
+    def test_bad_object_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            type_from_obj({"weird": 1})
+        with pytest.raises(TypeInferenceError):
+            type_from_obj(42)
+
+
+class TestAssociationCodec:
+    @pytest.mark.parametrize(
+        "associations",
+        [
+            ReadAssociations([1, 2, 3]),
+            UnaryAssociations([(1, 10), (2, 11)]),
+            FlattenAssociations([(1, 1, 10), (1, 2, 11)]),
+            BinaryAssociations([(1, None, 10), (None, 2, 11), (3, 4, 12)]),
+            AggregationAssociations([((1, 2), 10), ((3,), 11)]),
+        ],
+    )
+    def test_roundtrip(self, associations):
+        decoded = _decode_associations(_encode_associations(associations))
+        assert type(decoded) is type(associations)
+        if isinstance(associations, ReadAssociations):
+            assert decoded.ids == associations.ids
+        else:
+            assert decoded.records == associations.records
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProvenanceError, match="unknown association kind"):
+            _decode_associations({"kind": "mystery"})
+
+
+class TestOperatorCodec:
+    def test_roundtrip_with_schema_and_manipulations(self):
+        schema = Schema(StructType([("a", INT), ("tags", BagType(STRING))]))
+        provenance = OperatorProvenance(
+            5,
+            "flatten",
+            (InputRef(4, [parse_path("tags[pos]")], schema=schema),),
+            [(parse_path("tags[pos]"), parse_path("tag"))],
+            FlattenAssociations([(1, 1, 10)]),
+            "flatten tags -> tag",
+        )
+        decoded = _decode_operator(_encode_operator(provenance))
+        assert decoded.oid == 5
+        assert decoded.op_type == "flatten"
+        assert decoded.label == "flatten tags -> tag"
+        assert decoded.input(0).predecessor == 4
+        assert decoded.input(0).accessed == frozenset({parse_path("tags[pos]")})
+        assert decoded.input(0).schema == schema
+        assert decoded.manipulations_or_empty() == (
+            (parse_path("tags[pos]"), parse_path("tag")),
+        )
+
+    def test_roundtrip_undefined_map(self):
+        provenance = OperatorProvenance(
+            3,
+            "map",
+            (InputRef(2, UNDEFINED, schema=None),),
+            UNDEFINED,
+            UnaryAssociations([(1, 2)]),
+        )
+        decoded = _decode_operator(_encode_operator(provenance))
+        assert decoded.manipulations_undefined()
+        assert decoded.input(0).accessed is UNDEFINED
+        assert decoded.input(0).schema is None

@@ -1,0 +1,114 @@
+"""Unit tests for the synthetic Twitter and DBLP workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.workloads.twitter import TwitterConfig, generate_tweets
+
+
+class TestTwitterGenerator:
+    def test_deterministic(self):
+        assert generate_tweets(scale=0.1) == generate_tweets(scale=0.1)
+
+    def test_seed_changes_output(self):
+        assert generate_tweets(scale=0.1, seed=1) != generate_tweets(scale=0.1, seed=2)
+
+    def test_scale_controls_count(self):
+        small = generate_tweets(TwitterConfig(scale=0.5))
+        large = generate_tweets(TwitterConfig(scale=1.0))
+        assert len(large) == 2 * len(small) == TwitterConfig.BASE_TWEETS
+
+    def test_sentinels_present(self):
+        tweets = generate_tweets(scale=0.05)
+        first = tweets[0]
+        assert first["user"]["id_str"] == "u1"
+        assert "good" in first["text"] and "BTS" in first["text"]
+        assert first["retweet_count"] == 0
+        assert any(
+            mention["id_str"] == "u1"
+            for tweet in tweets
+            for mention in tweet["user_mentions"]
+        )
+        assert any(
+            tag["text"] == "pebble" for tweet in tweets for tag in tweet["hashtags"]
+        )
+
+    def test_nesting_depth_reaches_eight(self):
+        tweet = generate_tweets(scale=0.05)[0]
+        # tweet -> payload -> group_0 -> entries -> [0] -> meta -> flags -> [0]
+        flags = tweet["payload"]["group_0"]["entries"][0]["meta"]["flags"]
+        assert isinstance(flags[0], int)
+
+    def test_payload_width_configurable(self):
+        narrow = generate_tweets(scale=0.02, payload_width=0)
+        assert narrow[0]["payload"] == {}
+        wide = generate_tweets(scale=0.02, payload_width=8)
+        entry_count = sum(
+            len(group["entries"]) for group in wide[0]["payload"].values()
+        )
+        assert entry_count == 8
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            TwitterConfig(scale=0)
+
+    def test_config_and_kwargs_exclusive(self):
+        with pytest.raises(WorkloadError):
+            generate_tweets(TwitterConfig(), scale=1.0)
+
+    def test_mentions_reference_user_pool(self):
+        tweets = generate_tweets(scale=0.1)
+        user_ids = {tweet["user"]["id_str"] for tweet in tweets}
+        mention_ids = {
+            mention["id_str"] for tweet in tweets for mention in tweet["user_mentions"]
+        }
+        assert mention_ids <= user_ids | {"u1"} | mention_ids  # mentions come from the pool
+        assert all(identifier.startswith("u") for identifier in mention_ids)
+
+
+class TestDblpGenerator:
+    def test_deterministic(self):
+        assert generate_dblp(scale=0.1) == generate_dblp(scale=0.1)
+
+    def test_collections_present(self):
+        data = generate_dblp(scale=0.1)
+        assert set(data) == {"proceedings", "inproceedings", "articles", "persons"}
+
+    def test_sentinels(self):
+        data = generate_dblp(scale=0.05)
+        assert data["proceedings"][0]["key"] == "conf/pebble/2015"
+        sentinel = data["inproceedings"][0]
+        assert sentinel["title"] == "Structural Provenance for Nested Data"
+        assert sentinel["crossref"] == "conf/pebble/2015"
+        assert "Ralf Diestel" in sentinel["authors"]
+        assert data["persons"][0]["name"] == "Ralf Diestel"
+        assert data["articles"][0]["key"] == "journals/vldbj/Sentinel2015"
+
+    def test_crossrefs_resolve(self):
+        data = generate_dblp(scale=0.2)
+        keys = {record["key"] for record in data["proceedings"]}
+        assert all(record["crossref"] in keys for record in data["inproceedings"])
+
+    def test_papers_per_proceeding_preserved(self):
+        config = DblpConfig(scale=1.0)
+        ratio = config.inproceedings_count / config.proceedings_count
+        assert ratio == pytest.approx(DblpConfig.PAPERS_PER_PROCEEDING, rel=0.2)
+
+    def test_authors_come_from_person_pool(self):
+        data = generate_dblp(scale=0.2)
+        names = {person["name"] for person in data["persons"]}
+        assert all(
+            author in names
+            for record in data["inproceedings"]
+            for author in record["authors"]
+        )
+
+    def test_scale_controls_count(self):
+        small = generate_dblp(DblpConfig(scale=0.5))
+        large = generate_dblp(DblpConfig(scale=1.0))
+        assert len(large["inproceedings"]) == 2 * len(small["inproceedings"])
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            DblpConfig(scale=-1)
