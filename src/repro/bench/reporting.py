@@ -86,18 +86,35 @@ def render_provenance_sizes(measurements: list[SizeMeasurement], title: str) -> 
 
 
 def render_query_times(measurements: list[QueryMeasurement], title: str) -> str:
-    """Fig. 9: eager vs. lazy query runtime and the eager speed-up factor."""
-    rows = [
-        (
+    """Fig. 9: eager vs. lazy query runtime and the eager speed-up factor.
+
+    When the measurements carry warehouse numbers, two more columns report
+    the cold on-disk query latency and its segment-cache hit rate.
+    """
+    with_warehouse = any(m.warehouse_seconds is not None for m in measurements)
+    rows = []
+    for measurement in measurements:
+        row = [
             measurement.scenario,
             f"{measurement.eager_seconds * 1000:.1f}",
             f"{measurement.lazy_seconds * 1000:.1f}",
             f"x{measurement.speedup:.1f}",
             str(measurement.source_count),
-        )
-        for measurement in measurements
-    ]
-    table = format_table(("scenario", "eager ms", "lazy ms", "speedup", "inputs"), rows)
+        ]
+        if with_warehouse:
+            if measurement.warehouse_seconds is None:
+                row += ["-", "-"]
+            else:
+                hit_rate = measurement.cache_hit_rate or 0.0
+                row += [
+                    f"{measurement.warehouse_seconds * 1000:.1f}",
+                    f"{hit_rate:.2f}",
+                ]
+        rows.append(tuple(row))
+    headers = ["scenario", "eager ms", "lazy ms", "speedup", "inputs"]
+    if with_warehouse:
+        headers += ["warehouse ms", "cache hit"]
+    table = format_table(tuple(headers), rows)
     return f"{title}\n{table}"
 
 

@@ -7,6 +7,11 @@ Usage (also via ``python -m repro``)::
     python -m repro bench fig8                 # regenerate one figure
     python -m repro heatmap --scale 0.5        # the Fig. 10 use-case
     python -m repro list                       # available scenarios
+
+    python -m repro warehouse record example --root /tmp/wh
+    python -m repro warehouse ls --root /tmp/wh
+    python -m repro warehouse inspect run-0001-example --root /tmp/wh
+    python -m repro warehouse query run-0001-example 'root{...}' --root /tmp/wh
 """
 
 from __future__ import annotations
@@ -77,6 +82,38 @@ def build_parser() -> argparse.ArgumentParser:
     heatmap = commands.add_parser("heatmap", help="Fig. 10 usage heatmap over D1-D5")
     heatmap.add_argument("--scale", type=float, default=0.5)
     heatmap.add_argument("--items", type=int, default=25)
+
+    warehouse = commands.add_parser(
+        "warehouse", help="record, list, inspect, and query stored provenance runs"
+    )
+    wh_commands = warehouse.add_subparsers(dest="warehouse_command", required=True)
+
+    wh_record = wh_commands.add_parser(
+        "record", help="execute with capture and record the run durably"
+    )
+    wh_record.add_argument("name", choices=sorted(SCENARIOS) + ["example"])
+    wh_record.add_argument("--root", required=True, help="warehouse root directory")
+    wh_record.add_argument("--scale", type=float, default=1.0)
+    wh_record.add_argument("--partitions", type=int, default=4)
+    wh_record.add_argument("--run-name", default=None, help="catalog name (default: scenario)")
+
+    wh_ls = wh_commands.add_parser("ls", help="list the catalogued runs")
+    wh_ls.add_argument("--root", required=True, help="warehouse root directory")
+
+    wh_inspect = wh_commands.add_parser(
+        "inspect", help="per-operator summary of one run (index only, no decode)"
+    )
+    wh_inspect.add_argument("run", help="run id or name (names resolve to newest)")
+    wh_inspect.add_argument("--root", required=True, help="warehouse root directory")
+
+    wh_query = wh_commands.add_parser(
+        "query", help="lazily backtrace a tree pattern over a stored run"
+    )
+    wh_query.add_argument("run", help="run id or name (names resolve to newest)")
+    wh_query.add_argument("pattern", help="tree pattern, e.g. 'root{//id_str=\"lp\"}'")
+    wh_query.add_argument("--root", required=True, help="warehouse root directory")
+    wh_query.add_argument("--partitions", type=int, default=4)
+    wh_query.add_argument("--cache-size", type=int, default=64)
 
     return parser
 
@@ -181,6 +218,86 @@ def _cmd_heatmap(scale: float, items: int) -> int:
     return 0
 
 
+def _cmd_warehouse(args: argparse.Namespace) -> int:
+    from repro.warehouse import Warehouse
+
+    warehouse = Warehouse.open(args.root)
+
+    if args.warehouse_command == "record":
+        session = Session(num_partitions=args.partitions)
+        if args.name == "example":
+            pipeline = build_running_example(session, list(RUNNING_EXAMPLE_TWEETS))
+        else:
+            spec = scenario(args.name)
+            pipeline = spec.build(session, load_workload(spec.kind, args.scale))
+        execution = pipeline.execute(capture=True)
+        record = warehouse.record(execution, name=args.run_name or args.name)
+        print(f"recorded {record.run_id} ({record.name})")
+        print(f"  operators: {record.operator_count}")
+        print(f"  rows:      {record.row_count}")
+        print(f"  bytes:     {record.total_bytes}")
+        return 0
+
+    if args.warehouse_command == "ls":
+        runs = warehouse.runs()
+        if not runs:
+            print(f"warehouse {warehouse.root}: no runs")
+            return 0
+        print(f"warehouse {warehouse.root}: {len(runs)} run(s)")
+        header = f"{'run id':<24} {'name':<16} {'created':<20} {'ops':>4} {'rows':>6} {'bytes':>10}"
+        print(header)
+        print("-" * len(header))
+        for record in runs:
+            print(
+                f"{record.run_id:<24} {record.name:<16} {record.created_iso():<20} "
+                f"{record.operator_count:>4} {record.row_count:>6} {record.total_bytes:>10}"
+            )
+        return 0
+
+    if args.warehouse_command == "inspect":
+        summary = warehouse.inspect(args.run)
+        print(f"{summary['run_id']} ({summary['name']}), created {summary['created']}")
+        print(f"sink oid {summary['sink_oid']}, {summary['rows']} rows, "
+              f"{summary['total_bytes']} bytes on disk")
+        header = f"{'oid':>4} {'type':<12} {'kind':<12} {'records':>8} {'bytes':>9}  label"
+        print(header)
+        print("-" * len(header))
+        for op in summary["operators"]:
+            label = op["label"]
+            if op["source_name"]:
+                label = f"{label} [{op['source_name']}]"
+            print(
+                f"{op['oid']:>4} {op['op_type']:<12} {op['kind']:<12} "
+                f"{op['records']:>8} {op['segment_bytes']:>9}  {label}"
+            )
+        return 0
+
+    if args.warehouse_command == "query":
+        provenance, metrics = warehouse.backtrace(
+            args.run,
+            args.pattern,
+            num_partitions=args.partitions,
+            cache_size=args.cache_size,
+        )
+        print(f"query: {args.pattern}")
+        print(f"matched result items: {len(provenance.matched_output_ids)}")
+        for source in provenance.sources:
+            print(f"  {source.name}: {len(source)} input items in provenance")
+        print()
+        print(provenance.render())
+        print()
+        total = warehouse.inspect(args.run)["operators"]
+        print(
+            f"segments decoded: {metrics.misses}/{len(total)} "
+            f"(cache hit rate {metrics.hit_rate:.2f}, {metrics.bytes_read} bytes read)"
+        )
+        return 0
+
+    raise AssertionError(
+        f"unhandled warehouse command {args.warehouse_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -194,6 +311,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args.figure, args.scale, args.repeats)
     if args.command == "heatmap":
         return _cmd_heatmap(args.scale, args.items)
+    if args.command == "warehouse":
+        return _cmd_warehouse(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

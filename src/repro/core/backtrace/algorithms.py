@@ -46,7 +46,7 @@ from repro.core.operator_provenance import (
     UnaryAssociations,
 )
 from repro.core.paths import POS, Path
-from repro.core.store import ProvenanceStore
+from repro.core.store import ProvenanceStoreProtocol
 from repro.errors import BacktraceError
 from repro.nested.schema import Schema
 from repro.nested.types import BagType, SetType, StructType
@@ -75,7 +75,7 @@ class SourceProvenance:
 class Backtracer:
     """Backtraces a structure ``B`` through the captured provenance."""
 
-    def __init__(self, store: ProvenanceStore):
+    def __init__(self, store: ProvenanceStoreProtocol):
         self._store = store
 
     def backtrace(self, sink_oid: int, seeds: BacktraceStructure) -> list[SourceProvenance]:

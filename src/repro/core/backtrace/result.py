@@ -14,7 +14,7 @@ from typing import Iterator
 from repro.core.backtrace.algorithms import SourceProvenance
 from repro.core.backtrace.tree import BacktraceNode, BacktraceTree, NodeLabel
 from repro.core.paths import POS
-from repro.core.store import ProvenanceStore
+from repro.core.store import ProvenanceStoreProtocol
 from repro.nested.values import Bag, DataItem, NestedSet
 
 __all__ = ["ProvenanceEntry", "SourceResult", "ProvenanceResult"]
@@ -165,7 +165,7 @@ class ProvenanceResult:
     @classmethod
     def resolve(
         cls,
-        store: ProvenanceStore,
+        store: ProvenanceStoreProtocol,
         raw: list[SourceProvenance],
         matched_output_ids: list[int],
     ) -> "ProvenanceResult":

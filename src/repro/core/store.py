@@ -10,13 +10,13 @@ resolves source identifiers back to input data items.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Protocol, runtime_checkable
 
 from repro.core.operator_provenance import OperatorProvenance, ReadAssociations
 from repro.errors import BacktraceError, ProvenanceError
 from repro.nested.values import DataItem
 
-__all__ = ["ProvenanceStore", "ProvenanceSizeReport"]
+__all__ = ["ProvenanceStore", "ProvenanceStoreProtocol", "ProvenanceSizeReport"]
 
 
 class ProvenanceSizeReport:
@@ -52,6 +52,39 @@ class ProvenanceSizeReport:
             f"ProvenanceSizeReport(lineage={self.lineage_bytes}B, "
             f"structural=+{self.structural_bytes}B, records={self.association_count})"
         )
+
+
+@runtime_checkable
+class ProvenanceStoreProtocol(Protocol):
+    """What backtracing and query resolution need from a provenance store.
+
+    Two implementations exist: the in-memory :class:`ProvenanceStore` filled
+    by the capture-enabled executor, and the on-disk
+    :class:`~repro.warehouse.reader.LazyProvenanceStore` that decodes
+    warehouse segments on demand.  Backtracing
+    (:class:`~repro.core.backtrace.algorithms.Backtracer`) and result
+    resolution (:meth:`~repro.core.backtrace.result.ProvenanceResult.resolve`)
+    accept anything satisfying this protocol, which is what lets a
+    persisted run answer queries without a full load.
+    """
+
+    def get(self, oid: int) -> OperatorProvenance: ...
+
+    def has(self, oid: int) -> bool: ...
+
+    def operators(self) -> Iterator[OperatorProvenance]: ...
+
+    def is_source(self, oid: int) -> bool: ...
+
+    def source_name(self, oid: int) -> str: ...
+
+    def source_item(self, oid: int, item_id: int) -> DataItem: ...
+
+    def source_items(self, oid: int) -> dict[int, DataItem]: ...
+
+    def size_report(self) -> "ProvenanceSizeReport": ...
+
+    def __len__(self) -> int: ...
 
 
 class ProvenanceStore:
@@ -125,57 +158,36 @@ class ProvenanceStore:
     # -- persistence ------------------------------------------------------------
 
     def serialize(self) -> bytes:
-        """Encode the captured provenance into a compact byte string.
+        """Encode the captured provenance into a compact, decodable blob.
 
         Eager capture does not end at collecting the pebbles -- Pebble
-        persists them so provenance queries can run later.  This encoder
-        packs every id association (8 bytes per identifier, 4 per position)
-        plus the once-per-operator schema-level path strings; benchmark
-        capture timings include it so the measured overhead covers the full
-        eager capture path.
+        persists them so provenance queries can run later.  The encoding is
+        the warehouse segment format (:mod:`repro.warehouse.format`):
+        length-prefixed records with 8 bytes per identifier and 4 per
+        position (matching :meth:`size_report` accounting) and a sentinel
+        for absent union/outer-join sides, so a legitimate id ``0`` stays
+        distinguishable from "no match" and every aggregation record carries
+        its input-id count.  Benchmark capture timings include this call so
+        the measured overhead covers the full eager capture path.
         """
-        from repro.core.operator_provenance import (
-            AggregationAssociations,
-            BinaryAssociations,
-            FlattenAssociations,
-            ReadAssociations,
-            UnaryAssociations,
-        )
+        from repro.warehouse.format import encode_store_blob
 
-        buffer = bytearray()
-        for provenance in self._operators.values():
-            buffer += provenance.oid.to_bytes(4, "little")
-            buffer += provenance.op_type.encode()
-            for input_ref in provenance.inputs:
-                for path in sorted(input_ref.accessed_or_empty(), key=str):
-                    buffer += str(path).encode()
-            for path_in, path_out in provenance.manipulations_or_empty():
-                buffer += str(path_in).encode()
-                buffer += str(path_out).encode()
-            associations = provenance.associations
-            if isinstance(associations, ReadAssociations):
-                for id_out in associations.ids:
-                    buffer += id_out.to_bytes(8, "little")
-            elif isinstance(associations, UnaryAssociations):
-                for id_in, id_out in associations.records:
-                    buffer += id_in.to_bytes(8, "little")
-                    buffer += id_out.to_bytes(8, "little")
-            elif isinstance(associations, FlattenAssociations):
-                for id_in, pos, id_out in associations.records:
-                    buffer += id_in.to_bytes(8, "little")
-                    buffer += pos.to_bytes(4, "little")
-                    buffer += id_out.to_bytes(8, "little")
-            elif isinstance(associations, BinaryAssociations):
-                for id_in1, id_in2, id_out in associations.records:
-                    buffer += (id_in1 or 0).to_bytes(8, "little")
-                    buffer += (id_in2 or 0).to_bytes(8, "little")
-                    buffer += id_out.to_bytes(8, "little")
-            elif isinstance(associations, AggregationAssociations):
-                for ids_in, id_out in associations.records:
-                    for id_in in ids_in:
-                        buffer += id_in.to_bytes(8, "little")
-                    buffer += id_out.to_bytes(8, "little")
-        return bytes(buffer)
+        return encode_store_blob(list(self._operators.values()))
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "ProvenanceStore":
+        """Rebuild a store from a :meth:`serialize` blob.
+
+        Source items are not part of the blob (the warehouse keeps them in
+        their own segments), so the restored store can backtrace but not
+        resolve source identifiers to input items.
+        """
+        from repro.warehouse.format import decode_store_blob
+
+        store = cls()
+        for provenance in decode_store_blob(blob):
+            store.register(provenance)
+        return store
 
     # -- space accounting (Fig. 8) -------------------------------------------
 

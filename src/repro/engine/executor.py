@@ -27,7 +27,7 @@ from repro.core.operator_provenance import (
     UnaryAssociations,
 )
 from repro.core.paths import Path
-from repro.core.store import ProvenanceStore
+from repro.core.store import ProvenanceStore, ProvenanceStoreProtocol
 from repro.engine.expressions import BinaryExpr, ColumnExpr, Expression
 from repro.engine.metrics import ExecutionMetrics, Stopwatch
 from repro.engine.partition import concat_partitions, hash_partition, partition_rows
@@ -51,12 +51,15 @@ from repro.nested.schema import Schema, infer_schema
 from repro.nested.types import StructType
 from repro.nested.values import Bag, DataItem, NestedSet, coerce_value
 
-__all__ = ["Executor", "ExecutionResult"]
+__all__ = ["Executor", "ExecutionResult", "SCHEMA_SAMPLE"]
 
 Row = tuple[Any, DataItem]  # (pid or None, item)
 
 #: Number of items sampled when inferring a dataset schema at runtime.
-_SCHEMA_SAMPLE = 200
+#: Shared by every consumer that re-infers a schema from stored rows
+#: (warehouse loads, JSON restores), so persisted and live executions agree.
+SCHEMA_SAMPLE = 200
+_SCHEMA_SAMPLE = SCHEMA_SAMPLE  # backwards-compatible alias
 
 
 class _NodeResult:
@@ -77,7 +80,7 @@ class ExecutionResult:
         root: PlanNode,
         partitions: list[list[Row]],
         schema: Schema,
-        store: ProvenanceStore | None,
+        store: ProvenanceStoreProtocol | None,
         metrics: ExecutionMetrics,
     ):
         self.root = root

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from typing import Iterator
 
-__all__ = ["OperatorMetrics", "ExecutionMetrics", "Stopwatch"]
+__all__ = ["OperatorMetrics", "ExecutionMetrics", "SegmentCacheMetrics", "Stopwatch"]
 
 
 class Stopwatch:
@@ -48,6 +48,54 @@ class OperatorMetrics:
         return (
             f"OperatorMetrics({self.label!r}: {self.rows_in} -> {self.rows_out} rows, "
             f"{self.seconds * 1000:.2f} ms)"
+        )
+
+
+class SegmentCacheMetrics:
+    """Hit/miss counters of a lazy provenance reader's segment cache.
+
+    A *miss* decodes one operator segment from disk; the miss count is
+    therefore exactly the number of operators a query materialised -- the
+    observable that lets tests (and the Fig. 9 warehouse benchmark) assert
+    that lazy backtracing touches only the operators on the backtrace path,
+    not the whole run.  Source-item blocks are counted separately because
+    the reader defers them past operator decoding: a source that ends up
+    with empty provenance never has its items decoded.
+    """
+
+    __slots__ = ("hits", "misses", "item_hits", "item_misses", "bytes_read", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.item_hits = 0
+        self.item_misses = 0
+        self.bytes_read = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of operator lookups served from the cache."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.item_hits = 0
+        self.item_misses = 0
+        self.bytes_read = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentCacheMetrics(hits={self.hits}, misses={self.misses}, "
+            f"items={self.item_hits}/{self.item_hits + self.item_misses}, "
+            f"read={self.bytes_read}B)"
         )
 
 

@@ -17,7 +17,10 @@ tools.
 from __future__ import annotations
 
 from pathlib import Path as FsPath
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.warehouse import Warehouse
 
 from repro.core.backtrace.result import ProvenanceResult
 from repro.core.store import ProvenanceSizeReport
@@ -66,15 +69,43 @@ class CapturedExecution:
         assert self._execution.store is not None
         return self._execution.store.size_report()
 
-    def save(self, path: FsPath | str) -> None:
-        """Persist the annotated result and provenance to a JSON file."""
+    def save(self, path: FsPath | str, name: str = "run") -> None:
+        """Persist the annotated result and provenance durably.
+
+        Records the execution into the provenance warehouse rooted at
+        *path* (created if needed); queries can later be served lazily with
+        :meth:`load` or ``repro warehouse query`` without re-loading the
+        whole capture.
+        """
         from repro.pebble.persistence import save_execution
 
-        save_execution(self._execution, path)
+        save_execution(self._execution, path, name=name)
+
+    def record_to(self, warehouse: "Warehouse | FsPath | str", name: str = "run"):
+        """Record this execution into a warehouse; returns the run record."""
+        from repro.warehouse import Warehouse
+
+        if not isinstance(warehouse, Warehouse):
+            warehouse = Warehouse.open(warehouse)
+        return warehouse.record(self._execution, name=name)
+
+    def export_json(self, path: FsPath | str) -> None:
+        """Export rows + provenance as one plain-JSON document.
+
+        The JSON format is the interchange path for external tools; the
+        warehouse (:meth:`save`) is the queryable store.
+        """
+        from repro.pebble.persistence import save_execution_json
+
+        save_execution_json(self._execution, path)
 
     @classmethod
     def load(cls, path: FsPath | str, num_partitions: int = 4) -> "CapturedExecution":
-        """Restore a persisted capture; supports querying, not re-running."""
+        """Restore a persisted capture; supports querying, not re-running.
+
+        Accepts a warehouse root directory (loads the newest run with a
+        lazy provenance store) or a JSON export file.
+        """
         from repro.pebble.persistence import load_execution
 
         return cls(load_execution(path, num_partitions))
@@ -108,6 +139,14 @@ class PebbleSession:
     def run_plain(self, dataset: Dataset) -> ExecutionResult:
         """Execute without capture (the plain SparkSQL path)."""
         return dataset.execute(capture=False)
+
+    # -- persistence -----------------------------------------------------------
+
+    def warehouse(self, root: FsPath | str) -> "Warehouse":
+        """Open (creating if needed) a provenance warehouse for this session."""
+        from repro.warehouse import Warehouse
+
+        return Warehouse.open(root)
 
     def __repr__(self) -> str:
         return f"PebbleSession({self.session!r})"

@@ -1,20 +1,35 @@
-"""Graphviz/DOT export of plans and backtraced provenance.
+"""Export paths: Graphviz/DOT renderings and the plain-JSON interchange.
 
 The paper's outlook mentions a user-friendly front-end for interacting with
 structural provenance; a DOT rendering is the lightweight version of that:
 ``plan_to_dot`` draws the operator DAG (Fig. 1 style), ``provenance_to_dot``
 draws the backtracing trees of a query answer (Fig. 2 style) with
 contributing nodes filled green-ish and influencing nodes dashed.
+
+The whole-document JSON capture format (the predecessor of the binary
+provenance warehouse) also lives on here as an interchange path:
+:func:`export_execution_json` writes one self-contained JSON document that
+external tools can read without knowing the segment format.
 """
 
 from __future__ import annotations
 
+from pathlib import Path as FsPath
+
 from repro.core.backtrace.result import ProvenanceResult
 from repro.core.backtrace.tree import BacktraceNode
 from repro.core.paths import POS
+from repro.engine.executor import ExecutionResult
 from repro.engine.plan import PlanNode
 
-__all__ = ["plan_to_dot", "provenance_to_dot"]
+__all__ = ["plan_to_dot", "provenance_to_dot", "export_execution_json"]
+
+
+def export_execution_json(execution: ExecutionResult, path: FsPath | str) -> None:
+    """Export a capture-enabled execution as one plain-JSON document."""
+    from repro.pebble.persistence import save_execution_json
+
+    save_execution_json(execution, path)
 
 
 def _escape(text: str) -> str:

@@ -1,14 +1,18 @@
 """Persisting captured provenance for later querying.
 
 Eager capture is only useful if the collected pebbles outlive the pipeline
-run: auditing and data-usage analyses happen days after execution.  This
-module saves a captured execution -- the provenance-annotated result rows
-plus the full provenance store -- to a single JSON file and restores it into
-a queryable :class:`~repro.pebble.api.CapturedExecution`-equivalent object.
+run: auditing and data-usage analyses happen days after execution.  The
+durable home for captured executions is the provenance warehouse
+(:mod:`repro.warehouse`): :func:`save_execution` and :func:`load_execution`
+are thin wrappers that record into / load from a single-run warehouse
+directory, so existing callers and benchmarks keep working while gaining
+indexed storage and lazy backtracing.
 
-The format is deliberately plain JSON: one document with the result rows,
-the per-operator provenance (id associations, accessed/manipulated paths,
-input schemas), and the source items, so external tools can read it too.
+The original whole-document JSON format is retained as an *export* path
+(:func:`save_execution_json` / re-exported through
+:mod:`repro.pebble.export`): one plain-JSON document with the result rows,
+the per-operator provenance, and the source items, so external tools can
+read it too.  :func:`load_execution` still accepts such files.
 """
 
 from __future__ import annotations
@@ -30,16 +34,21 @@ from repro.core.operator_provenance import (
 )
 from repro.core.paths import parse_path
 from repro.core.store import ProvenanceStore
-from repro.engine.executor import ExecutionResult
+from repro.engine.executor import SCHEMA_SAMPLE, ExecutionResult
 from repro.engine.metrics import ExecutionMetrics
-from repro.engine.plan import PlanNode
 from repro.errors import ProvenanceError
 from repro.nested.json_io import _jsonable  # shared encoder for model values
 from repro.nested.schema import Schema
 from repro.nested.types import type_from_obj, type_to_obj
 from repro.nested.values import DataItem
+from repro.warehouse.reader import RestoredPlanNode
 
-__all__ = ["save_execution", "load_execution"]
+__all__ = [
+    "save_execution",
+    "save_execution_json",
+    "load_execution",
+    "load_execution_json",
+]
 
 _FORMAT_VERSION = 1
 
@@ -141,17 +150,22 @@ def _decode_operator(obj: dict[str, Any]) -> OperatorProvenance:
     )
 
 
-class _RestoredPlanNode(PlanNode):
-    """Placeholder root carrying only the sink's operator id."""
+def save_execution(execution: ExecutionResult, path: FsPath | str, name: str = "run") -> None:
+    """Persist a capture-enabled execution as a single-run warehouse.
 
-    op_type = "restored"
+    *path* becomes (or extends) a warehouse root directory; the execution is
+    recorded as one catalogued run in binary segments.  Use
+    :func:`save_execution_json` for the plain-JSON export format.
+    """
+    from repro.warehouse import Warehouse
 
-    def __init__(self, oid: int):
-        super().__init__(oid, ())
+    if execution.store is None:
+        raise ProvenanceError("only capture-enabled executions can be persisted")
+    Warehouse.open(path).record(execution, name=name)
 
 
-def save_execution(execution: ExecutionResult, path: FsPath | str) -> None:
-    """Persist a capture-enabled execution (rows + provenance) to JSON."""
+def save_execution_json(execution: ExecutionResult, path: FsPath | str) -> None:
+    """Export a capture-enabled execution (rows + provenance) to JSON."""
     if execution.store is None:
         raise ProvenanceError("only capture-enabled executions can be persisted")
     store = execution.store
@@ -183,11 +197,50 @@ def save_execution(execution: ExecutionResult, path: FsPath | str) -> None:
 def load_execution(path: FsPath | str, num_partitions: int = 4) -> ExecutionResult:
     """Restore a persisted execution into a queryable object.
 
-    The result supports everything provenance querying needs: tree-pattern
+    A directory restores from the warehouse (newest run, lazy provenance
+    store); a file restores from the JSON export format.  Either way the
+    result supports everything provenance querying needs: tree-pattern
     matching over its partitions and backtracing over its store.  The plan
     itself is not restored (only the sink id), so the execution cannot be
     re-run -- that is what the original program is for.
     """
+    path = FsPath(path)
+    if path.is_dir():
+        from repro.warehouse import Warehouse
+
+        return Warehouse.open(path).load(num_partitions=num_partitions)
+    return load_execution_json(path, num_partitions)
+
+
+def _validated_pid(pid: object, context: str) -> int | None:
+    """Check a decoded provenance id: an int or ``None``, nothing else.
+
+    JSON cannot tell ``None`` (capture off / no annotation) apart from a
+    malformed or stringified id once the document has been edited by an
+    external tool, so loads re-validate instead of trusting the file.
+    """
+    if pid is None:
+        return None
+    if isinstance(pid, bool) or not isinstance(pid, int):
+        raise ProvenanceError(
+            f"invalid provenance id {pid!r} in {context}: expected an integer or null"
+        )
+    if pid < 0:
+        raise ProvenanceError(f"invalid provenance id {pid} in {context}: must be >= 0")
+    return pid
+
+
+def _required_pid(pid: object, context: str) -> int:
+    """Like :func:`_validated_pid`, but ``None`` is also rejected (source ids
+    are always assigned, only result rows may be unannotated)."""
+    validated = _validated_pid(pid, context)
+    if validated is None:
+        raise ProvenanceError(f"missing provenance id in {context}: source ids cannot be null")
+    return validated
+
+
+def load_execution_json(path: FsPath | str, num_partitions: int = 4) -> ExecutionResult:
+    """Restore a JSON-exported execution (see :func:`save_execution_json`)."""
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     if document.get("format") != _FORMAT_VERSION:
@@ -199,20 +252,26 @@ def load_execution(path: FsPath | str, num_partitions: int = 4) -> ExecutionResu
         store.register_source_items(
             source["oid"],
             source["name"],
-            {item_id: DataItem(raw) for item_id, raw in source["items"]},
+            {
+                _required_pid(item_id, f"source {source['oid']}"): DataItem(raw)
+                for item_id, raw in source["items"]
+            },
         )
-    rows = [(pid, DataItem(raw)) for pid, raw in document["rows"]]
+    rows = [
+        (_validated_pid(pid, "result rows"), DataItem(raw))
+        for pid, raw in document["rows"]
+    ]
     from repro.engine.partition import partition_rows
     from repro.nested.schema import infer_schema
     from repro.nested.types import StructType
 
     schema = (
-        infer_schema(item for _, item in rows[:200])
+        infer_schema(item for _, item in rows[:SCHEMA_SAMPLE])
         if rows
         else Schema(StructType())
     )
     return ExecutionResult(
-        _RestoredPlanNode(document["sink"]),
+        RestoredPlanNode(document["sink"]),
         partition_rows(rows, num_partitions),
         schema,
         store,

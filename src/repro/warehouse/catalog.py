@@ -1,0 +1,166 @@
+"""Run catalog: the JSON manifest listing every execution in a warehouse.
+
+One warehouse root stores many captured executions (the multi-run shape the
+paper's use-cases need: auditing and data-usage queries span runs recorded
+days apart).  ``catalog.json`` is the only file a listing has to read -- it
+carries per run the name, creation timestamp, sink operator, and size
+figures, so ``repro warehouse ls`` never touches a segment.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path as FsPath
+from typing import Any
+
+from repro.errors import ProvenanceError
+
+__all__ = ["RunRecord", "Catalog", "CATALOG_VERSION"]
+
+CATALOG_VERSION = 1
+
+
+class RunRecord:
+    """One catalog entry: the identity and vital statistics of a stored run."""
+
+    __slots__ = (
+        "run_id",
+        "name",
+        "created",
+        "sink_oid",
+        "operator_count",
+        "row_count",
+        "total_bytes",
+    )
+
+    def __init__(
+        self,
+        run_id: str,
+        name: str,
+        created: float,
+        sink_oid: int,
+        operator_count: int,
+        row_count: int,
+        total_bytes: int,
+    ):
+        self.run_id = run_id
+        self.name = name
+        #: Seconds since the epoch at :meth:`Warehouse.record` time.
+        self.created = created
+        self.sink_oid = sink_oid
+        self.operator_count = operator_count
+        self.row_count = row_count
+        #: Bytes of all segments on disk (operators + rows).
+        self.total_bytes = total_bytes
+
+    def created_iso(self) -> str:
+        return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.created))
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "name": self.name,
+            "created": self.created,
+            "sink_oid": self.sink_oid,
+            "operator_count": self.operator_count,
+            "row_count": self.row_count,
+            "total_bytes": self.total_bytes,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "RunRecord":
+        return cls(
+            obj["run_id"],
+            obj["name"],
+            obj["created"],
+            obj["sink_oid"],
+            obj["operator_count"],
+            obj["row_count"],
+            obj["total_bytes"],
+        )
+
+    def __repr__(self) -> str:
+        return f"RunRecord({self.run_id!r}, name={self.name!r}, {self.row_count} rows)"
+
+
+class Catalog:
+    """The warehouse's run registry, persisted as ``catalog.json``."""
+
+    FILENAME = "catalog.json"
+
+    def __init__(self, root: FsPath):
+        self.root = FsPath(root)
+        self._records: list[RunRecord] = []
+        self._next_seq = 1
+
+    @property
+    def path(self) -> FsPath:
+        return self.root / self.FILENAME
+
+    @classmethod
+    def load(cls, root: FsPath) -> "Catalog":
+        """Read the catalog under *root*, or start an empty one."""
+        catalog = cls(root)
+        if not catalog.path.exists():
+            return catalog
+        with open(catalog.path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if document.get("version") != CATALOG_VERSION:
+            raise ProvenanceError(
+                f"unsupported catalog version: {document.get('version')!r}"
+            )
+        catalog._records = [RunRecord.from_obj(entry) for entry in document["runs"]]
+        catalog._next_seq = document.get("next_seq", len(catalog._records) + 1)
+        return catalog
+
+    def save(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        document = {
+            "version": CATALOG_VERSION,
+            "next_seq": self._next_seq,
+            "runs": [record.to_obj() for record in self._records],
+        }
+        # Write-then-rename keeps the catalog readable if a record() crashes
+        # mid-write (the fresh run directory is then simply unreferenced).
+        tmp = self.path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        tmp.replace(self.path)
+
+    def new_run_id(self, name: str) -> str:
+        """Mint the next run identifier: a sequence number plus a name slug."""
+        slug = "".join(ch if ch.isalnum() else "-" for ch in name.lower()).strip("-")
+        run_id = f"run-{self._next_seq:04d}" + (f"-{slug}" if slug else "")
+        self._next_seq += 1
+        return run_id
+
+    def add(self, record: RunRecord) -> None:
+        if any(existing.run_id == record.run_id for existing in self._records):
+            raise ProvenanceError(f"run {record.run_id!r} already catalogued")
+        self._records.append(record)
+
+    def runs(self) -> list[RunRecord]:
+        """All records, oldest first."""
+        return list(self._records)
+
+    def latest(self) -> RunRecord:
+        if not self._records:
+            raise ProvenanceError(f"warehouse at {self.root} holds no runs")
+        return self._records[-1]
+
+    def find(self, run_id: str) -> RunRecord:
+        """Resolve a run id or name (names resolve to their newest run)."""
+        for record in self._records:
+            if record.run_id == run_id:
+                return record
+        named = [record for record in self._records if record.name == run_id]
+        if named:
+            return named[-1]
+        raise ProvenanceError(f"no run {run_id!r} in warehouse at {self.root}")
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"Catalog({self.root}, {len(self._records)} runs)"

@@ -1,0 +1,187 @@
+"""The warehouse facade: record, list, load, and query stored runs.
+
+The paper's motivation for eager capture is that provenance outlives the
+pipeline run (auditing and usage queries happen days later, Sec. 7.4).
+:class:`Warehouse` is the durable home those queries run against: many
+captured executions under one root directory, catalogued in
+``catalog.json``, each run spilled into per-operator binary segments that a
+:class:`~repro.warehouse.reader.LazyProvenanceStore` decodes on demand.
+
+Directory layout::
+
+    <root>/
+      catalog.json                   run registry (name, timestamp, sizes)
+      runs/<run_id>/
+        manifest.json                footer index: oid -> segment/offsets
+        rows.seg                     provenance-annotated result rows
+        ops/op-<oid>.seg             one segment per operator
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path as FsPath
+from typing import Any
+
+from repro.core.backtrace.result import ProvenanceResult
+from repro.core.treepattern.pattern import TreePattern
+from repro.engine.executor import ExecutionResult
+from repro.engine.metrics import ExecutionMetrics, SegmentCacheMetrics
+from repro.engine.partition import partition_rows
+from repro.errors import ProvenanceError
+from repro.nested.schema import Schema, infer_schema
+from repro.nested.types import StructType
+from repro.warehouse.catalog import Catalog, RunRecord
+from repro.warehouse.reader import (
+    DEFAULT_CACHE_SIZE,
+    LazyProvenanceStore,
+    RestoredPlanNode,
+    load_manifest,
+    read_rows,
+)
+from repro.warehouse.writer import write_run
+
+__all__ = ["Warehouse"]
+
+RUNS_DIR = "runs"
+
+
+class Warehouse:
+    """A persistent, indexed store of many captured executions."""
+
+    def __init__(self, root: FsPath, catalog: Catalog):
+        self.root = FsPath(root)
+        self._catalog = catalog
+
+    @classmethod
+    def open(cls, root: FsPath | str) -> "Warehouse":
+        """Open (creating if needed) the warehouse rooted at *root*."""
+        root = FsPath(root)
+        if root.exists() and not root.is_dir():
+            raise ProvenanceError(f"warehouse root {root} is not a directory")
+        root.mkdir(parents=True, exist_ok=True)
+        return cls(root, Catalog.load(root))
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, execution: ExecutionResult, name: str = "run") -> RunRecord:
+        """Persist one capture-enabled execution; returns its catalog record."""
+        if execution.store is None:
+            raise ProvenanceError("only capture-enabled executions can be recorded")
+        created = time.time()
+        run_id = self._catalog.new_run_id(name)
+        run_dir = self.root / RUNS_DIR / run_id
+        manifest = write_run(run_dir, execution, run_id, name, created)
+        record = RunRecord(
+            run_id,
+            name,
+            created,
+            manifest["sink_oid"],
+            len(manifest["operators"]),
+            manifest["rows"]["count"],
+            manifest["total_bytes"],
+        )
+        self._catalog.add(record)
+        self._catalog.save()
+        return record
+
+    # -- listing / inspection --------------------------------------------------
+
+    def runs(self) -> list[RunRecord]:
+        """All catalogued runs, oldest first (reads only the catalog)."""
+        return self._catalog.runs()
+
+    def run_dir(self, run_id: str) -> FsPath:
+        return self.root / RUNS_DIR / self._catalog.find(run_id).run_id
+
+    def inspect(self, run_id: str) -> dict[str, Any]:
+        """Per-operator summary of one run, served from its footer index."""
+        record = self._catalog.find(run_id)
+        manifest = load_manifest(self.run_dir(record.run_id))
+        operators = [
+            {
+                "oid": int(oid),
+                "op_type": entry["op_type"],
+                "label": entry["label"],
+                "kind": entry["kind"],
+                "records": entry["records"],
+                "segment_bytes": entry["segment_bytes"],
+                "source_name": entry.get("source_name"),
+            }
+            for oid, entry in sorted(
+                manifest["operators"].items(), key=lambda pair: int(pair[0])
+            )
+        ]
+        return {
+            "run_id": record.run_id,
+            "name": record.name,
+            "created": record.created_iso(),
+            "sink_oid": manifest["sink_oid"],
+            "rows": manifest["rows"]["count"],
+            "total_bytes": manifest["total_bytes"],
+            "operators": operators,
+        }
+
+    # -- lazy loading / querying -----------------------------------------------
+
+    def load(
+        self,
+        run_id: str | None = None,
+        num_partitions: int = 4,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        metrics: SegmentCacheMetrics | None = None,
+    ) -> ExecutionResult:
+        """Restore a run as a queryable execution with a lazy store.
+
+        The result rows are materialised (tree-pattern matching scans them
+        anyway), but the provenance store behind the execution is a
+        :class:`LazyProvenanceStore`: operators decode only when a backtrace
+        touches them.  With no *run_id*, the newest run loads.
+        """
+        record = self._catalog.find(run_id) if run_id else self._catalog.latest()
+        run_dir = self.root / RUNS_DIR / record.run_id
+        manifest = load_manifest(run_dir)
+        store = LazyProvenanceStore(
+            run_dir, manifest, cache_size=cache_size, metrics=metrics
+        )
+        rows = read_rows(run_dir, manifest, metrics=store.metrics)
+        from repro.engine.executor import SCHEMA_SAMPLE
+
+        schema = (
+            infer_schema(item for _, item in rows[:SCHEMA_SAMPLE])
+            if rows
+            else Schema(StructType())
+        )
+        return ExecutionResult(
+            RestoredPlanNode(manifest["sink_oid"]),
+            partition_rows(rows, num_partitions),
+            schema,
+            store,
+            ExecutionMetrics(),
+        )
+
+    def backtrace(
+        self,
+        run_id: str | None,
+        pattern: TreePattern | str,
+        num_partitions: int = 4,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> tuple[ProvenanceResult, SegmentCacheMetrics]:
+        """Answer a structural provenance question against a stored run.
+
+        Returns the provenance result plus the segment-cache metrics of the
+        query, whose miss counter equals the number of operator segments the
+        backtrace actually decoded.
+        """
+        from repro.pebble.query import query_provenance
+
+        execution = self.load(run_id, num_partitions=num_partitions, cache_size=cache_size)
+        result = query_provenance(execution, pattern)
+        assert isinstance(execution.store, LazyProvenanceStore)
+        return result, execution.store.metrics
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    def __repr__(self) -> str:
+        return f"Warehouse({self.root}, {len(self._catalog)} runs)"

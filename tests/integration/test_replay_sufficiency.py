@@ -8,8 +8,6 @@ minimal witness), re-run the pipeline over only the witnesses, and check
 that the provenance question still matches.
 """
 
-import pytest
-
 from repro.engine.expressions import col, collect_list, struct_
 from repro.engine.session import Session
 from repro.core.treepattern.matcher import match_partitions

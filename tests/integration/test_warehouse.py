@@ -1,0 +1,174 @@
+"""Integration tests for the provenance warehouse (record once, query later).
+
+The acceptance path of the subsystem: capture the running example, record
+it into a warehouse, reopen the warehouse from disk (a fresh object, as
+after a process restart), and check that a lazy tree-pattern backtrace
+returns exactly the in-memory answer -- while the segment-cache counters
+prove how little of the run the query actually decoded.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.engine.metrics import SegmentCacheMetrics
+from repro.engine.session import Session
+from repro.errors import ProvenanceError
+from repro.pebble.query import query_provenance
+from repro.warehouse import LazyProvenanceStore, Warehouse
+from repro.workloads.scenarios import RUNNING_EXAMPLE_PATTERN
+
+
+@pytest.fixture
+def recorded(captured_example, tmp_path):
+    """The running example recorded into a warehouse; returns (root, run_id)."""
+    warehouse = Warehouse.open(tmp_path / "wh")
+    record = warehouse.record(captured_example, name="example")
+    return tmp_path / "wh", record.run_id
+
+
+class TestRecordAndCatalog:
+    def test_record_creates_catalogued_run(self, recorded):
+        root, run_id = recorded
+        warehouse = Warehouse.open(root)
+        runs = warehouse.runs()
+        assert [record.run_id for record in runs] == [run_id]
+        assert runs[0].name == "example"
+        assert runs[0].operator_count == 9
+        assert runs[0].row_count == 3
+        assert runs[0].total_bytes > 0
+
+    def test_many_runs_under_one_root(self, captured_example, tmp_path):
+        warehouse = Warehouse.open(tmp_path / "wh")
+        first = warehouse.record(captured_example, name="example")
+        second = warehouse.record(captured_example, name="example")
+        assert first.run_id != second.run_id
+        reopened = Warehouse.open(tmp_path / "wh")
+        assert len(reopened) == 2
+        # A name resolves to its newest run; explicit ids stay addressable.
+        assert reopened.load("example").store.run_id == second.run_id
+        assert reopened.load(first.run_id).store.run_id == first.run_id
+
+    def test_plain_execution_rejected(self, example_pipeline, tmp_path):
+        execution = example_pipeline.execute(capture=False)
+        with pytest.raises(ProvenanceError):
+            Warehouse.open(tmp_path / "wh").record(execution)
+
+    def test_root_must_be_a_directory(self, tmp_path):
+        afile = tmp_path / "not-a-dir"
+        afile.write_text("x")
+        with pytest.raises(ProvenanceError):
+            Warehouse.open(afile)
+
+
+class TestLazyBacktrace:
+    def test_backtrace_identical_to_in_memory(self, captured_example, recorded):
+        """The acceptance criterion: restart, query, same answer."""
+        before = query_provenance(captured_example, RUNNING_EXAMPLE_PATTERN)
+
+        root, run_id = recorded
+        warehouse = Warehouse.open(root)  # fresh object: simulated restart
+        after, _ = warehouse.backtrace(run_id, RUNNING_EXAMPLE_PATTERN, num_partitions=2)
+
+        assert after.all_ids() == before.all_ids()
+        assert after.matched_output_ids == before.matched_output_ids
+        assert after.render() == before.render()
+
+    def test_query_decodes_reachable_operators_once(self, recorded):
+        root, run_id = recorded
+        warehouse = Warehouse.open(root)
+        execution = warehouse.load(run_id, num_partitions=2)
+        store = execution.store
+        assert isinstance(store, LazyProvenanceStore)
+
+        query_provenance(execution, RUNNING_EXAMPLE_PATTERN)
+        # Every operator of the running example sits on the backtrace path
+        # from the sink; each decoded exactly once, never twice.
+        first_misses = store.metrics.misses
+        assert first_misses == len(store) == 9
+
+        query_provenance(execution, RUNNING_EXAMPLE_PATTERN)
+        assert store.metrics.misses == first_misses, "second query must hit the cache"
+        assert store.metrics.hits > 0
+
+    def test_unmatched_branch_items_never_decode(self, tmp_path):
+        """Item blocks decode per contributing source, not per run."""
+        session = Session(num_partitions=2)
+        left = session.create_dataset(
+            [{"grp": "a", "val": 1}, {"grp": "a", "val": 2}], "left.json"
+        )
+        right = session.create_dataset([{"grp": "b", "val": 3}], "right.json")
+        execution = left.union(right).execute(capture=True)
+
+        warehouse = Warehouse.open(tmp_path / "wh")
+        run_id = warehouse.record(execution, name="union").run_id
+
+        result, metrics = warehouse.backtrace(run_id, 'root{/grp="a"}', num_partitions=2)
+        by_name = {source.name: source for source in result.sources}
+        assert len(by_name["left.json"]) == 2
+        assert len(by_name["right.json"]) == 0
+        # Both read operators' records decode (the backtrace walks them),
+        # but only the contributing source pays for its item block.
+        assert metrics.item_misses == 1
+
+    def test_index_only_lookups_decode_nothing(self, captured_example, recorded):
+        root, run_id = recorded
+        warehouse = Warehouse.open(root)
+        metrics = SegmentCacheMetrics()
+        store = LazyProvenanceStore(warehouse.run_dir(run_id), metrics=metrics)
+
+        assert len(store) == 9
+        assert store.is_source(1) and not store.is_source(9)
+        assert store.source_name(1) == "tweets.json"
+        lazy_report = store.size_report()
+        assert metrics.misses == 0 and metrics.item_misses == 0, (
+            "catalog/index lookups must not decode segments"
+        )
+        eager_report = captured_example.store.size_report()
+        assert lazy_report.lineage_bytes == eager_report.lineage_bytes
+        assert lazy_report.structural_bytes == eager_report.structural_bytes
+
+    def test_inspect_serves_from_the_index(self, recorded):
+        root, run_id = recorded
+        summary = Warehouse.open(root).inspect(run_id)
+        assert summary["run_id"] == run_id
+        assert summary["rows"] == 3
+        assert len(summary["operators"]) == 9
+        reads = [op for op in summary["operators"] if op["kind"] == "read"]
+        assert {op["source_name"] for op in reads} == {"tweets.json"}
+
+    def test_eviction_keeps_answers_correct(self, captured_example, recorded):
+        """A tiny cache thrashes but never changes the query answer."""
+        root, run_id = recorded
+        result, metrics = Warehouse.open(root).backtrace(
+            run_id, RUNNING_EXAMPLE_PATTERN, num_partitions=2, cache_size=2
+        )
+        before = query_provenance(captured_example, RUNNING_EXAMPLE_PATTERN)
+        assert result.render() == before.render()
+        assert metrics.evictions > 0
+
+
+class TestWarehouseCli:
+    def test_record_ls_inspect_query(self, tmp_path, capsys):
+        root = str(tmp_path / "wh")
+        assert main(["warehouse", "record", "example", "--root", root]) == 0
+        assert main(["warehouse", "ls", "--root", root]) == 0
+        assert main(["warehouse", "inspect", "example", "--root", root]) == 0
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    "example",
+                    RUNNING_EXAMPLE_PATTERN,
+                    "--root",
+                    root,
+                    "--partitions",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "run-0001-example" in output
+        assert "segments decoded: 9/9" in output
+        assert "contributing" in output

@@ -4,7 +4,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.paths import POS, Path, Step, enumerate_paths, parse_path
 from repro.core.treepattern.parser import parse_pattern
-from repro.core.treepattern.pattern import PatternNode, TreePattern, child, descendant
+from repro.core.treepattern.pattern import TreePattern, child, descendant
 from repro.nested.values import DataItem
 
 _names = st.text(alphabet="abcxyz_", min_size=1, max_size=5)

@@ -1,0 +1,222 @@
+"""Property-based round-trips of the warehouse binary segment format.
+
+Random association bags, operator records, source items, and result rows
+must survive encode/decode byte cursors unchanged -- including the cases
+the historic ``ProvenanceStore.serialize()`` blob got wrong: aggregation
+records of varying width (no length prefix), a legitimate id ``0`` on one
+side of a binary association, and unmatched outer-join sides (``None``).
+"""
+
+from hypothesis import example, given, settings, strategies as st
+
+from repro.core.operator_provenance import (
+    AggregationAssociations,
+    BinaryAssociations,
+    FlattenAssociations,
+    InputRef,
+    OperatorProvenance,
+    ReadAssociations,
+    UNDEFINED,
+    UnaryAssociations,
+)
+from repro.core.paths import parse_path
+from repro.core.store import ProvenanceStore
+from repro.errors import ProvenanceError
+from repro.nested.json_io import _jsonable
+from repro.nested.schema import infer_schema
+from repro.nested.types import type_to_obj
+from repro.nested.values import DataItem
+import repro.warehouse.format as wf
+
+import pytest
+
+_ids = st.integers(min_value=0, max_value=wf.NONE_ID - 1)
+_pos = st.integers(min_value=1, max_value=2**32 - 1)
+
+_read = st.lists(_ids, unique=True, max_size=8).map(ReadAssociations)
+_unary = st.lists(st.tuples(_ids, _ids), max_size=8).map(UnaryAssociations)
+_flatten = st.lists(st.tuples(_ids, _pos, _ids), max_size=8).map(FlattenAssociations)
+_binary = st.lists(
+    st.tuples(st.none() | _ids, st.none() | _ids, _ids), max_size=8
+).map(BinaryAssociations)
+_aggregation = st.lists(
+    st.tuples(st.lists(_ids, max_size=5).map(tuple), _ids), max_size=8
+).map(AggregationAssociations)
+
+_associations = st.one_of(_read, _unary, _flatten, _binary, _aggregation)
+
+_paths = st.sampled_from(["a", "b.c", "tags[pos]", "user.name", "m[3].x"]).map(parse_path)
+_accessed = st.just(UNDEFINED) | st.lists(_paths, max_size=3)
+_schemas = st.none() | st.just(
+    infer_schema([DataItem({"a": 1, "b": {"c": "x"}, "tags": ["t"]})])
+)
+_input_refs = st.builds(
+    InputRef,
+    st.none() | st.integers(min_value=0, max_value=2**32 - 2),
+    _accessed,
+    schema=_schemas,
+)
+_manipulations = st.just(UNDEFINED) | st.lists(st.tuples(_paths, _paths), max_size=3)
+
+_operators = st.builds(
+    OperatorProvenance,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from(["read", "filter", "select", "flatten", "union", "join", "aggregate"]),
+    st.lists(_input_refs, max_size=3),
+    _manipulations,
+    _associations,
+    st.sampled_from([None, "a label", "groupBy(user)"]),
+)
+
+_items = st.fixed_dictionaries(
+    {
+        "text": st.text(max_size=12),
+        "count": st.integers(min_value=-5, max_value=5),
+        "tags": st.lists(st.sampled_from(("a", "b")), max_size=3),
+    }
+).map(DataItem)
+
+
+def _assert_associations_equal(left, right) -> None:
+    assert type(left) is type(right)
+    if isinstance(left, ReadAssociations):
+        assert list(right.ids) == list(left.ids)
+    else:
+        assert list(right.records) == list(left.records)
+
+
+def _assert_operators_equal(left: OperatorProvenance, right: OperatorProvenance) -> None:
+    assert right.oid == left.oid
+    assert right.op_type == left.op_type
+    assert right.label == left.label
+    assert len(right.inputs) == len(left.inputs)
+    for ref_left, ref_right in zip(left.inputs, right.inputs):
+        assert ref_right.predecessor == ref_left.predecessor
+        if ref_left.accessed is UNDEFINED:
+            assert ref_right.accessed is UNDEFINED
+        else:
+            assert {str(p) for p in ref_right.accessed} == {
+                str(p) for p in ref_left.accessed
+            }
+        if ref_left.schema is None:
+            assert ref_right.schema is None
+        else:
+            assert ref_right.schema is not None
+            assert type_to_obj(ref_right.schema.struct) == type_to_obj(ref_left.schema.struct)
+    if left.manipulations_undefined():
+        assert right.manipulations_undefined()
+    else:
+        assert [
+            (str(a), str(b)) for a, b in right.manipulations_or_empty()
+        ] == [(str(a), str(b)) for a, b in left.manipulations_or_empty()]
+    _assert_associations_equal(left.associations, right.associations)
+
+
+@given(_operators)
+@settings(max_examples=120, deadline=None)
+def test_operator_record_round_trip(provenance):
+    raw = wf.encode_operator(provenance)
+    cursor = wf.Cursor(raw)
+    decoded = wf.decode_operator(cursor)
+    assert cursor.offset == len(raw), "record must be fully self-delimiting"
+    _assert_operators_equal(provenance, decoded)
+
+
+@given(st.lists(_associations, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_store_blob_round_trip(bags):
+    # Wrap each bag in a minimal operator so varying-width aggregation
+    # records sit back to back in one blob -- the undecodable case of the
+    # historic format.
+    operators = [
+        OperatorProvenance(index, "op", [InputRef(None, UNDEFINED)], UNDEFINED, bag)
+        for index, bag in enumerate(bags)
+    ]
+    decoded = wf.decode_store_blob(wf.encode_store_blob(operators))
+    assert len(decoded) == len(operators)
+    for original, restored in zip(operators, decoded):
+        _assert_operators_equal(original, restored)
+
+
+@given(st.lists(_associations, min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_provenance_store_serialize_round_trip(bags):
+    store = ProvenanceStore()
+    for index, bag in enumerate(bags):
+        store.register(
+            OperatorProvenance(index, "op", [InputRef(None, UNDEFINED)], UNDEFINED, bag)
+        )
+    restored = ProvenanceStore.deserialize(store.serialize())
+    assert len(restored) == len(store)
+    for original in store.operators():
+        _assert_operators_equal(original, restored.get(original.oid))
+
+
+@given(
+    st.text(max_size=20),
+    st.dictionaries(_ids, _items, max_size=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_source_items_round_trip(name, items):
+    raw = wf.encode_source_items(name, items)
+    decoded_name, decoded = wf.decode_source_items(wf.Cursor(raw))
+    assert decoded_name == name
+    assert set(decoded) == set(items)
+    for item_id, item in items.items():
+        assert _jsonable(decoded[item_id]) == _jsonable(item)
+
+
+@given(st.lists(st.tuples(st.none() | _ids, _items), max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_rows_round_trip(rows):
+    decoded = wf.decode_rows(wf.Cursor(wf.encode_rows(rows)))
+    assert len(decoded) == len(rows)
+    for (pid, item), (decoded_pid, decoded_item) in zip(rows, decoded):
+        assert decoded_pid == pid
+        assert _jsonable(decoded_item) == _jsonable(item)
+
+
+@given(_binary)
+@example(BinaryAssociations([(0, None, 5), (None, 0, 6), (0, 0, 7)]))
+@settings(max_examples=80, deadline=None)
+def test_binary_id_zero_never_conflated_with_none(bag):
+    """id 0 and "no match" survive as distinct values (the historic bug)."""
+    operator = OperatorProvenance(1, "union", [InputRef(None, UNDEFINED)], UNDEFINED, bag)
+    decoded = wf.decode_operator(wf.Cursor(wf.encode_operator(operator)))
+    assert list(decoded.associations.records) == list(bag.records)
+
+
+def test_aggregation_varying_widths_round_trip():
+    """Multi-input aggregation records with different widths stay aligned."""
+    bag = AggregationAssociations([((), 1), ((7,), 2), ((3, 0, 9), 4)])
+    operator = OperatorProvenance(2, "aggregate", [InputRef(1, UNDEFINED)], UNDEFINED, bag)
+    decoded = wf.decode_operator(wf.Cursor(wf.encode_operator(operator)))
+    assert list(decoded.associations.records) == [((), 1), ((7,), 2), ((3, 0, 9), 4)]
+
+
+def test_store_blob_rejects_bad_magic_and_version():
+    operators = [
+        OperatorProvenance(1, "read", [InputRef(None, UNDEFINED)], UNDEFINED, ReadAssociations([1]))
+    ]
+    blob = wf.encode_store_blob(operators)
+    with pytest.raises(ProvenanceError):
+        wf.decode_store_blob(b"XXXX" + blob[4:])
+    with pytest.raises(ProvenanceError):
+        wf.decode_store_blob(blob[:4] + (999).to_bytes(2, "little") + blob[6:])
+
+
+@given(_operators, st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_truncated_record_raises_not_garbage(provenance, cut):
+    raw = wf.encode_operator(provenance)
+    if cut >= len(raw):
+        cut = len(raw)
+    with pytest.raises(ProvenanceError):
+        wf.decode_operator(wf.Cursor(raw[: len(raw) - cut]))
+
+
+def test_oversized_id_rejected_at_encode_time():
+    bag = BinaryAssociations([(wf.NONE_ID, None, 1)])
+    operator = OperatorProvenance(1, "union", [InputRef(None, UNDEFINED)], UNDEFINED, bag)
+    with pytest.raises(ProvenanceError):
+        wf.encode_operator(operator)

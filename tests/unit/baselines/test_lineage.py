@@ -1,7 +1,5 @@
 """Unit tests for the Titian-style lineage baseline."""
 
-import pytest
-
 from repro.baselines.lineage import LineageQuerier
 from repro.engine.expressions import col, collect_list
 from repro.engine.session import Session

@@ -1,10 +1,8 @@
 """Per-operator backtracing tests (Algs. 1-4) over minimal pipelines."""
 
-import pytest
-
 from repro.core.backtrace.algorithms import Backtracer
-from repro.core.backtrace.tree import BacktraceStructure, BacktraceTree
-from repro.core.paths import POS, parse_path
+from repro.core.backtrace.tree import BacktraceStructure
+from repro.core.paths import parse_path
 from repro.core.treepattern.parser import parse_pattern
 from repro.core.treepattern.matcher import match_partitions, seed_structure
 from repro.engine.expressions import col, collect_list, count, struct_, sum_

@@ -10,7 +10,7 @@ from repro.core.backtrace.methods import (
 from repro.core.backtrace.tree import BacktraceTree
 from repro.core.paths import POS, parse_path
 from repro.nested.schema import Schema
-from repro.nested.types import BagType, INT, STRING, StructType
+from repro.nested.types import BagType, STRING, StructType
 
 
 def _tree(*paths, contributing=True):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine.dataset import Dataset, GroupedDataset
-from repro.engine.expressions import col, collect_list, count
+from repro.engine.expressions import col, count
 from repro.engine.metrics import ExecutionMetrics, Stopwatch
 from repro.engine.session import Session
 from repro.engine.storage import InMemorySource, JsonlSource

@@ -12,7 +12,6 @@ from repro.core.paths import parse_path
 from repro.core.treepattern.matcher import match_partitions, seed_structure
 from repro.core.treepattern.parser import parse_pattern
 from repro.engine.expressions import col
-from repro.engine.session import Session
 from repro.errors import PlanError
 from repro.nested.values import DataItem
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.paths import POS, parse_path
+from repro.core.paths import parse_path
 from repro.engine.expressions import col, collect_list, count, struct_, sum_
 from repro.engine.plan import (
     AggregateNode,

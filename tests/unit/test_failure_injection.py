@@ -14,7 +14,6 @@ from repro.core.paths import parse_path
 from repro.core.store import ProvenanceStore
 from repro.engine.expressions import col
 from repro.engine.plan import ReadNode
-from repro.engine.session import Session
 from repro.errors import BacktraceError, ExecutionError
 
 
