@@ -138,3 +138,30 @@ def test_depth_ablation(benchmark, save_result):
     save_result("ablation_depth", "Ablation -- query time vs. pipeline depth\n" + rendered)
     for _, eager, lazy in rows:
         assert lazy > eager
+
+
+def test_optimizer_rewrite_ablation(benchmark, save_result):
+    """Capture-on runtime under the optimizer rewrite ladder (Fig. 6 workload).
+
+    4. **Projection pruning + fusion**: pruning unused attributes before
+       capture shrinks the items every downstream operator copies and
+       annotates, so capture-on runtime drops on the scenarios that read a
+       narrow slice of wide tweets; fusing the narrow chains removes the
+       per-operator partition barriers on top.
+    """
+    from repro.bench.harness import measure_optimizer_ablation
+    from repro.bench.reporting import render_optimizer_ablation
+    from repro.workloads.scenarios import TWITTER_SCENARIOS
+
+    measurements = run_once(
+        benchmark,
+        lambda: measure_optimizer_ablation(TWITTER_SCENARIOS, scale=0.2, repeats=3),
+    )
+    save_result("ablation_optimizer", render_optimizer_ablation(measurements))
+    by_config = {}
+    for m in measurements:
+        by_config.setdefault(m.scenario, {})[m.config_name] = m.seconds
+    # Pruning must pay off on at least one scenario that captures less work.
+    assert any(
+        configs["prune"] < configs["no-opt"] for configs in by_config.values()
+    )

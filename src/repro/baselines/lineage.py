@@ -24,9 +24,10 @@ from repro.core.operator_provenance import (
     UnaryAssociations,
 )
 from repro.core.store import ProvenanceStore
+from repro.engine.hooks import LineageCaptureHook
 from repro.errors import BacktraceError
 
-__all__ = ["LineageQuerier", "SourceLineage"]
+__all__ = ["LineageCaptureHook", "LineageQuerier", "SourceLineage"]
 
 
 class SourceLineage:

@@ -24,8 +24,10 @@ import time
 from typing import Callable, Sequence
 
 from repro.baselines.lazy import LazyProvenanceQuerier
+from repro.engine.config import EngineConfig
 from repro.engine.dataset import Dataset
 from repro.engine.executor import Executor
+from repro.engine.hooks import LineageCaptureHook, StructuralCaptureHook
 from repro.engine.expressions import col
 from repro.engine.session import Session
 from repro.pebble.query import query_provenance
@@ -33,12 +35,15 @@ from repro.workloads.dblp import DblpConfig, generate_dblp
 from repro.workloads.scenarios import load_workload, scenario
 
 __all__ = [
+    "ABLATION_CONFIGS",
+    "AblationMeasurement",
     "CaptureMeasurement",
     "SizeMeasurement",
     "QueryMeasurement",
     "TitianMeasurement",
     "OperatorMeasurement",
     "measure_capture_overhead",
+    "measure_optimizer_ablation",
     "measure_provenance_size",
     "measure_query_times",
     "measure_titian_comparison",
@@ -397,19 +402,91 @@ def measure_titian_comparison(
 
     def run_plain() -> None:
         plan = build(Session(num_partitions=num_partitions)).plan
-        Executor(num_partitions, capture=False).execute(plan)
+        Executor(num_partitions).execute(plan)
 
     def run_titian() -> None:
         plan = build(Session(num_partitions=num_partitions)).plan
-        Executor(num_partitions, capture=True, lineage_only=True).execute(plan)
+        Executor(num_partitions, hooks=[LineageCaptureHook()]).execute(plan)
 
     def run_pebble() -> None:
         plan = build(Session(num_partitions=num_partitions)).plan
-        Executor(num_partitions, capture=True, lineage_only=False).execute(plan)
+        Executor(num_partitions, hooks=[StructuralCaptureHook()]).execute(plan)
 
     (titian_seconds, _), (pebble_seconds, _) = _timed_pair(run_titian, run_pebble, repeats)
     plain_seconds, _ = _timed(run_plain, repeats)
     return TitianMeasurement(plain_seconds, titian_seconds, pebble_seconds)
+
+
+#: The optimizer ablation ladder: no rewrites at all (the seed layout),
+#: projection pruning alone, then pruning plus operator fusion.
+ABLATION_CONFIGS: tuple[tuple[str, EngineConfig], ...] = (
+    ("no-opt", EngineConfig(optimize=False)),
+    ("prune", EngineConfig(rules=("prune",))),
+    ("prune+fuse", EngineConfig(rules=("prune", "fuse"))),
+)
+
+
+class AblationMeasurement:
+    """Capture-on runtime of one scenario under one optimizer configuration."""
+
+    __slots__ = ("scenario", "scale", "config_name", "seconds", "stdev", "rules_fired")
+
+    def __init__(
+        self,
+        scenario_name: str,
+        scale: float,
+        config_name: str,
+        seconds: float,
+        stdev: float,
+        rules_fired: tuple[str, ...],
+    ):
+        self.scenario = scenario_name
+        self.scale = scale
+        self.config_name = config_name
+        self.seconds = seconds
+        self.stdev = stdev
+        self.rules_fired = rules_fired
+
+    def __repr__(self) -> str:
+        return (
+            f"AblationMeasurement({self.scenario}@{self.scale}x "
+            f"{self.config_name}: {self.seconds:.3f}s)"
+        )
+
+
+def measure_optimizer_ablation(
+    names: Sequence[str],
+    scale: float = 1.0,
+    repeats: int = 3,
+    num_partitions: int | None = None,
+) -> list[AblationMeasurement]:
+    """Capture-on runtime under the optimizer ablation ladder.
+
+    Runs every scenario with structural capture enabled under each
+    :data:`ABLATION_CONFIGS` entry.  Captured stores are identical across the
+    ladder by construction (pruning/fusion are fidelity-preserving), so the
+    deltas isolate how much captured work the rewrites save.
+    """
+    measurements: list[AblationMeasurement] = []
+    for name in names:
+        spec = scenario(name)
+        data = load_workload(spec.kind, scale)
+        for config_name, config in ABLATION_CONFIGS:
+            session_config = config.with_partitions(num_partitions)
+
+            def run_capture() -> None:
+                dataset = spec.build(Session(config=session_config), data)
+                execution = dataset.execute(capture=True)
+                assert execution.store is not None
+                execution.store.serialize()
+
+            probe = spec.build(Session(config=session_config), data).execute(capture=True)
+            rules = probe.physical.report.rules_fired() if probe.physical else ()
+            seconds, stdev = _timed(run_capture, repeats)
+            measurements.append(
+                AblationMeasurement(name, scale, config_name, seconds, stdev, rules)
+            )
+    return measurements
 
 
 class OperatorMeasurement:

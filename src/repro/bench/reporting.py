@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.bench.harness import (
+    AblationMeasurement,
     CaptureMeasurement,
     OperatorMeasurement,
     QueryMeasurement,
@@ -21,6 +22,7 @@ from repro.bench.harness import (
 __all__ = [
     "format_table",
     "render_capture_overhead",
+    "render_optimizer_ablation",
     "render_provenance_sizes",
     "render_query_times",
     "render_titian_comparison",
@@ -135,6 +137,38 @@ def render_titian_comparison(measurement: TitianMeasurement) -> str:
     ]
     table = format_table(("system", "runtime ms", "overhead"), rows)
     return f"Sec. 7.3.4 -- flat-workload comparison with Titian\n{table}"
+
+
+def render_optimizer_ablation(measurements: list[AblationMeasurement]) -> str:
+    """Optimizer ablation ladder: capture-on runtime per rewrite configuration."""
+    baselines = {
+        (measurement.scenario, measurement.scale): measurement.seconds
+        for measurement in measurements
+        if measurement.config_name == "no-opt"
+    }
+    rows = []
+    for measurement in measurements:
+        baseline = baselines.get((measurement.scenario, measurement.scale))
+        if measurement.config_name == "no-opt" or not baseline:
+            delta = "-"
+        else:
+            delta = f"{(measurement.seconds - baseline) / baseline * 100:+.1f}%"
+        rows.append(
+            (
+                measurement.scenario,
+                f"{measurement.scale:g}x",
+                measurement.config_name,
+                f"{measurement.seconds * 1000:.1f}",
+                f"{measurement.stdev * 1000:.1f}",
+                ",".join(measurement.rules_fired) or "-",
+                delta,
+            )
+        )
+    table = format_table(
+        ("scenario", "scale", "config", "capture ms", "stdev ms", "rules fired", "vs no-opt"),
+        rows,
+    )
+    return f"Optimizer ablation -- capture-on runtime per rewrite configuration\n{table}"
 
 
 def render_operator_overhead(measurements: list[OperatorMeasurement]) -> str:

@@ -4,7 +4,9 @@ Usage (also via ``python -m repro``)::
 
     python -m repro example                    # the paper's running example
     python -m repro scenario T3 --scale 1      # run a scenario + its query
+    python -m repro explain T1                 # logical plan, rewrites, stages
     python -m repro bench fig8                 # regenerate one figure
+    python -m repro bench ablation --scale .2  # optimizer rewrite ladder
     python -m repro heatmap --scale 0.5        # the Fig. 10 use-case
     python -m repro list                       # available scenarios
 
@@ -17,12 +19,15 @@ Usage (also via ``python -m repro``)::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import Sequence
 
 from repro.bench.harness import (
     measure_capture_overhead,
     measure_operator_overhead,
+    measure_optimizer_ablation,
     measure_provenance_size,
     measure_query_times,
     measure_titian_comparison,
@@ -30,11 +35,14 @@ from repro.bench.harness import (
 from repro.bench.reporting import (
     render_capture_overhead,
     render_operator_overhead,
+    render_optimizer_ablation,
     render_provenance_sizes,
     render_query_times,
     render_titian_comparison,
 )
 from repro.core.usecases.usage import UsageAnalysis
+from repro.engine.config import EngineConfig
+from repro.engine.executor import Executor
 from repro.engine.session import Session
 from repro.pebble.query import query_provenance
 from repro.workloads.scenarios import (
@@ -67,17 +75,39 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("scenario", help="run one scenario and its structural query")
     run.add_argument("name", choices=sorted(SCENARIOS))
     run.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
-    run.add_argument("--partitions", type=int, default=4)
+    run.add_argument("--partitions", type=int, default=None,
+                     help="partition count (default: engine default)")
     run.add_argument("--pattern", default=None, help="override the scenario's query")
     run.add_argument("--no-query", action="store_true", help="execute only, skip the query")
+    run.add_argument("--scheduler", choices=["serial", "threads"], default=None,
+                     help="partition scheduler (default: engine config / REPRO_SCHEDULER)")
+    run.add_argument("--no-optimize", action="store_true",
+                     help="disable plan rewriting (seed operator-at-a-time execution)")
+    run.add_argument("--metrics-json", default=None, metavar="PATH",
+                     help="write per-operator/per-stage execution metrics as JSON")
+
+    explain = commands.add_parser(
+        "explain", help="show logical plan, applied rewrites, and physical stages"
+    )
+    explain.add_argument("name", choices=sorted(SCENARIOS) + ["example"])
+    explain.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    explain.add_argument("--partitions", type=int, default=None,
+                         help="partition count (default: engine default)")
+    explain.add_argument("--capture", action="store_true",
+                         help="compile for provenance capture (disables store-unsafe rewrites)")
+    explain.add_argument("--scheduler", choices=["serial", "threads"], default=None)
+    explain.add_argument("--no-optimize", action="store_true",
+                         help="disable plan rewriting (show the unoptimized stages)")
 
     bench = commands.add_parser("bench", help="regenerate one evaluation artefact")
     bench.add_argument(
         "figure",
-        choices=["fig6", "fig7", "fig8", "fig9", "titian", "operators"],
+        choices=["fig6", "fig7", "fig8", "fig9", "titian", "operators", "ablation"],
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="write the raw measurements as JSON")
 
     heatmap = commands.add_parser("heatmap", help="Fig. 10 usage heatmap over D1-D5")
     heatmap.add_argument("--scale", type=float, default=0.5)
@@ -94,7 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
     wh_record.add_argument("name", choices=sorted(SCENARIOS) + ["example"])
     wh_record.add_argument("--root", required=True, help="warehouse root directory")
     wh_record.add_argument("--scale", type=float, default=1.0)
-    wh_record.add_argument("--partitions", type=int, default=4)
+    wh_record.add_argument("--partitions", type=int, default=None,
+                           help="partition count (default: engine default)")
     wh_record.add_argument("--run-name", default=None, help="catalog name (default: scenario)")
 
     wh_ls = wh_commands.add_parser("ls", help="list the catalogued runs")
@@ -112,7 +143,8 @@ def build_parser() -> argparse.ArgumentParser:
     wh_query.add_argument("run", help="run id or name (names resolve to newest)")
     wh_query.add_argument("pattern", help="tree pattern, e.g. 'root{//id_str=\"lp\"}'")
     wh_query.add_argument("--root", required=True, help="warehouse root directory")
-    wh_query.add_argument("--partitions", type=int, default=4)
+    wh_query.add_argument("--partitions", type=int, default=None,
+                          help="partition count (default: engine default)")
     wh_query.add_argument("--cache-size", type=int, default=64)
 
     return parser
@@ -139,16 +171,49 @@ def _cmd_example(pattern: str) -> int:
     return 0
 
 
-def _cmd_scenario(name: str, scale: float, partitions: int, pattern: str | None, no_query: bool) -> int:
+def _engine_config(scheduler: str | None, no_optimize: bool) -> EngineConfig:
+    """The environment-derived config with the CLI's explicit overrides."""
+    config = EngineConfig.from_env()
+    if scheduler is not None:
+        config = dataclasses.replace(config, scheduler=scheduler)
+    if no_optimize:
+        config = dataclasses.replace(config, optimize=False)
+    return config
+
+
+def _write_json(path: str, payload: object) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def _build_pipeline(name: str, session: Session, scale: float):
+    """Return ``(dataset, description)`` for a scenario name or ``example``."""
+    if name == "example":
+        dataset = build_running_example(session, list(RUNNING_EXAMPLE_TWEETS))
+        return dataset, "the paper's running example (Sec. 2)"
     spec = scenario(name)
-    data = load_workload(spec.kind, scale)
-    execution = spec.build(Session(num_partitions=partitions), data).execute(capture=True)
-    print(f"{name}: {spec.description}")
+    dataset = spec.build(session, load_workload(spec.kind, scale))
+    return dataset, spec.description
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    spec = scenario(args.name)
+    data = load_workload(spec.kind, args.scale)
+    session = Session(
+        num_partitions=args.partitions,
+        config=_engine_config(args.scheduler, args.no_optimize),
+    )
+    execution = spec.build(session, data).execute(capture=True)
+    print(f"{args.name}: {spec.description}")
     print(f"result rows: {len(execution)}")
     print(f"provenance:  {execution.store.size_report()}")
-    if no_query:
+    if args.metrics_json:
+        _write_json(args.metrics_json, execution.metrics.to_json())
+    if args.no_query:
         return 0
-    query = pattern or spec.pattern
+    query = args.pattern or spec.pattern
     provenance = query_provenance(execution, query)
     print(f"\nquery: {query}")
     print(f"matched result items: {len(provenance.matched_output_ids)}")
@@ -159,7 +224,39 @@ def _cmd_scenario(name: str, scale: float, partitions: int, pattern: str | None,
     return 0
 
 
-def _cmd_bench(figure: str, scale: float, repeats: int) -> int:
+def _cmd_explain(args: argparse.Namespace) -> int:
+    session = Session(
+        num_partitions=args.partitions,
+        config=_engine_config(args.scheduler, args.no_optimize),
+    )
+    dataset, description = _build_pipeline(args.name, session, args.scale)
+    physical = Executor(capture=args.capture, config=session.config).compile(dataset.plan)
+    config = session.config
+    print(f"{args.name}: {description}")
+    print(
+        f"capture: {'on' if args.capture else 'off'}  "
+        f"optimize: {'on' if config.optimize else 'off'}  "
+        f"scheduler: {config.scheduler}  partitions: {config.num_partitions}"
+    )
+    print("\nlogical plan:")
+    print(dataset.explain())
+    print("\nrewrites:")
+    print(physical.report.describe())
+    print("\nphysical plan:")
+    print(physical.describe())
+    return 0
+
+
+def _measurement_dict(measurement: object) -> dict:
+    """Flatten one bench measurement (all of which use ``__slots__``) to JSON."""
+    return {
+        slot: getattr(measurement, slot)
+        for slot in type(measurement).__slots__
+    }
+
+
+def _cmd_bench(figure: str, scale: float, repeats: int, metrics_json: str | None) -> int:
+    measurements: list = []
     if figure == "fig6":
         measurements = measure_capture_overhead(
             TWITTER_SCENARIOS, scales=(scale,), repeats=repeats
@@ -171,35 +268,36 @@ def _cmd_bench(figure: str, scale: float, repeats: int) -> int:
         )
         print(render_capture_overhead(measurements, "Fig. 7 -- DBLP capture overhead"))
     elif figure == "fig8":
-        print(
-            render_provenance_sizes(
-                measure_provenance_size(TWITTER_SCENARIOS, scale=scale),
-                "Fig. 8(a) -- Twitter provenance size",
-            )
-        )
-        print(
-            render_provenance_sizes(
-                measure_provenance_size(DBLP_SCENARIOS, scale=scale),
-                "Fig. 8(b) -- DBLP provenance size",
-            )
-        )
+        twitter = measure_provenance_size(TWITTER_SCENARIOS, scale=scale)
+        dblp = measure_provenance_size(DBLP_SCENARIOS, scale=scale)
+        measurements = twitter + dblp
+        print(render_provenance_sizes(twitter, "Fig. 8(a) -- Twitter provenance size"))
+        print(render_provenance_sizes(dblp, "Fig. 8(b) -- DBLP provenance size"))
     elif figure == "fig9":
-        print(
-            render_query_times(
-                measure_query_times(TWITTER_SCENARIOS, scale=scale, repeats=repeats),
-                "Fig. 9(a) -- Twitter query runtime",
-            )
-        )
-        print(
-            render_query_times(
-                measure_query_times(DBLP_SCENARIOS, scale=scale, repeats=repeats),
-                "Fig. 9(b) -- DBLP query runtime",
-            )
-        )
+        twitter = measure_query_times(TWITTER_SCENARIOS, scale=scale, repeats=repeats)
+        dblp = measure_query_times(DBLP_SCENARIOS, scale=scale, repeats=repeats)
+        measurements = twitter + dblp
+        print(render_query_times(twitter, "Fig. 9(a) -- Twitter query runtime"))
+        print(render_query_times(dblp, "Fig. 9(b) -- DBLP query runtime"))
     elif figure == "titian":
-        print(render_titian_comparison(measure_titian_comparison(scale=scale, repeats=max(repeats, 9))))
+        measurement = measure_titian_comparison(scale=scale, repeats=max(repeats, 9))
+        measurements = [measurement]
+        print(render_titian_comparison(measurement))
     elif figure == "operators":
-        print(render_operator_overhead(measure_operator_overhead(scale=scale, repeats=repeats)))
+        measurements = measure_operator_overhead(scale=scale, repeats=repeats)
+        print(render_operator_overhead(measurements))
+    elif figure == "ablation":
+        measurements = measure_optimizer_ablation(
+            TWITTER_SCENARIOS, scale=scale, repeats=repeats
+        )
+        print(render_optimizer_ablation(measurements))
+    if metrics_json:
+        payload = {
+            "figure": figure,
+            "scale": scale,
+            "measurements": [_measurement_dict(entry) for entry in measurements],
+        }
+        _write_json(metrics_json, payload)
     return 0
 
 
@@ -306,9 +404,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "example":
         return _cmd_example(args.pattern)
     if args.command == "scenario":
-        return _cmd_scenario(args.name, args.scale, args.partitions, args.pattern, args.no_query)
+        return _cmd_scenario(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "bench":
-        return _cmd_bench(args.figure, args.scale, args.repeats)
+        return _cmd_bench(args.figure, args.scale, args.repeats, args.metrics_json)
     if args.command == "heatmap":
         return _cmd_heatmap(args.scale, args.items)
     if args.command == "warehouse":

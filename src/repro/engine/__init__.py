@@ -1,7 +1,25 @@
-"""Spark-like partitioned dataflow engine substrate (paper Sec. 4.2)."""
+"""Spark-like partitioned dataflow engine substrate (paper Sec. 4.2).
 
+The engine is layered: a logical plan (``plan.py``) is rewritten by the
+optimizer (``optimizer.py``), compiled into a physical plan of fused stages
+(``physical.py``), and executed by the driver (``executor.py``) through a
+pluggable scheduler (``scheduler.py``), with provenance capture attached as
+hooks (``hooks.py``) and everything configured by one
+:class:`~repro.engine.config.EngineConfig`.
+"""
+
+from repro.engine.config import EngineConfig
 from repro.engine.dataset import Dataset, GroupedDataset
 from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.hooks import (
+    CaptureHook,
+    LineageCaptureHook,
+    MetricsHook,
+    StructuralCaptureHook,
+)
+from repro.engine.optimizer import OptimizationReport, plan_physical
+from repro.engine.physical import PhysicalPlan
+from repro.engine.scheduler import Scheduler, SerialScheduler, ThreadPoolScheduler
 from repro.engine.expressions import (
     AggregateExpr,
     Expression,
@@ -23,8 +41,19 @@ from repro.engine.storage import InMemorySource, JsonlSource, Source
 __all__ = [
     "Dataset",
     "GroupedDataset",
+    "EngineConfig",
     "ExecutionResult",
     "Executor",
+    "CaptureHook",
+    "StructuralCaptureHook",
+    "LineageCaptureHook",
+    "MetricsHook",
+    "OptimizationReport",
+    "PhysicalPlan",
+    "plan_physical",
+    "Scheduler",
+    "SerialScheduler",
+    "ThreadPoolScheduler",
     "AggregateExpr",
     "Expression",
     "avg",

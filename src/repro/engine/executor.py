@@ -1,75 +1,90 @@
-"""Partitioned plan execution with optional provenance capture.
+"""The execution driver: compile, optimize, schedule, run.
 
-The executor walks the logical plan DAG bottom-up (memoised, so shared
-sub-plans run once), processes every dataset as a list of partitions, and --
-when capture is enabled -- assigns identifiers to top-level items at the
-sources and emits one
-:class:`~repro.core.operator_provenance.OperatorProvenance` per operator
-into a fresh :class:`~repro.core.store.ProvenanceStore` (the lightweight
-capture of Sec. 5.1).
+The seed executor was a monolithic operator-at-a-time interpreter.  It is now
+split into three layers (mirroring the classic logical/physical separation):
 
-Rows are ``(pid, item)`` pairs; ``pid`` is ``None`` when capture is off, so
-the plain execution path carries no provenance cost beyond the tuple.
+1. :mod:`repro.engine.optimizer` rewrites the logical plan (filter pushdown,
+   projection pruning, operator fusion) and compiles it into a
+   :class:`~repro.engine.physical.PhysicalPlan` -- an ordered list of stages.
+2. This module executes the stages in order.  Source scans and wide stages
+   (join, aggregate, union, distinct, sort, limit) run the seed's handler
+   logic; **fused stages** run their narrow-operator chain partition-at-a-time
+   and hand the independent per-partition tasks to a scheduler.
+3. :mod:`repro.engine.scheduler` supplies the backend (serial or thread
+   pool) that actually runs those tasks.
+
+Provenance capture is no longer hard-wired: the executor emits events to
+:class:`~repro.engine.hooks.CaptureHook` instances (structural capture,
+lineage-only baseline, metrics).  The legacy ``capture`` / ``lineage_only``
+flags are still accepted and translate to the corresponding hooks.
+
+Equivalence with the seed path is an invariant, not an accident: stages run
+in the logical walk order, fused chains assign provenance ids in a serial
+finalisation pass that replays per-partition traces operator-by-operator
+(reproducing the seed's global id sequence exactly), and schema handling
+(propagation vs ``SCHEMA_SAMPLE`` inference) follows the seed rules
+per operator.  Rows are ``(pid, item)`` pairs; ``pid`` is ``None`` when no
+hook needs ids, so the plain path carries no provenance cost.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Sequence
 
 from repro.core.operator_provenance import (
     AggregationAssociations,
     BinaryAssociations,
-    FlattenAssociations,
-    InputRef,
-    OperatorProvenance,
     ReadAssociations,
-    UNDEFINED,
     UnaryAssociations,
 )
 from repro.core.paths import Path
-from repro.core.store import ProvenanceStore, ProvenanceStoreProtocol
+from repro.core.store import ProvenanceStoreProtocol
+from repro.engine.config import EngineConfig
 from repro.engine.expressions import BinaryExpr, ColumnExpr, Expression
-from repro.engine.metrics import ExecutionMetrics, Stopwatch
+from repro.engine.hooks import (
+    CaptureHook,
+    MetricsHook,
+    hooks_for,
+    provenance_store,
+)
+from repro.engine.metrics import ExecutionMetrics, StageMetrics, Stopwatch
+from repro.engine.optimizer import plan_physical
 from repro.engine.partition import concat_partitions, hash_partition, partition_rows
+from repro.engine.physical import (
+    SCHEMA_SAMPLE,
+    FlattenOp,
+    FusedStage,
+    NarrowOp,
+    PhysicalPlan,
+    ReadStage,
+    Stage,
+    WideStage,
+)
 from repro.engine.plan import (
     AggregateNode,
     DistinctNode,
-    FilterNode,
-    FlattenNode,
     JoinNode,
     LimitNode,
-    MapNode,
     PlanNode,
     ReadNode,
-    SelectNode,
     SortNode,
     UnionNode,
-    WithColumnNode,
 )
+from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.errors import ExecutionError, PlanError, SchemaMismatchError
 from repro.nested.schema import Schema, infer_schema
 from repro.nested.types import StructType
-from repro.nested.values import Bag, DataItem, NestedSet, coerce_value
+from repro.nested.values import DataItem
 
 __all__ = ["Executor", "ExecutionResult", "SCHEMA_SAMPLE"]
 
 Row = tuple[Any, DataItem]  # (pid or None, item)
 
-#: Number of items sampled when inferring a dataset schema at runtime.
-#: Shared by every consumer that re-infers a schema from stored rows
-#: (warehouse loads, JSON restores), so persisted and live executions agree.
-SCHEMA_SAMPLE = 200
 _SCHEMA_SAMPLE = SCHEMA_SAMPLE  # backwards-compatible alias
 
-
-class _NodeResult:
-    """Partitions plus inferred schema of one executed node."""
-
-    __slots__ = ("partitions", "schema")
-
-    def __init__(self, partitions: list[list[Row]], schema: Schema):
-        self.partitions = partitions
-        self.schema = schema
+#: Per-operator stat rows a stage runner reports: ``(node, rows_in, rows_out)``
+#: (``rows_in`` is ``None`` except for sources, matching the seed metrics).
+_OpStats = list[tuple[PlanNode, int | None, int]]
 
 
 class ExecutionResult:
@@ -82,6 +97,7 @@ class ExecutionResult:
         schema: Schema,
         store: ProvenanceStoreProtocol | None,
         metrics: ExecutionMetrics,
+        physical: PhysicalPlan | None = None,
     ):
         self.root = root
         self.partitions = partitions
@@ -89,6 +105,9 @@ class ExecutionResult:
         #: Captured provenance, or ``None`` when capture was disabled.
         self.store = store
         self.metrics = metrics
+        #: The physical plan that produced this result (``None`` for results
+        #: restored from persistence, which never executed stages).
+        self.physical = physical
 
     def rows(self) -> list[Row]:
         """Return all ``(pid, item)`` rows in deterministic order."""
@@ -107,83 +126,131 @@ class ExecutionResult:
 
 
 class Executor:
-    """Executes one plan DAG; create a fresh instance per run."""
+    """Executes one plan DAG; create a fresh instance per run.
 
-    def __init__(self, num_partitions: int = 4, capture: bool = False, lineage_only: bool = False):
-        if num_partitions < 1:
-            raise ExecutionError(f"need at least one partition, got {num_partitions}")
-        self._num_partitions = num_partitions
-        self._capture = capture
-        #: Titian-style mode: record only id associations, no schema-level
-        #: accessed/manipulated paths (used by the baseline comparison of
-        #: Sec. 7.3.4).  Structural backtracing over such a store degrades
-        #: to plain lineage.
-        self._lineage_only = lineage_only
-        self._store: ProvenanceStore | None = ProvenanceStore() if capture else None
-        self._metrics = ExecutionMetrics()
-        self._memo: dict[int, _NodeResult] = {}
+    ``Executor(n, capture=True)`` keeps its seed meaning; the richer form
+    passes an :class:`EngineConfig` (scheduler, optimizer rules) and/or an
+    explicit list of capture hooks.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int | None = None,
+        capture: bool = False,
+        lineage_only: bool = False,
+        *,
+        config: EngineConfig | None = None,
+        hooks: Sequence[CaptureHook] | None = None,
+    ):
+        base = config if config is not None else EngineConfig.from_env()
+        if num_partitions is not None:
+            base = base.with_partitions(num_partitions)
+        self._config = base
+        self._num_partitions = base.num_partitions
+        hook_list = list(hooks) if hooks is not None else hooks_for(capture, lineage_only)
+        metrics_hook = next(
+            (hook for hook in hook_list if isinstance(hook, MetricsHook)), None
+        )
+        if metrics_hook is None:
+            metrics_hook = MetricsHook()
+            hook_list.append(metrics_hook)
+        self._hooks: tuple[CaptureHook, ...] = tuple(hook_list)
+        self._metrics = metrics_hook.metrics
+        #: Whether any hook needs per-row provenance ids (the seed ``capture``).
+        self._capturing = any(hook.needs_ids for hook in hook_list)
+        self._store = provenance_store(hook_list)
         self._next_id = 1
+        self._partitions: dict[int, list[list[Row]]] = {}
+        self._schemas: dict[int, Schema] = {}
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
 
     # -- public entry --------------------------------------------------------
 
+    def compile(self, root: PlanNode) -> PhysicalPlan:
+        """Optimize and compile *root* without executing it (``repro explain``)."""
+        return plan_physical(root, self._config, self._hooks)
+
     def execute(self, root: PlanNode) -> ExecutionResult:
         """Execute the plan rooted at *root* and return its result."""
-        with Stopwatch() as watch:
-            result = self._run(root)
+        physical = self.compile(root)
+        scheduler = make_scheduler(self._config)
+        try:
+            with Stopwatch() as watch:
+                for index, stage in enumerate(physical.stages):
+                    self._execute_stage(index, stage, scheduler)
+        finally:
+            scheduler.close()
         self._metrics.total_seconds = watch.elapsed
-        return ExecutionResult(root, result.partitions, result.schema, self._store, self._metrics)
+        root_oid = physical.root_oid
+        return ExecutionResult(
+            root,
+            self._partitions[root_oid],
+            self._schemas[root_oid],
+            self._store,
+            self._metrics,
+            physical=physical,
+        )
 
-    # -- dispatch --------------------------------------------------------------
+    # -- stage driver --------------------------------------------------------
 
-    def _run(self, node: PlanNode) -> _NodeResult:
-        memoised = self._memo.get(node.oid)
-        if memoised is not None:
-            return memoised
-        handler = self._HANDLERS.get(type(node))
-        if handler is None:
-            raise ExecutionError(f"no handler for plan node {type(node).__name__}")
-        metrics = self._metrics.operator(node.oid, node.op_type, node.label())
+    def _execute_stage(self, index: int, stage: Stage, scheduler: Scheduler) -> None:
         with Stopwatch() as watch:
-            result = handler(self, node)
-        metrics.seconds += watch.elapsed
-        metrics.rows_out = sum(len(partition) for partition in result.partitions)
-        self._memo[node.oid] = result
-        return result
+            if isinstance(stage, ReadStage):
+                rows_in, rows_out, op_stats = self._run_read_stage(stage)
+            elif isinstance(stage, FusedStage):
+                rows_in, rows_out, op_stats = self._run_fused_stage(stage, scheduler)
+            else:
+                assert isinstance(stage, WideStage)
+                rows_in, rows_out, op_stats = self._run_wide_stage(stage)
+        elapsed = watch.elapsed
+        share = elapsed / (len(op_stats) or 1)
+        for node, node_rows_in, node_rows_out in op_stats:
+            slot = self._metrics.operator(node.oid, node.op_type, node.label())
+            if node_rows_in is not None:
+                slot.rows_in = node_rows_in
+            slot.rows_out = node_rows_out
+            slot.seconds += share
+        stage_metrics = StageMetrics(index, stage.kind, stage.label(), stage.logical_oids())
+        stage_metrics.rows_in = rows_in
+        stage_metrics.rows_out = rows_out
+        stage_metrics.seconds = elapsed
+        for hook in self._hooks:
+            hook.on_stage(stage_metrics)
+
+    def _finish(self, oid: int, partitions: list[list[Row]], schema: Schema) -> int:
+        self._partitions[oid] = partitions
+        self._schemas[oid] = schema
+        return sum(len(partition) for partition in partitions)
 
     def _fresh_id(self) -> int:
         assigned = self._next_id
         self._next_id += 1
         return assigned
 
-    def _schema_of(self, rows: Iterable[Row]) -> Schema:
-        sample = []
-        for _, item in rows:
-            sample.append(item)
-            if len(sample) >= _SCHEMA_SAMPLE:
-                break
+    def _schema_of(self, rows: list[Row]) -> Schema:
+        sample = [item for _, item in rows[:SCHEMA_SAMPLE]]
         if not sample:
             return Schema(StructType())
         return infer_schema(sample)
 
+    def _emit_operator(self, node, inputs, manipulations, associations) -> None:
+        for hook in self._hooks:
+            hook.on_operator(node, inputs, manipulations, associations)
 
-    def _input_ref(self, predecessor: int, accessed, schema: Schema) -> InputRef:
-        """Build an input reference; lineage-only mode drops A and schema."""
-        if self._lineage_only:
-            return InputRef(predecessor, frozenset(), schema=schema)
-        return InputRef(predecessor, accessed, schema=schema)
+    def _child_state(self, node: PlanNode, index: int = 0) -> tuple[list[list[Row]], Schema]:
+        child = node.children[index]
+        return self._partitions[child.oid], self._schemas[child.oid]
 
-    def _manipulations(self, pairs):
-        """Return M for registration; lineage-only mode records nothing."""
-        if self._lineage_only:
-            return ()
-        return pairs
+    # -- source scans --------------------------------------------------------
 
-    # -- operators --------------------------------------------------------------
-
-    def _run_read(self, node: ReadNode) -> _NodeResult:
+    def _run_read_stage(self, stage: ReadStage) -> tuple[int, int, _OpStats]:
+        node = stage.node
         items = node.loader()
         rows: list[Row] = []
-        if self._capture:
+        if self._capturing:
             associations = ReadAssociations()
             by_id: dict[int, DataItem] = {}
             for item in items:
@@ -191,160 +258,214 @@ class Executor:
                 associations.add(pid)
                 by_id[pid] = item
                 rows.append((pid, item))
-            assert self._store is not None
-            self._store.register(
-                OperatorProvenance(node.oid, node.op_type, (), (), associations, node.label())
-            )
-            self._store.register_source_items(node.oid, node.name, by_id)
+            self._emit_operator(node, (), (), associations)
+            for hook in self._hooks:
+                hook.on_source(node, by_id)
         else:
             rows = [(None, item) for item in items]
-        partitions = partition_rows(rows, self._num_partitions)
-        metrics = self._metrics.operator(node.oid, node.op_type, node.label())
-        metrics.rows_in = len(rows)
-        return _NodeResult(partitions, self._schema_of(rows))
+        total = self._finish(
+            node.oid, partition_rows(rows, self._num_partitions), self._schema_of(rows)
+        )
+        return len(rows), total, [(node, len(rows), total)]
 
-    def _run_filter(self, node: FilterNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        associations = UnaryAssociations() if self._capture else None
-        partitions: list[list[Row]] = []
-        for partition in child.partitions:
-            kept: list[Row] = []
-            for pid, item in partition:
-                if node.predicate.evaluate(item):
-                    if associations is not None:
-                        out_id = self._fresh_id()
-                        associations.add(pid, out_id)
-                        kept.append((out_id, item))
-                    else:
-                        kept.append((pid, item))
-            partitions.append(kept)
-        self._register_unary(node, child, associations, manipulations=[])
-        return _NodeResult(partitions, child.schema)
+    # -- fused pipelines -----------------------------------------------------
 
-    def _run_select(self, node: SelectNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        associations = UnaryAssociations() if self._capture else None
-        partitions: list[list[Row]] = []
-        for partition in child.partitions:
-            projected: list[Row] = []
-            for pid, item in partition:
-                out_item = DataItem(
-                    (name, projection.evaluate(item))
-                    for name, projection in zip(node.output_names, node.projections)
-                )
-                if associations is not None:
-                    out_id = self._fresh_id()
-                    associations.add(pid, out_id)
-                    projected.append((out_id, out_item))
-                else:
-                    projected.append((pid, out_item))
-            partitions.append(projected)
-        self._register_unary(node, child, associations, manipulations=node.manipulation_pairs())
-        rows = concat_partitions(partitions)
-        return _NodeResult(partitions, self._schema_of(rows))
+    def _run_fused_stage(
+        self, stage: FusedStage, scheduler: Scheduler
+    ) -> tuple[int, int, _OpStats]:
+        ops = stage.ops
+        in_partitions = self._partitions[stage.input_oid]
+        nparts = len(in_partitions)
+        capturing = self._capturing
+        sampling = [
+            type(op).propagate_schema is NarrowOp.propagate_schema for op in ops
+        ]
 
-    def _run_map(self, node: MapNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        associations = UnaryAssociations() if self._capture else None
-        partitions: list[list[Row]] = []
-        for partition in child.partitions:
-            mapped: list[Row] = []
-            for pid, item in partition:
-                try:
-                    out_value = node.fn(item)
-                except Exception as exc:
-                    raise ExecutionError(f"map {node.name!r} failed on item: {exc}") from exc
-                out_item = coerce_value(out_value)
-                if not isinstance(out_item, DataItem):
-                    raise ExecutionError(
-                        f"map {node.name!r} must return a data item, got {type(out_value).__name__}"
+        # Segment the chain at flattens whose input schema is only known after
+        # an earlier sampling operator has produced output: the name-clash
+        # check (seed parity) needs that schema before the flatten may run.
+        segments: list[list[int]] = []
+        current: list[int] = []
+        known = True
+        for position, op in enumerate(ops):
+            if isinstance(op, FlattenOp) and not known and current:
+                segments.append(current)
+                current = []
+                known = True  # the barrier infers the schema
+            current.append(position)
+            if sampling[position]:
+                known = False
+        if current:
+            segments.append(current)
+
+        items_by_part: list[list[DataItem]] = [
+            [item for _, item in partition] for partition in in_partitions
+        ]
+        rows_in = sum(len(items) for items in items_by_part)
+        entries_by_part: list[list[Any]] = [[None] * len(ops) for _ in range(nparts)]
+        counts: list[list[tuple[int, int]]] = [[(0, 0)] * len(ops) for _ in range(nparts)]
+        samples: list[list[list[DataItem]]] = [
+            [[] for _ in range(nparts)] for _ in ops
+        ]
+        schema_before: list[Schema] = [None] * len(ops)  # type: ignore[list-item]
+        current_schema = self._schemas[stage.input_oid]
+
+        for segment in segments:
+            # Pre-checks over the statically trackable prefix of the segment
+            # (only pure, structure-preserving ops precede a flatten here, so
+            # raising before they run is unobservable -- the seed registered
+            # their output but never surfaced it on the error path).
+            schema: Schema | None = current_schema
+            for position in segment:
+                op = ops[position]
+                if schema is not None:
+                    op.check_input_schema(schema)
+                    schema = op.propagate_schema(schema)
+
+            def make_task(part: int, segment: list[int] = segment):
+                def task():
+                    items = items_by_part[part]
+                    seg_entries: list[Any] = []
+                    seg_counts: list[tuple[int, int]] = []
+                    seg_samples: list[list[DataItem] | None] = []
+                    for position in segment:
+                        op = ops[position]
+                        out, entries = op.apply(items, capturing and op.registers)
+                        seg_entries.append(entries)
+                        seg_counts.append((len(items), len(out)))
+                        seg_samples.append(out[:SCHEMA_SAMPLE] if sampling[position] else None)
+                        items = out
+                    return items, seg_entries, seg_counts, seg_samples
+
+                return task
+
+            results = scheduler.run([make_task(part) for part in range(nparts)])
+            for part, (items, seg_entries, seg_counts, seg_samples) in enumerate(results):
+                items_by_part[part] = items
+                for offset, position in enumerate(segment):
+                    entries_by_part[part][position] = seg_entries[offset]
+                    counts[part][position] = seg_counts[offset]
+                    if seg_samples[offset] is not None:
+                        samples[position][part] = seg_samples[offset]
+
+            # Runtime schemas along the executed segment: structure-preserving
+            # ops propagate, rebuilding ops are inferred from the first
+            # SCHEMA_SAMPLE outputs in partition order (the seed sample set).
+            for position in segment:
+                schema_before[position] = current_schema
+                next_schema = ops[position].propagate_schema(current_schema)
+                if next_schema is None:
+                    sample_items: list[DataItem] = []
+                    for part in range(nparts):
+                        take = SCHEMA_SAMPLE - len(sample_items)
+                        if take <= 0:
+                            break
+                        sample_items.extend(samples[position][part][:take])
+                    next_schema = (
+                        infer_schema(sample_items) if sample_items else Schema(StructType())
                     )
-                if associations is not None:
-                    out_id = self._fresh_id()
-                    associations.add(pid, out_id)
-                    mapped.append((out_id, out_item))
-                else:
-                    mapped.append((pid, out_item))
-            partitions.append(mapped)
-        if self._capture:
-            assert self._store is not None and associations is not None
-            input_ref = self._input_ref(node.children[0].oid, UNDEFINED, child.schema)
-            manipulations = () if self._lineage_only else UNDEFINED
-            self._store.register(
-                OperatorProvenance(
-                    node.oid, node.op_type, (input_ref,), manipulations, associations, node.label()
-                )
-            )
-        rows = concat_partitions(partitions)
-        return _NodeResult(partitions, self._schema_of(rows))
+                current_schema = next_schema
 
-    def _run_flatten(self, node: FlattenNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        if child.schema.struct.has_field(node.new_name):
-            raise PlanError(f"flatten output attribute {node.new_name!r} already exists")
-        associations = FlattenAssociations() if self._capture else None
-        partitions: list[list[Row]] = []
-        for partition in child.partitions:
-            flattened: list[Row] = []
-            for pid, item in partition:
-                collection = (
-                    node.col_path.evaluate(item) if node.col_path.resolves_in(item) else None
-                )
-                if collection is None:
-                    elements: tuple[Any, ...] = ()
-                elif isinstance(collection, (Bag, NestedSet)):
-                    elements = collection.items()
-                else:
-                    raise ExecutionError(
-                        f"flatten path {node.col_path} is not a collection "
-                        f"(got {type(collection).__name__})"
-                    )
-                if not elements and node.outer:
-                    out_item = item.replace(**{node.new_name: None})
-                    if associations is not None:
-                        out_id = self._fresh_id()
-                        associations.add(pid, 0, out_id)
-                        flattened.append((out_id, out_item))
-                    else:
-                        flattened.append((pid, out_item))
-                    continue
-                for position, element in enumerate(elements, start=1):
-                    out_item = item.replace(**{node.new_name: element})
-                    if associations is not None:
-                        out_id = self._fresh_id()
-                        associations.add(pid, position, out_id)
-                        flattened.append((out_id, out_item))
-                    else:
-                        flattened.append((pid, out_item))
-            partitions.append(flattened)
-        if self._capture:
-            assert self._store is not None and associations is not None
-            input_ref = self._input_ref(
-                node.children[0].oid, node.accessed_paths(0), child.schema
+        if capturing:
+            out_partitions = self._finalize_fused(
+                ops, in_partitions, entries_by_part, counts, schema_before
             )
-            self._store.register(
-                OperatorProvenance(
-                    node.oid,
-                    node.op_type,
-                    (input_ref,),
-                    self._manipulations(node.manipulation_pairs()),
-                    associations,
-                    node.label(),
-                )
-            )
-        rows = concat_partitions(partitions)
-        return _NodeResult(partitions, self._schema_of(rows))
+            out_partitions = [
+                list(zip(ids, items))
+                for ids, items in zip(out_partitions, items_by_part)
+            ]
+        else:
+            out_partitions = [
+                [(None, item) for item in items] for items in items_by_part
+            ]
 
-    def _run_union(self, node: UnionNode) -> _NodeResult:
-        left = self._run(node.children[0])
-        right = self._run(node.children[1])
+        rows_out = self._finish(stage.output_oid, out_partitions, current_schema)
+        op_stats: _OpStats = []
+        for position, op in enumerate(ops):
+            if op.node is not None:
+                node_rows_out = sum(counts[part][position][1] for part in range(nparts))
+                op_stats.append((op.node, None, node_rows_out))
+        return rows_in, rows_out, op_stats
+
+    def _finalize_fused(
+        self,
+        ops: list[NarrowOp],
+        in_partitions: list[list[Row]],
+        entries_by_part: list[list[Any]],
+        counts: list[list[tuple[int, int]]],
+        schema_before: list[Schema],
+    ) -> list[list[int]]:
+        """Serial id assignment: replay traces operator-by-operator.
+
+        Iterating operators in chain order and partitions in order inside each
+        operator reproduces the seed's global id sequence exactly, whatever
+        scheduler ran the computation, so captured stores are byte-identical.
+        Returns the output id list per partition.
+        """
+        nparts = len(in_partitions)
+        frontier: list[list[int]] = [
+            [pid for pid, _ in partition] for partition in in_partitions
+        ]
+        for position, op in enumerate(ops):
+            node = op.node
+            if node is None or not op.registers:
+                # Physical helper (prune keeps ids 1:1, limit-prefix truncates).
+                frontier = [
+                    ids[: counts[part][position][1]] for part, ids in enumerate(frontier)
+                ]
+                continue
+            associations = op.new_associations()
+            new_frontier: list[list[int]] = []
+            for part in range(nparts):
+                in_ids = frontier[part]
+                out_ids: list[int] = []
+                if op.entry_kind == "identity":
+                    for src_id in in_ids:
+                        out_id = self._fresh_id()
+                        associations.add(src_id, out_id)
+                        out_ids.append(out_id)
+                elif op.entry_kind == "filter":
+                    for src_index in entries_by_part[part][position]:
+                        out_id = self._fresh_id()
+                        associations.add(in_ids[src_index], out_id)
+                        out_ids.append(out_id)
+                else:  # flatten: (source index, 1-based position) pairs
+                    for src_index, element_pos in entries_by_part[part][position]:
+                        out_id = self._fresh_id()
+                        associations.add(in_ids[src_index], element_pos, out_id)
+                        out_ids.append(out_id)
+                new_frontier.append(out_ids)
+            frontier = new_frontier
+            accessed, manipulations = op.input_spec()
+            spec = (node.children[0].oid, accessed, schema_before[position])
+            self._emit_operator(node, (spec,), manipulations, associations)
+        return frontier
+
+    # -- wide stages (shuffles, global order, multi-input merges) ------------
+
+    def _run_wide_stage(self, stage: WideStage) -> tuple[int, int, _OpStats]:
+        node = stage.node
+        handler = self._WIDE_HANDLERS.get(type(node))
+        if handler is None:
+            raise ExecutionError(f"no handler for plan node {type(node).__name__}")
+        rows_in = sum(
+            sum(len(partition) for partition in self._partitions[child.oid])
+            for child in node.children
+        )
+        partitions, schema = handler(self, node)
+        rows_out = self._finish(node.oid, partitions, schema)
+        return rows_in, rows_out, [(node, None, rows_out)]
+
+    def _run_union(self, node: UnionNode) -> tuple[list[list[Row]], Schema]:
+        left_parts, left_schema = self._child_state(node, 0)
+        right_parts, right_schema = self._child_state(node, 1)
         try:
-            schema = left.schema.merged_with(right.schema)
+            schema = left_schema.merged_with(right_schema)
         except Exception as exc:
             raise SchemaMismatchError(f"union over incompatible schemas: {exc}") from exc
-        associations = BinaryAssociations() if self._capture else None
+        associations = BinaryAssociations() if self._capturing else None
         partitions: list[list[Row]] = []
-        for partition in left.partitions:
+        for partition in left_parts:
             unioned: list[Row] = []
             for pid, item in partition:
                 if associations is not None:
@@ -354,7 +475,7 @@ class Executor:
                 else:
                     unioned.append((pid, item))
             partitions.append(unioned)
-        for partition in right.partitions:
+        for partition in right_parts:
             unioned = []
             for pid, item in partition:
                 if associations is not None:
@@ -364,27 +485,24 @@ class Executor:
                 else:
                     unioned.append((pid, item))
             partitions.append(unioned)
-        if self._capture:
-            assert self._store is not None and associations is not None
+        if associations is not None:
             inputs = (
-                self._input_ref(node.children[0].oid, frozenset(), left.schema),
-                self._input_ref(node.children[1].oid, frozenset(), right.schema),
+                (node.children[0].oid, frozenset(), left_schema),
+                (node.children[1].oid, frozenset(), right_schema),
             )
-            self._store.register(
-                OperatorProvenance(node.oid, node.op_type, inputs, (), associations, node.label())
-            )
-        return _NodeResult(partitions, schema)
+            self._emit_operator(node, inputs, (), associations)
+        return partitions, schema
 
-    def _run_join(self, node: JoinNode) -> _NodeResult:
-        left = self._run(node.children[0])
-        right = self._run(node.children[1])
-        clash = set(left.schema.attribute_names()) & set(right.schema.attribute_names())
+    def _run_join(self, node: JoinNode) -> tuple[list[list[Row]], Schema]:
+        left_parts, left_schema = self._child_state(node, 0)
+        right_parts, right_schema = self._child_state(node, 1)
+        clash = set(left_schema.attribute_names()) & set(right_schema.attribute_names())
         if clash:
             raise PlanError(
                 f"join inputs share attribute names {sorted(clash)}; rename before joining"
             )
-        associations = BinaryAssociations() if self._capture else None
-        equi_keys = _extract_equi_keys(node.condition, left.schema, right.schema)
+        associations = BinaryAssociations() if self._capturing else None
+        equi_keys = _extract_equi_keys(node.condition, left_schema, right_schema)
         out_partitions: list[list[Row]] = [[] for _ in range(self._num_partitions)]
 
         def emit(bucket: int, left_row: Row, right_row: Row) -> None:
@@ -401,12 +519,12 @@ class Executor:
         if equi_keys is not None:
             left_keys, right_keys = equi_keys
             left_shuffled = hash_partition(
-                concat_partitions(left.partitions),
+                concat_partitions(left_parts),
                 self._num_partitions,
                 lambda row: tuple(expr.evaluate(row[1]) for expr in left_keys),
             )
             right_shuffled = hash_partition(
-                concat_partitions(right.partitions),
+                concat_partitions(right_parts),
                 self._num_partitions,
                 lambda row: tuple(expr.evaluate(row[1]) for expr in right_keys),
             )
@@ -420,53 +538,43 @@ class Executor:
                     for left_row in build.get(key, ()):
                         emit(bucket, left_row, right_row)
         else:
-            left_rows = concat_partitions(left.partitions)
-            right_rows = concat_partitions(right.partitions)
+            left_rows = concat_partitions(left_parts)
+            right_rows = concat_partitions(right_parts)
             for index, left_row in enumerate(left_rows):
                 bucket = index % self._num_partitions
                 for right_row in right_rows:
                     merged = left_row[1].merged_with(right_row[1])
                     if node.condition.evaluate(merged):
                         emit(bucket, left_row, right_row)
-        if self._capture:
-            assert self._store is not None and associations is not None
+        if associations is not None:
             condition_paths = node.condition_paths()
-            left_accessed = {path for path in condition_paths if left.schema.contains(path)}
-            right_accessed = {path for path in condition_paths if right.schema.contains(path)}
+            left_accessed = {path for path in condition_paths if left_schema.contains(path)}
+            right_accessed = {path for path in condition_paths if right_schema.contains(path)}
             manipulations = [
                 (Path().child(name), Path().child(name))
-                for name in left.schema.attribute_names()
+                for name in left_schema.attribute_names()
             ]
             manipulations.extend(
                 (Path().child(name), Path().child(name))
-                for name in right.schema.attribute_names()
+                for name in right_schema.attribute_names()
             )
             inputs = (
-                self._input_ref(node.children[0].oid, left_accessed, left.schema),
-                self._input_ref(node.children[1].oid, right_accessed, right.schema),
+                (node.children[0].oid, left_accessed, left_schema),
+                (node.children[1].oid, right_accessed, right_schema),
             )
-            self._store.register(
-                OperatorProvenance(
-                    node.oid,
-                    node.op_type,
-                    inputs,
-                    self._manipulations(manipulations),
-                    associations,
-                    node.label(),
-                )
-            )
+            self._emit_operator(node, inputs, manipulations, associations)
         rows = concat_partitions(out_partitions)
-        return _NodeResult(out_partitions, self._schema_of(rows))
+        return out_partitions, self._schema_of(rows)
 
-    def _run_aggregate(self, node: AggregateNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        associations = AggregationAssociations() if self._capture else None
+    def _run_aggregate(self, node: AggregateNode) -> tuple[list[list[Row]], Schema]:
+        child_parts, child_schema = self._child_state(node)
+        associations = AggregationAssociations() if self._capturing else None
 
         def key_of(row: Row) -> tuple[Any, ...]:
             return tuple(key.evaluate(row[1]) for key in node.keys)
 
         shuffled = hash_partition(
-            concat_partitions(child.partitions), self._num_partitions, key_of
+            concat_partitions(child_parts), self._num_partitions, key_of
         )
         partitions: list[list[Row]] = []
         for bucket_rows in shuffled:
@@ -487,49 +595,15 @@ class Executor:
                 else:
                     aggregated.append((None, out_item))
             partitions.append(aggregated)
-        if self._capture:
-            assert self._store is not None and associations is not None
-            input_ref = self._input_ref(
-                node.children[0].oid, node.accessed_paths(0), child.schema
-            )
-            self._store.register(
-                OperatorProvenance(
-                    node.oid,
-                    node.op_type,
-                    (input_ref,),
-                    self._manipulations(node.manipulation_pairs()),
-                    associations,
-                    node.label(),
-                )
-            )
+        if associations is not None:
+            spec = (node.children[0].oid, node.accessed_paths(0), child_schema)
+            self._emit_operator(node, (spec,), node.manipulation_pairs(), associations)
         rows = concat_partitions(partitions)
-        return _NodeResult(partitions, self._schema_of(rows))
+        return partitions, self._schema_of(rows)
 
-    def _register_unary(
-        self,
-        node: PlanNode,
-        child: _NodeResult,
-        associations: UnaryAssociations | None,
-        manipulations: list[tuple[Path, Path]],
-    ) -> None:
-        if not self._capture:
-            return
-        assert self._store is not None and associations is not None
-        input_ref = self._input_ref(node.children[0].oid, node.accessed_paths(0), child.schema)
-        self._store.register(
-            OperatorProvenance(
-                node.oid,
-                node.op_type,
-                (input_ref,),
-                self._manipulations(manipulations),
-                associations,
-                node.label(),
-            )
-        )
-
-    def _run_distinct(self, node: DistinctNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        rows = concat_partitions(child.partitions)
+    def _run_distinct(self, node: DistinctNode) -> tuple[list[list[Row]], Schema]:
+        child_parts, child_schema = self._child_state(node)
+        rows = concat_partitions(child_parts)
         groups: dict[DataItem, list[Any]] = {}
         order: list[DataItem] = []
         for pid, item in rows:
@@ -537,7 +611,7 @@ class Executor:
                 groups[item] = []
                 order.append(item)
             groups[item].append(pid)
-        associations = AggregationAssociations() if self._capture else None
+        associations = AggregationAssociations() if self._capturing else None
         distinct_rows: list[Row] = []
         for item in order:
             if associations is not None:
@@ -546,21 +620,16 @@ class Executor:
                 distinct_rows.append((out_id, item))
             else:
                 distinct_rows.append((None, item))
-        if self._capture:
-            assert self._store is not None and associations is not None
+        if associations is not None:
             # Comparing whole items accesses every top-level attribute.
-            accessed = {Path().child(name) for name in child.schema.attribute_names()}
-            input_ref = self._input_ref(node.children[0].oid, accessed, child.schema)
-            self._store.register(
-                OperatorProvenance(
-                    node.oid, node.op_type, (input_ref,), (), associations, node.label()
-                )
-            )
-        return _NodeResult(partition_rows(distinct_rows, self._num_partitions), child.schema)
+            accessed = {Path().child(name) for name in child_schema.attribute_names()}
+            spec = (node.children[0].oid, accessed, child_schema)
+            self._emit_operator(node, (spec,), (), associations)
+        return partition_rows(distinct_rows, self._num_partitions), child_schema
 
-    def _run_sort(self, node: SortNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        rows = concat_partitions(child.partitions)
+    def _run_sort(self, node: SortNode) -> tuple[list[list[Row]], Schema]:
+        child_parts, child_schema = self._child_state(node)
+        rows = concat_partitions(child_parts)
 
         def sort_key(row: Row) -> tuple:
             # None sorts first; mixed types are kept apart by type name.
@@ -571,22 +640,18 @@ class Executor:
             return tuple(values)
 
         ordered = sorted(rows, key=sort_key, reverse=node.descending)
-        associations = UnaryAssociations() if self._capture else None
-        out_rows: list[Row] = []
-        for pid, item in ordered:
-            if associations is not None:
-                out_id = self._fresh_id()
-                associations.add(pid, out_id)
-                out_rows.append((out_id, item))
-            else:
-                out_rows.append((pid, item))
-        self._register_unary(node, child, associations, manipulations=[])
-        return _NodeResult(partition_rows(out_rows, self._num_partitions), child.schema)
+        return self._reassign_rows(node, ordered, child_schema)
 
-    def _run_limit(self, node: LimitNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        rows = concat_partitions(child.partitions)[: node.n]
-        associations = UnaryAssociations() if self._capture else None
+    def _run_limit(self, node: LimitNode) -> tuple[list[list[Row]], Schema]:
+        child_parts, child_schema = self._child_state(node)
+        rows = concat_partitions(child_parts)[: node.n]
+        return self._reassign_rows(node, rows, child_schema)
+
+    def _reassign_rows(
+        self, node: PlanNode, rows: list[Row], child_schema: Schema
+    ) -> tuple[list[list[Row]], Schema]:
+        """Shared tail of sort/limit: fresh unary associations over *rows*."""
+        associations = UnaryAssociations() if self._capturing else None
         out_rows: list[Row] = []
         for pid, item in rows:
             if associations is not None:
@@ -595,45 +660,21 @@ class Executor:
                 out_rows.append((out_id, item))
             else:
                 out_rows.append((pid, item))
-        self._register_unary(node, child, associations, manipulations=[])
-        return _NodeResult(partition_rows(out_rows, self._num_partitions), child.schema)
+        if associations is not None:
+            spec = (node.children[0].oid, node.accessed_paths(0), child_schema)
+            self._emit_operator(node, (spec,), [], associations)
+        return partition_rows(out_rows, self._num_partitions), child_schema
 
-    def _run_with_column(self, node: WithColumnNode) -> _NodeResult:
-        child = self._run(node.children[0])
-        associations = UnaryAssociations() if self._capture else None
-        partitions: list[list[Row]] = []
-        for partition in child.partitions:
-            extended: list[Row] = []
-            for pid, item in partition:
-                out_item = item.replace(**{node.name: node.expression.evaluate(item)})
-                if associations is not None:
-                    out_id = self._fresh_id()
-                    associations.add(pid, out_id)
-                    extended.append((out_id, out_item))
-                else:
-                    extended.append((pid, out_item))
-            partitions.append(extended)
-        self._register_unary(node, child, associations, manipulations=node.manipulation_pairs())
-        rows = concat_partitions(partitions)
-        return _NodeResult(partitions, self._schema_of(rows))
+    _WIDE_HANDLERS: dict[type, Any] = {}
 
 
-    _HANDLERS: dict[type, Callable[["Executor", Any], _NodeResult]] = {}
-
-
-Executor._HANDLERS = {
-    ReadNode: Executor._run_read,
-    FilterNode: Executor._run_filter,
-    SelectNode: Executor._run_select,
-    MapNode: Executor._run_map,
-    FlattenNode: Executor._run_flatten,
+Executor._WIDE_HANDLERS = {
     UnionNode: Executor._run_union,
     JoinNode: Executor._run_join,
     AggregateNode: Executor._run_aggregate,
     DistinctNode: Executor._run_distinct,
     SortNode: Executor._run_sort,
     LimitNode: Executor._run_limit,
-    WithColumnNode: Executor._run_with_column,
 }
 
 

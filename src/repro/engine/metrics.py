@@ -11,7 +11,13 @@ from __future__ import annotations
 import time
 from typing import Iterator
 
-__all__ = ["OperatorMetrics", "ExecutionMetrics", "SegmentCacheMetrics", "Stopwatch"]
+__all__ = [
+    "OperatorMetrics",
+    "StageMetrics",
+    "ExecutionMetrics",
+    "SegmentCacheMetrics",
+    "Stopwatch",
+]
 
 
 class Stopwatch:
@@ -47,6 +53,44 @@ class OperatorMetrics:
     def __repr__(self) -> str:
         return (
             f"OperatorMetrics({self.label!r}: {self.rows_in} -> {self.rows_out} rows, "
+            f"{self.seconds * 1000:.2f} ms)"
+        )
+
+
+class StageMetrics:
+    """Cardinality and wall-time counters of one executed physical stage.
+
+    A fused stage realises several logical operators at once; this is the
+    stage-granular accounting (rows in/out of the whole pipeline segment and
+    its wall time) that complements the per-operator slots above.
+    """
+
+    __slots__ = ("index", "kind", "label", "operator_oids", "rows_in", "rows_out", "seconds")
+
+    def __init__(self, index: int, kind: str, label: str, operator_oids: tuple[int, ...]):
+        self.index = index
+        self.kind = kind
+        self.label = label
+        #: Logical operators this stage realises (in execution order).
+        self.operator_oids = operator_oids
+        self.rows_in = 0
+        self.rows_out = 0
+        self.seconds = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "label": self.label,
+            "operators": list(self.operator_oids),
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "seconds": self.seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StageMetrics(#{self.index} {self.kind}: {self.rows_in} -> {self.rows_out} rows, "
             f"{self.seconds * 1000:.2f} ms)"
         )
 
@@ -104,6 +148,7 @@ class ExecutionMetrics:
 
     def __init__(self) -> None:
         self._operators: dict[int, OperatorMetrics] = {}
+        self._stages: list[StageMetrics] = []
         self.total_seconds = 0.0
 
     def operator(self, oid: int, op_type: str, label: str) -> OperatorMetrics:
@@ -116,6 +161,32 @@ class ExecutionMetrics:
 
     def operators(self) -> Iterator[OperatorMetrics]:
         return iter(self._operators.values())
+
+    def add_stage(self, stage: StageMetrics) -> None:
+        """Record the accounting of one executed physical stage."""
+        self._stages.append(stage)
+
+    def stages(self) -> list[StageMetrics]:
+        """Per-stage accounting, in execution order."""
+        return list(self._stages)
+
+    def to_json(self) -> dict:
+        """A plain-JSON view of the run's accounting (CI artifact format)."""
+        return {
+            "total_seconds": self.total_seconds,
+            "operators": [
+                {
+                    "oid": op.oid,
+                    "op_type": op.op_type,
+                    "label": op.label,
+                    "rows_in": op.rows_in,
+                    "rows_out": op.rows_out,
+                    "seconds": op.seconds,
+                }
+                for op in self._operators.values()
+            ],
+            "stages": [stage.to_json() for stage in self._stages],
+        }
 
     def by_type(self) -> dict[str, float]:
         """Sum operator seconds per operator type (per-operator overhead study)."""

@@ -1,7 +1,9 @@
 """Session: entry point of the engine (SparkSession analogue).
 
-A session assigns operator identifiers, holds the partitioning
-configuration, and creates datasets from in-memory items or JSONL files.
+A session assigns operator identifiers, carries the
+:class:`~repro.engine.config.EngineConfig` every execution inherits
+(partitioning, scheduler backend, optimizer rules), and creates datasets
+from in-memory items or JSONL files.
 """
 
 from __future__ import annotations
@@ -9,10 +11,10 @@ from __future__ import annotations
 from pathlib import Path as FsPath
 from typing import Iterable
 
+from repro.engine.config import EngineConfig
 from repro.engine.dataset import Dataset
 from repro.engine.plan import ReadNode
 from repro.engine.storage import InMemorySource, JsonlSource, Source
-from repro.errors import ExecutionError
 
 __all__ = ["Session"]
 
@@ -20,11 +22,21 @@ __all__ = ["Session"]
 class Session:
     """Creates datasets and tracks operator identifiers for one program."""
 
-    def __init__(self, num_partitions: int = 4):
-        if num_partitions < 1:
-            raise ExecutionError(f"need at least one partition, got {num_partitions}")
-        self.num_partitions = num_partitions
+    def __init__(
+        self,
+        num_partitions: int | None = None,
+        *,
+        config: EngineConfig | None = None,
+    ):
+        base = config if config is not None else EngineConfig.from_env()
+        #: The engine configuration every execution of this session inherits;
+        #: an explicit ``num_partitions`` overrides the config's count.
+        self.config = base.with_partitions(num_partitions)
         self._oid_counter = 0
+
+    @property
+    def num_partitions(self) -> int:
+        return self.config.num_partitions
 
     def next_oid(self) -> int:
         """Return a fresh operator identifier (unique within the session)."""

@@ -26,6 +26,7 @@ from repro.core.backtrace.result import ProvenanceResult
 from repro.core.store import ProvenanceSizeReport
 from repro.core.treepattern.matcher import PatternMatch, match_partitions
 from repro.core.treepattern.pattern import TreePattern
+from repro.engine.config import EngineConfig
 from repro.engine.dataset import Dataset
 from repro.engine.executor import ExecutionResult
 from repro.engine.session import Session
@@ -100,15 +101,19 @@ class CapturedExecution:
         save_execution_json(self._execution, path)
 
     @classmethod
-    def load(cls, path: FsPath | str, num_partitions: int = 4) -> "CapturedExecution":
+    def load(
+        cls, path: FsPath | str, num_partitions: int | None = None
+    ) -> "CapturedExecution":
         """Restore a persisted capture; supports querying, not re-running.
 
         Accepts a warehouse root directory (loads the newest run with a
-        lazy provenance store) or a JSON export file.
+        lazy provenance store) or a JSON export file.  ``num_partitions``
+        defaults to the engine-wide default partition count.
         """
+        from repro.engine.config import resolve_partitions
         from repro.pebble.persistence import load_execution
 
-        return cls(load_execution(path, num_partitions))
+        return cls(load_execution(path, resolve_partitions(num_partitions)))
 
     def __repr__(self) -> str:
         return f"CapturedExecution({len(self._execution)} result items)"
@@ -117,8 +122,17 @@ class CapturedExecution:
 class PebbleSession:
     """Transparent wrapper over the engine session (the PebbleAPI of Fig. 5)."""
 
-    def __init__(self, num_partitions: int = 4):
-        self.session = Session(num_partitions=num_partitions)
+    def __init__(
+        self,
+        num_partitions: int | None = None,
+        *,
+        config: "EngineConfig | None" = None,
+    ):
+        self.session = Session(num_partitions=num_partitions, config=config)
+
+    @property
+    def config(self) -> "EngineConfig":
+        return self.session.config
 
     # -- dataset creation (routed to the engine) ------------------------------
 

@@ -34,6 +34,7 @@ from repro.core.operator_provenance import (
 )
 from repro.core.paths import parse_path
 from repro.core.store import ProvenanceStore
+from repro.engine.config import resolve_partitions
 from repro.engine.executor import SCHEMA_SAMPLE, ExecutionResult
 from repro.engine.metrics import ExecutionMetrics
 from repro.errors import ProvenanceError
@@ -194,7 +195,9 @@ def save_execution_json(execution: ExecutionResult, path: FsPath | str) -> None:
         json.dump(document, handle)
 
 
-def load_execution(path: FsPath | str, num_partitions: int = 4) -> ExecutionResult:
+def load_execution(
+    path: FsPath | str, num_partitions: int | None = None
+) -> ExecutionResult:
     """Restore a persisted execution into a queryable object.
 
     A directory restores from the warehouse (newest run, lazy provenance
@@ -204,6 +207,7 @@ def load_execution(path: FsPath | str, num_partitions: int = 4) -> ExecutionResu
     itself is not restored (only the sink id), so the execution cannot be
     re-run -- that is what the original program is for.
     """
+    num_partitions = resolve_partitions(num_partitions)
     path = FsPath(path)
     if path.is_dir():
         from repro.warehouse import Warehouse
@@ -239,8 +243,11 @@ def _required_pid(pid: object, context: str) -> int:
     return validated
 
 
-def load_execution_json(path: FsPath | str, num_partitions: int = 4) -> ExecutionResult:
+def load_execution_json(
+    path: FsPath | str, num_partitions: int | None = None
+) -> ExecutionResult:
     """Restore a JSON-exported execution (see :func:`save_execution_json`)."""
+    num_partitions = resolve_partitions(num_partitions)
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     if document.get("format") != _FORMAT_VERSION:

@@ -25,6 +25,7 @@ from typing import Any
 
 from repro.core.backtrace.result import ProvenanceResult
 from repro.core.treepattern.pattern import TreePattern
+from repro.engine.config import resolve_partitions
 from repro.engine.executor import ExecutionResult
 from repro.engine.metrics import ExecutionMetrics, SegmentCacheMetrics
 from repro.engine.partition import partition_rows
@@ -127,7 +128,7 @@ class Warehouse:
     def load(
         self,
         run_id: str | None = None,
-        num_partitions: int = 4,
+        num_partitions: int | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         metrics: SegmentCacheMetrics | None = None,
     ) -> ExecutionResult:
@@ -138,6 +139,7 @@ class Warehouse:
         :class:`LazyProvenanceStore`: operators decode only when a backtrace
         touches them.  With no *run_id*, the newest run loads.
         """
+        num_partitions = resolve_partitions(num_partitions)
         record = self._catalog.find(run_id) if run_id else self._catalog.latest()
         run_dir = self.root / RUNS_DIR / record.run_id
         manifest = load_manifest(run_dir)
@@ -164,7 +166,7 @@ class Warehouse:
         self,
         run_id: str | None,
         pattern: TreePattern | str,
-        num_partitions: int = 4,
+        num_partitions: int | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> tuple[ProvenanceResult, SegmentCacheMetrics]:
         """Answer a structural provenance question against a stored run.

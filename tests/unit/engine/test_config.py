@@ -1,0 +1,102 @@
+"""Unit tests for the engine configuration object."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.config import (
+    ALL_RULES,
+    DEFAULT_NUM_PARTITIONS,
+    EngineConfig,
+    resolve_partitions,
+)
+from repro.engine.session import Session
+from repro.errors import ExecutionError
+
+
+class TestDefaults:
+    def test_default_values(self):
+        config = EngineConfig()
+        assert config.num_partitions == DEFAULT_NUM_PARTITIONS == 4
+        assert config.scheduler == "serial"
+        assert config.max_workers is None
+        assert config.optimize is True
+        assert config.rules == ALL_RULES
+
+    def test_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EngineConfig().num_partitions = 8
+
+    def test_resolve_partitions(self):
+        assert resolve_partitions(None) == DEFAULT_NUM_PARTITIONS
+        assert resolve_partitions(7) == 7
+
+
+class TestValidation:
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ExecutionError, match="at least one partition"):
+            EngineConfig(num_partitions=0)
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ExecutionError, match="unknown scheduler"):
+            EngineConfig(scheduler="mesos")
+
+    def test_rejects_unknown_rule(self):
+        with pytest.raises(ExecutionError, match="unknown optimizer rules"):
+            EngineConfig(rules=("prune", "vectorize"))
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ExecutionError, match="max_workers"):
+            EngineConfig(max_workers=0)
+
+
+class TestRuleToggles:
+    def test_rule_enabled_honours_subset(self):
+        config = EngineConfig(rules=("prune",))
+        assert config.rule_enabled("prune")
+        assert not config.rule_enabled("fuse")
+        assert not config.rule_enabled("pushdown")
+
+    def test_optimize_off_disables_every_rule(self):
+        config = EngineConfig(optimize=False)
+        assert not any(config.rule_enabled(rule) for rule in ALL_RULES)
+
+    def test_with_partitions(self):
+        config = EngineConfig()
+        assert config.with_partitions(None) is config
+        assert config.with_partitions(4) is config
+        assert config.with_partitions(2).num_partitions == 2
+
+
+class TestFromEnv:
+    def test_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "threads")
+        monkeypatch.setenv("REPRO_OPTIMIZE", "off")
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+        config = EngineConfig.from_env()
+        assert config.scheduler == "threads"
+        assert config.optimize is False
+        assert config.max_workers == 3
+
+    def test_explicit_overrides_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "threads")
+        assert EngineConfig.from_env(scheduler="serial").scheduler == "serial"
+
+    def test_partition_count_not_read_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "threads")
+        assert EngineConfig.from_env().num_partitions == DEFAULT_NUM_PARTITIONS
+
+
+class TestSessionIntegration:
+    def test_session_defaults_to_engine_default(self):
+        assert Session().num_partitions == DEFAULT_NUM_PARTITIONS
+
+    def test_session_override_wins_over_config(self):
+        session = Session(num_partitions=2, config=EngineConfig(num_partitions=8))
+        assert session.num_partitions == 2
+
+    def test_session_carries_config(self):
+        config = EngineConfig(scheduler="threads", optimize=False)
+        session = Session(config=config)
+        assert session.config.scheduler == "threads"
+        assert session.config.optimize is False

@@ -1,0 +1,88 @@
+"""Unit tests for the scheduler backends (order, errors, lifecycle)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.scheduler import (
+    SerialScheduler,
+    ThreadPoolScheduler,
+    make_scheduler,
+)
+from repro.errors import ExecutionError
+
+
+@pytest.fixture(params=["serial", "threads"])
+def scheduler(request):
+    backend = make_scheduler(EngineConfig(scheduler=request.param))
+    yield backend
+    backend.close()
+
+
+class TestBothBackends:
+    def test_results_in_submission_order(self, scheduler):
+        def task(index):
+            def run():
+                time.sleep(0.002 * (5 - index))  # later tasks finish first
+                return index
+
+            return run
+
+        assert scheduler.run([task(index) for index in range(5)]) == list(range(5))
+
+    def test_empty_batch(self, scheduler):
+        assert scheduler.run([]) == []
+
+    def test_first_error_in_submission_order_wins(self, scheduler):
+        def failer(message, delay):
+            def run():
+                time.sleep(delay)
+                raise ValueError(message)
+
+            return run
+
+        # The second task fails *first* in wall-clock time, but the raised
+        # error must be the first failing task in submission order.
+        with pytest.raises(ValueError, match="first"):
+            scheduler.run([failer("first", 0.01), failer("second", 0.0)])
+
+
+class TestThreadPool:
+    def test_runs_concurrently(self):
+        backend = ThreadPoolScheduler(max_workers=4)
+        try:
+            seen = set()
+
+            def run():
+                seen.add(threading.current_thread().name)
+                time.sleep(0.01)
+
+            backend.run([run for _ in range(8)])
+            assert len(seen) > 1
+        finally:
+            backend.close()
+
+    def test_closed_scheduler_rejects_work(self):
+        backend = ThreadPoolScheduler(max_workers=1)
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(ExecutionError, match="closed"):
+            backend.run([lambda: 1])
+
+    def test_context_manager_closes(self):
+        with ThreadPoolScheduler(max_workers=1) as backend:
+            assert backend.run([lambda: 42]) == [42]
+        with pytest.raises(ExecutionError):
+            backend.run([lambda: 1])
+
+
+class TestFactory:
+    def test_selects_backend(self):
+        assert isinstance(make_scheduler(EngineConfig()), SerialScheduler)
+        threaded = make_scheduler(EngineConfig(scheduler="threads"))
+        try:
+            assert isinstance(threaded, ThreadPoolScheduler)
+        finally:
+            threaded.close()
