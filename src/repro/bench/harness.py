@@ -30,6 +30,7 @@ from repro.engine.executor import Executor
 from repro.engine.hooks import LineageCaptureHook, StructuralCaptureHook
 from repro.engine.expressions import col
 from repro.engine.session import Session
+from repro.obs.tracer import Tracer, tracing
 from repro.pebble.query import query_provenance
 from repro.workloads.dblp import DblpConfig, generate_dblp
 from repro.workloads.scenarios import load_workload, scenario
@@ -242,6 +243,7 @@ class QueryMeasurement:
         "warehouse_seconds",
         "cache_hit_rate",
         "segments_decoded",
+        "cache",
     )
 
     def __init__(
@@ -254,6 +256,7 @@ class QueryMeasurement:
         warehouse_seconds: float | None = None,
         cache_hit_rate: float | None = None,
         segments_decoded: int | None = None,
+        cache: dict | None = None,
     ):
         self.scenario = scenario_name
         self.scale = scale
@@ -263,6 +266,8 @@ class QueryMeasurement:
         self.warehouse_seconds = warehouse_seconds
         self.cache_hit_rate = cache_hit_rate
         self.segments_decoded = segments_decoded
+        #: Full segment-cache accounting of the warehouse query, as JSON.
+        self.cache = cache
 
     @property
     def speedup(self) -> float:
@@ -334,6 +339,7 @@ def measure_query_times(
                     warehouse_seconds=warehouse_seconds,
                     cache_hit_rate=last_metrics.hit_rate,
                     segments_decoded=last_metrics.misses,
+                    cache=last_metrics.to_json(),
                 )
             )
     return measurements
@@ -418,11 +424,15 @@ def measure_titian_comparison(
 
 
 #: The optimizer ablation ladder: no rewrites at all (the seed layout),
-#: projection pruning alone, then pruning plus operator fusion.
+#: projection pruning alone, then pruning plus operator fusion.  The final
+#: ``+trace`` rung repeats the full ladder with a live span tracer, pinning
+#: the "tracing off costs nothing" claim: its delta against ``prune+fuse``
+#: is the entire observability tax.
 ABLATION_CONFIGS: tuple[tuple[str, EngineConfig], ...] = (
     ("no-opt", EngineConfig(optimize=False)),
     ("prune", EngineConfig(rules=("prune",))),
     ("prune+fuse", EngineConfig(rules=("prune", "fuse"))),
+    ("prune+fuse+trace", EngineConfig(rules=("prune", "fuse"))),
 )
 
 
@@ -473,10 +483,17 @@ def measure_optimizer_ablation(
         data = load_workload(spec.kind, scale)
         for config_name, config in ABLATION_CONFIGS:
             session_config = config.with_partitions(num_partitions)
+            traced = config_name.endswith("+trace")
 
             def run_capture() -> None:
                 dataset = spec.build(Session(config=session_config), data)
-                execution = dataset.execute(capture=True)
+                if traced:
+                    # A fresh tracer per run: span recording is part of the
+                    # measured cost, unbounded accumulation is not.
+                    with tracing(Tracer()):
+                        execution = dataset.execute(capture=True)
+                else:
+                    execution = dataset.execute(capture=True)
                 assert execution.store is not None
                 execution.store.serialize()
 

@@ -14,15 +14,20 @@ Usage (also via ``python -m repro``)::
     python -m repro warehouse ls --root /tmp/wh
     python -m repro warehouse inspect run-0001-example --root /tmp/wh
     python -m repro warehouse query run-0001-example 'root{...}' --root /tmp/wh
+    python -m repro stats run-0001-example --root /tmp/wh
+
+Most execution commands accept ``--trace PATH`` to write a Chrome
+trace-event JSON of the run (loadable in Perfetto / ``chrome://tracing``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import sys
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.bench.harness import (
     measure_capture_overhead,
@@ -44,6 +49,7 @@ from repro.core.usecases.usage import UsageAnalysis
 from repro.engine.config import EngineConfig
 from repro.engine.executor import Executor
 from repro.engine.session import Session
+from repro.obs.tracer import Tracer, tracing
 from repro.pebble.query import query_provenance
 from repro.workloads.scenarios import (
     DBLP_SCENARIOS,
@@ -71,6 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
     example = commands.add_parser("example", help="run the paper's running example")
     example.add_argument("--pattern", default=RUNNING_EXAMPLE_PATTERN,
                          help="tree pattern to backtrace (default: Fig. 4)")
+    example.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a Chrome trace-event JSON of the run")
 
     run = commands.add_parser("scenario", help="run one scenario and its structural query")
     run.add_argument("name", choices=sorted(SCENARIOS))
@@ -85,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable plan rewriting (seed operator-at-a-time execution)")
     run.add_argument("--metrics-json", default=None, metavar="PATH",
                      help="write per-operator/per-stage execution metrics as JSON")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a Chrome trace-event JSON of the run")
 
     explain = commands.add_parser(
         "explain", help="show logical plan, applied rewrites, and physical stages"
@@ -108,6 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--metrics-json", default=None, metavar="PATH",
                        help="write the raw measurements as JSON")
+    bench.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON of the benchmark runs")
 
     heatmap = commands.add_parser("heatmap", help="Fig. 10 usage heatmap over D1-D5")
     heatmap.add_argument("--scale", type=float, default=0.5)
@@ -127,6 +139,8 @@ def build_parser() -> argparse.ArgumentParser:
     wh_record.add_argument("--partitions", type=int, default=None,
                            help="partition count (default: engine default)")
     wh_record.add_argument("--run-name", default=None, help="catalog name (default: scenario)")
+    wh_record.add_argument("--trace", default=None, metavar="PATH",
+                           help="write a Chrome trace-event JSON of the run + record")
 
     wh_ls = wh_commands.add_parser("ls", help="list the catalogued runs")
     wh_ls.add_argument("--root", required=True, help="warehouse root directory")
@@ -136,6 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     wh_inspect.add_argument("run", help="run id or name (names resolve to newest)")
     wh_inspect.add_argument("--root", required=True, help="warehouse root directory")
+    wh_inspect.add_argument("--probe", default=None, metavar="PATTERN",
+                            help="also backtrace PATTERN and report its segment-cache "
+                                 "accounting (how much of the run the query touches)")
 
     wh_query = wh_commands.add_parser(
         "query", help="lazily backtrace a tree pattern over a stored run"
@@ -146,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
     wh_query.add_argument("--partitions", type=int, default=None,
                           help="partition count (default: engine default)")
     wh_query.add_argument("--cache-size", type=int, default=64)
+    wh_query.add_argument("--trace", default=None, metavar="PATH",
+                          help="write a Chrome trace-event JSON of the query")
+
+    stats = commands.add_parser(
+        "stats", help="print the metrics registry describing a stored run"
+    )
+    stats.add_argument("run", nargs="?", default=None,
+                       help="run id or name (default: newest run)")
+    stats.add_argument("--root", required=True, help="warehouse root directory")
+    stats.add_argument("--pattern", default=None,
+                       help="also run this backtrace and fold its cache metrics in")
+    stats.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit JSON instead of Prometheus text exposition")
 
     return parser
 
@@ -179,6 +209,27 @@ def _engine_config(scheduler: str | None, no_optimize: bool) -> EngineConfig:
     if no_optimize:
         config = dataclasses.replace(config, optimize=False)
     return config
+
+
+@contextlib.contextmanager
+def _trace_to(path: str | None) -> Iterator[None]:
+    """Run the body under a live tracer; write a Chrome trace on exit.
+
+    With no *path* this is a no-op and the process-wide null tracer stays
+    active, so untraced commands pay nothing.
+    """
+    if not path:
+        yield
+        return
+    tracer = Tracer()
+    try:
+        with tracing(tracer):
+            yield
+    finally:
+        # Written even when the command fails: a trace of a failed run is
+        # exactly the postmortem artifact tracing exists for.
+        tracer.write_chrome_trace(path)
+        print(f"wrote trace {path} ({len(tracer.spans())} spans)")
 
 
 def _write_json(path: str, payload: object) -> None:
@@ -328,8 +379,9 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
         else:
             spec = scenario(args.name)
             pipeline = spec.build(session, load_workload(spec.kind, args.scale))
-        execution = pipeline.execute(capture=True)
-        record = warehouse.record(execution, name=args.run_name or args.name)
+        with _trace_to(args.trace):
+            execution = pipeline.execute(capture=True)
+            record = warehouse.record(execution, name=args.run_name or args.name)
         print(f"recorded {record.run_id} ({record.name})")
         print(f"  operators: {record.operator_count}")
         print(f"  rows:      {record.row_count}")
@@ -368,15 +420,21 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
                 f"{op['oid']:>4} {op['op_type']:<12} {op['kind']:<12} "
                 f"{op['records']:>8} {op['segment_bytes']:>9}  {label}"
             )
+        if args.probe:
+            _, cache = warehouse.backtrace(summary["run_id"], args.probe)
+            print()
+            print(f"probe: {args.probe}")
+            print(f"segment cache: {json.dumps(cache.to_json())}")
         return 0
 
     if args.warehouse_command == "query":
-        provenance, metrics = warehouse.backtrace(
-            args.run,
-            args.pattern,
-            num_partitions=args.partitions,
-            cache_size=args.cache_size,
-        )
+        with _trace_to(args.trace):
+            provenance, metrics = warehouse.backtrace(
+                args.run,
+                args.pattern,
+                num_partitions=args.partitions,
+                cache_size=args.cache_size,
+            )
         print(f"query: {args.pattern}")
         print(f"matched result items: {len(provenance.matched_output_ids)}")
         for source in provenance.sources:
@@ -389,11 +447,23 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
             f"segments decoded: {metrics.misses}/{len(total)} "
             f"(cache hit rate {metrics.hit_rate:.2f}, {metrics.bytes_read} bytes read)"
         )
+        print(f"segment cache: {json.dumps(metrics.to_json())}")
         return 0
 
     raise AssertionError(
         f"unhandled warehouse command {args.warehouse_command!r}"
     )  # pragma: no cover
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.warehouse import Warehouse
+
+    registry = Warehouse.open(args.root).stats(args.run, pattern=args.pattern)
+    if args.as_json:
+        print(json.dumps(registry.to_json(), indent=2))
+    else:
+        print(registry.render_prometheus(), end="")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -402,17 +472,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "example":
-        return _cmd_example(args.pattern)
+        with _trace_to(args.trace):
+            return _cmd_example(args.pattern)
     if args.command == "scenario":
-        return _cmd_scenario(args)
+        with _trace_to(args.trace):
+            return _cmd_scenario(args)
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "bench":
-        return _cmd_bench(args.figure, args.scale, args.repeats, args.metrics_json)
+        with _trace_to(args.trace):
+            return _cmd_bench(args.figure, args.scale, args.repeats, args.metrics_json)
     if args.command == "heatmap":
         return _cmd_heatmap(args.scale, args.items)
     if args.command == "warehouse":
         return _cmd_warehouse(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

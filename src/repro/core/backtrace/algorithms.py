@@ -48,6 +48,7 @@ from repro.core.operator_provenance import (
 from repro.core.paths import POS, Path
 from repro.core.store import ProvenanceStoreProtocol
 from repro.errors import BacktraceError
+from repro.obs.tracer import get_tracer
 from repro.nested.schema import Schema
 from repro.nested.types import BagType, SetType, StructType
 
@@ -87,23 +88,28 @@ class Backtracer:
         empty structure, mirroring the paper's union backtracing that
         filters out undefined ids.
         """
-        order = self._reverse_topological(sink_oid)
+        tracer = get_tracer()
+        with tracer.span("toposort", "backtrace"):
+            order = self._reverse_topological(sink_oid)
         frontier: dict[int, BacktraceStructure] = {sink_oid: seeds}
         results: list[SourceProvenance] = []
-        for oid in order:
-            structure = frontier.pop(oid, BacktraceStructure())
-            provenance = self._store.get(oid)
-            if isinstance(provenance.associations, ReadAssociations):
-                results.append(
-                    SourceProvenance(oid, self._store.source_name(oid), structure)
-                )
-                continue
-            for pred_oid, contribution in self._step(provenance, structure):
-                existing = frontier.get(pred_oid)
-                if existing is None:
-                    frontier[pred_oid] = contribution
-                else:
-                    existing.merge_from(contribution)
+        with tracer.span("operator-walk", "backtrace", operators=len(order)):
+            for oid in order:
+                structure = frontier.pop(oid, BacktraceStructure())
+                with tracer.span(f"walk op-{oid}", "backtrace") as span:
+                    provenance = self._store.get(oid)
+                    span.set(op_type=provenance.op_type, trees=len(structure.entries))
+                    if isinstance(provenance.associations, ReadAssociations):
+                        results.append(
+                            SourceProvenance(oid, self._store.source_name(oid), structure)
+                        )
+                        continue
+                    for pred_oid, contribution in self._step(provenance, structure):
+                        existing = frontier.get(pred_oid)
+                        if existing is None:
+                            frontier[pred_oid] = contribution
+                        else:
+                            existing.merge_from(contribution)
         results.sort(key=lambda source: source.oid)
         return results
 

@@ -29,6 +29,7 @@ hook needs ids, so the plain path carries no provenance cost.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Sequence
 
 from repro.core.operator_provenance import (
@@ -72,6 +73,7 @@ from repro.engine.plan import (
 )
 from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.errors import ExecutionError, PlanError, SchemaMismatchError
+from repro.obs.tracer import get_tracer
 from repro.nested.schema import Schema, infer_schema
 from repro.nested.types import StructType
 from repro.nested.values import DataItem
@@ -177,13 +179,23 @@ class Executor:
         """Execute the plan rooted at *root* and return its result."""
         physical = self.compile(root)
         scheduler = make_scheduler(self._config)
+        run_span = get_tracer().span(
+            "run",
+            "run",
+            scheduler=self._config.scheduler,
+            partitions=self._num_partitions,
+            optimize=self._config.optimize,
+            capture=self._capturing,
+            stages=len(physical.stages),
+        )
         try:
-            with Stopwatch() as watch:
+            with run_span, Stopwatch() as watch:
                 for index, stage in enumerate(physical.stages):
                     self._execute_stage(index, stage, scheduler)
         finally:
             scheduler.close()
         self._metrics.total_seconds = watch.elapsed
+        self._metrics.publish()
         root_oid = physical.root_oid
         return ExecutionResult(
             root,
@@ -197,14 +209,18 @@ class Executor:
     # -- stage driver --------------------------------------------------------
 
     def _execute_stage(self, index: int, stage: Stage, scheduler: Scheduler) -> None:
-        with Stopwatch() as watch:
-            if isinstance(stage, ReadStage):
-                rows_in, rows_out, op_stats = self._run_read_stage(stage)
-            elif isinstance(stage, FusedStage):
-                rows_in, rows_out, op_stats = self._run_fused_stage(stage, scheduler)
-            else:
-                assert isinstance(stage, WideStage)
-                rows_in, rows_out, op_stats = self._run_wide_stage(stage)
+        with get_tracer().span(
+            f"stage-{index} {stage.kind}", "stage", label=stage.label()
+        ) as span:
+            with Stopwatch() as watch:
+                if isinstance(stage, ReadStage):
+                    rows_in, rows_out, op_stats = self._run_read_stage(stage)
+                elif isinstance(stage, FusedStage):
+                    rows_in, rows_out, op_stats = self._run_fused_stage(stage, scheduler)
+                else:
+                    assert isinstance(stage, WideStage)
+                    rows_in, rows_out, op_stats = self._run_wide_stage(stage)
+            span.set(rows_in=rows_in, rows_out=rows_out)
         elapsed = watch.elapsed
         share = elapsed / (len(op_stats) or 1)
         for node, node_rows_in, node_rows_out in op_stats:
@@ -217,6 +233,9 @@ class Executor:
         stage_metrics.rows_in = rows_in
         stage_metrics.rows_out = rows_out
         stage_metrics.seconds = elapsed
+        stage_metrics.partition_rows = tuple(
+            len(partition) for partition in self._partitions[stage.output_oid]
+        )
         for hook in self._hooks:
             hook.on_stage(stage_metrics)
 
@@ -237,8 +256,11 @@ class Executor:
         return infer_schema(sample)
 
     def _emit_operator(self, node, inputs, manipulations, associations) -> None:
+        started = time.perf_counter()
         for hook in self._hooks:
             hook.on_operator(node, inputs, manipulations, associations)
+        slot = self._metrics.operator(node.oid, node.op_type, node.label())
+        slot.capture_seconds += time.perf_counter() - started
 
     def _child_state(self, node: PlanNode, index: int = 0) -> tuple[list[list[Row]], Schema]:
         child = node.children[index]
@@ -251,6 +273,7 @@ class Executor:
         items = node.loader()
         rows: list[Row] = []
         if self._capturing:
+            started = time.perf_counter()
             associations = ReadAssociations()
             by_id: dict[int, DataItem] = {}
             for item in items:
@@ -258,9 +281,14 @@ class Executor:
                 associations.add(pid)
                 by_id[pid] = item
                 rows.append((pid, item))
+            capture_elapsed = time.perf_counter() - started
             self._emit_operator(node, (), (), associations)
+            started = time.perf_counter()
             for hook in self._hooks:
                 hook.on_source(node, by_id)
+            capture_elapsed += time.perf_counter() - started
+            slot = self._metrics.operator(node.oid, node.op_type, node.label())
+            slot.capture_seconds += capture_elapsed
         else:
             rows = [(None, item) for item in items]
         total = self._finish(
@@ -277,6 +305,8 @@ class Executor:
         in_partitions = self._partitions[stage.input_oid]
         nparts = len(in_partitions)
         capturing = self._capturing
+        tracer = get_tracer()
+        stage_label = stage.label()
         sampling = [
             type(op).propagate_schema is NarrowOp.propagate_schema for op in ops
         ]
@@ -324,18 +354,21 @@ class Executor:
 
             def make_task(part: int, segment: list[int] = segment):
                 def task():
-                    items = items_by_part[part]
-                    seg_entries: list[Any] = []
-                    seg_counts: list[tuple[int, int]] = []
-                    seg_samples: list[list[DataItem] | None] = []
-                    for position in segment:
-                        op = ops[position]
-                        out, entries = op.apply(items, capturing and op.registers)
-                        seg_entries.append(entries)
-                        seg_counts.append((len(items), len(out)))
-                        seg_samples.append(out[:SCHEMA_SAMPLE] if sampling[position] else None)
-                        items = out
-                    return items, seg_entries, seg_counts, seg_samples
+                    with tracer.span(
+                        f"task p{part}", "task", stage=stage_label, rows=len(items_by_part[part])
+                    ):
+                        items = items_by_part[part]
+                        seg_entries: list[Any] = []
+                        seg_counts: list[tuple[int, int]] = []
+                        seg_samples: list[list[DataItem] | None] = []
+                        for position in segment:
+                            op = ops[position]
+                            out, entries = op.apply(items, capturing and op.registers)
+                            seg_entries.append(entries)
+                            seg_counts.append((len(items), len(out)))
+                            seg_samples.append(out[:SCHEMA_SAMPLE] if sampling[position] else None)
+                            items = out
+                        return items, seg_entries, seg_counts, seg_samples
 
                 return task
 
@@ -367,9 +400,10 @@ class Executor:
                 current_schema = next_schema
 
         if capturing:
-            out_partitions = self._finalize_fused(
-                ops, in_partitions, entries_by_part, counts, schema_before
-            )
+            with tracer.span("capture-finalize", "capture", stage=stage_label):
+                out_partitions = self._finalize_fused(
+                    ops, in_partitions, entries_by_part, counts, schema_before
+                )
             out_partitions = [
                 list(zip(ids, items))
                 for ids, items in zip(out_partitions, items_by_part)
@@ -414,6 +448,7 @@ class Executor:
                     ids[: counts[part][position][1]] for part, ids in enumerate(frontier)
                 ]
                 continue
+            assembly_started = time.perf_counter()
             associations = op.new_associations()
             new_frontier: list[list[int]] = []
             for part in range(nparts):
@@ -438,6 +473,8 @@ class Executor:
             frontier = new_frontier
             accessed, manipulations = op.input_spec()
             spec = (node.children[0].oid, accessed, schema_before[position])
+            slot = self._metrics.operator(node.oid, node.op_type, node.label())
+            slot.capture_seconds += time.perf_counter() - assembly_started
             self._emit_operator(node, (spec,), manipulations, associations)
         return frontier
 

@@ -4,12 +4,22 @@ The evaluation (Sec. 7.3.1 / 7.3.2) reports wall-clock runtime with and
 without capture plus the size of the collected provenance.  The executor
 fills one :class:`OperatorMetrics` per operator and aggregates them into an
 :class:`ExecutionMetrics` for the run.
+
+These per-run objects are no longer islands: each exposes a ``publish``
+method that folds its counters into a :mod:`repro.obs.metrics` registry
+(the process-wide one by default), so stage latencies, per-partition row
+skew, capture overhead, and segment-cache behaviour accumulate across runs
+and are exportable as one Prometheus text page or JSON dump
+(``repro stats``).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "OperatorMetrics",
@@ -65,7 +75,16 @@ class StageMetrics:
     its wall time) that complements the per-operator slots above.
     """
 
-    __slots__ = ("index", "kind", "label", "operator_oids", "rows_in", "rows_out", "seconds")
+    __slots__ = (
+        "index",
+        "kind",
+        "label",
+        "operator_oids",
+        "rows_in",
+        "rows_out",
+        "seconds",
+        "partition_rows",
+    )
 
     def __init__(self, index: int, kind: str, label: str, operator_oids: tuple[int, ...]):
         self.index = index
@@ -76,6 +95,8 @@ class StageMetrics:
         self.rows_in = 0
         self.rows_out = 0
         self.seconds = 0.0
+        #: Output rows per partition -- the skew observable of a stage.
+        self.partition_rows: tuple[int, ...] = ()
 
     def to_json(self) -> dict:
         return {
@@ -86,7 +107,21 @@ class StageMetrics:
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "seconds": self.seconds,
+            "partition_rows": list(self.partition_rows),
         }
+
+    def publish(self, registry: "MetricsRegistry | None" = None) -> None:
+        """Fold this stage's accounting into a metrics registry."""
+        from repro.obs.metrics import ROWS_BUCKETS, get_registry
+
+        registry = registry if registry is not None else get_registry()
+        registry.histogram("repro_stage_seconds", kind=self.kind).observe(self.seconds)
+        registry.counter("repro_stage_rows_out_total", kind=self.kind).inc(self.rows_out)
+        skew = registry.histogram(
+            "repro_stage_partition_rows", buckets=ROWS_BUCKETS, kind=self.kind
+        )
+        for rows in self.partition_rows:
+            skew.observe(rows)
 
     def __repr__(self) -> str:
         return (
@@ -135,6 +170,35 @@ class SegmentCacheMetrics:
         self.bytes_read = 0
         self.evictions = 0
 
+    def to_json(self) -> dict:
+        """Machine-readable cache accounting (CLI artifacts, fig9 payload)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "item_hits": self.item_hits,
+            "item_misses": self.item_misses,
+            "bytes_read": self.bytes_read,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def publish(self, registry: "MetricsRegistry | None" = None) -> None:
+        """Fold one query's cache accounting into a metrics registry.
+
+        Call once per finished query (the warehouse does); the registry
+        counters then accumulate over every query the process answered.
+        """
+        from repro.obs.metrics import get_registry
+
+        registry = registry if registry is not None else get_registry()
+        registry.counter("repro_segment_cache_hits_total").inc(self.hits)
+        registry.counter("repro_segment_cache_misses_total").inc(self.misses)
+        registry.counter("repro_segment_cache_item_hits_total").inc(self.item_hits)
+        registry.counter("repro_segment_cache_item_misses_total").inc(self.item_misses)
+        registry.counter("repro_segment_cache_bytes_read_total").inc(self.bytes_read)
+        registry.counter("repro_segment_cache_evictions_total").inc(self.evictions)
+        registry.gauge("repro_segment_cache_hit_rate").set(self.hit_rate)
+
     def __repr__(self) -> str:
         return (
             f"SegmentCacheMetrics(hits={self.hits}, misses={self.misses}, "
@@ -182,11 +246,37 @@ class ExecutionMetrics:
                     "rows_in": op.rows_in,
                     "rows_out": op.rows_out,
                     "seconds": op.seconds,
+                    "capture_seconds": op.capture_seconds,
                 }
                 for op in self._operators.values()
             ],
             "stages": [stage.to_json() for stage in self._stages],
         }
+
+    def publish(self, registry: "MetricsRegistry | None" = None) -> None:
+        """Fold the run's accounting into a metrics registry.
+
+        The executor calls this once at the end of every execution, so the
+        process-wide registry observes every run: run latency, per-operator
+        latency by type, capture overhead, stage latency, and per-partition
+        row skew.
+        """
+        from repro.obs.metrics import get_registry
+
+        registry = registry if registry is not None else get_registry()
+        registry.counter("repro_runs_total").inc()
+        registry.histogram("repro_run_seconds").observe(self.total_seconds)
+        for op in self._operators.values():
+            registry.histogram("repro_operator_seconds", op_type=op.op_type).observe(
+                op.seconds
+            )
+            registry.counter("repro_operator_rows_out_total", op_type=op.op_type).inc(
+                op.rows_out
+            )
+            if op.capture_seconds:
+                registry.counter("repro_capture_seconds_total").inc(op.capture_seconds)
+        for stage in self._stages:
+            stage.publish(registry)
 
     def by_type(self) -> dict[str, float]:
         """Sum operator seconds per operator type (per-operator overhead study)."""

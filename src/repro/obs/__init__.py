@@ -1,0 +1,58 @@
+"""``repro.obs``: unified tracing, metrics, and structured logging.
+
+Three pillars, one subsystem:
+
+* :mod:`repro.obs.tracer` -- hierarchical spans (run -> stage -> partition
+  task -> operator, warehouse segment reads, backtrace query phases) with
+  Chrome trace-event / Perfetto export.  Off by default and zero-cost then.
+* :mod:`repro.obs.metrics` -- the process-wide registry of counters, gauges,
+  and fixed-bucket histograms that per-run accounting publishes into, with
+  Prometheus text exposition and a JSON dump.
+* :mod:`repro.obs.log` -- structured JSON logging keyed by run id.
+"""
+
+from repro.obs.log import RunLogger, enable as enable_logging, get_logger
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    ROWS_BUCKETS,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "chrome_trace_events",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "LATENCY_BUCKETS",
+    "ROWS_BUCKETS",
+    "BYTES_BUCKETS",
+    "RunLogger",
+    "get_logger",
+    "enable_logging",
+]

@@ -1,0 +1,77 @@
+"""Structured logging keyed by run id.
+
+Every log record is one JSON object: ``ts`` (unix seconds), ``run_id``,
+``event``, plus arbitrary fields.  Records flow through the stdlib
+``logging`` tree under the ``repro.run`` logger, so hosts configure routing
+and levels the usual way; :func:`enable` attaches a stderr (or custom
+stream) handler that emits the JSON lines for CLI use.
+
+::
+
+    log = get_logger("run-0001-example")
+    log.event("stage-finished", stage=0, kind="read", rows_out=6)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, TextIO
+
+__all__ = ["RunLogger", "get_logger", "enable", "LOGGER_NAME"]
+
+LOGGER_NAME = "repro.run"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render a record's structured payload as one JSON line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = getattr(record, "structured", None)
+        if payload is None:  # a plain message routed through the same logger
+            payload = {"ts": record.created, "event": record.getMessage()}
+        return json.dumps(payload, default=str)
+
+
+class RunLogger:
+    """A structured logger bound to one run id."""
+
+    __slots__ = ("run_id", "_logger")
+
+    def __init__(self, run_id: str, logger: logging.Logger | None = None):
+        self.run_id = run_id
+        self._logger = logger if logger is not None else logging.getLogger(LOGGER_NAME)
+
+    def event(self, event: str, level: int = logging.INFO, **fields: Any) -> None:
+        """Emit one structured record: ``{ts, run_id, event, **fields}``."""
+        if not self._logger.isEnabledFor(level):
+            return
+        payload: dict[str, Any] = {"ts": time.time(), "run_id": self.run_id, "event": event}
+        payload.update(fields)
+        self._logger.log(level, event, extra={"structured": payload})
+
+    def __repr__(self) -> str:
+        return f"RunLogger({self.run_id!r})"
+
+
+def get_logger(run_id: str) -> RunLogger:
+    """A structured logger for *run_id* (cheap; no caching needed)."""
+    return RunLogger(run_id)
+
+
+def enable(stream: TextIO | None = None, level: int = logging.INFO) -> logging.Handler:
+    """Attach a JSON-lines handler to the run logger; returns the handler.
+
+    Idempotent per stream object: calling twice with the same stream does not
+    duplicate handlers.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler) and handler.stream is stream:
+            return handler
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    logger.addHandler(handler)
+    return handler

@@ -15,6 +15,7 @@ from repro.core.treepattern.parser import parse_pattern
 from repro.core.treepattern.pattern import TreePattern
 from repro.engine.executor import ExecutionResult
 from repro.errors import CaptureDisabledError
+from repro.obs.tracer import get_tracer
 
 __all__ = ["query_provenance", "as_pattern"]
 
@@ -42,10 +43,15 @@ def query_provenance(
         raise CaptureDisabledError(
             "provenance was not captured for this execution; re-run with capture=True"
         )
+    tracer = get_tracer()
     tree_pattern = as_pattern(pattern)
-    matches = match_partitions(tree_pattern, execution.partitions)
-    seeds = seed_structure(matches)
+    with tracer.span("pattern-match", "query", pattern=str(pattern)) as span:
+        matches = match_partitions(tree_pattern, execution.partitions)
+        seeds = seed_structure(matches)
+        span.set(matched=len(matches))
     backtracer = Backtracer(execution.store)
-    raw = backtracer.backtrace(execution.root.oid, seeds)
+    with tracer.span("backtrace", "query", seeds=len(matches)):
+        raw = backtracer.backtrace(execution.root.oid, seeds)
     matched_ids = sorted(match.item_id for match in matches if match.item_id is not None)
-    return ProvenanceResult.resolve(execution.store, raw, matched_ids)
+    with tracer.span("source-resolution", "query", sources=len(raw)):
+        return ProvenanceResult.resolve(execution.store, raw, matched_ids)

@@ -28,6 +28,7 @@ from repro.engine.metrics import SegmentCacheMetrics
 from repro.engine.plan import PlanNode
 from repro.errors import BacktraceError, ProvenanceError
 from repro.nested.values import DataItem
+from repro.obs.tracer import get_tracer
 import repro.warehouse.format as wf
 from repro.warehouse.writer import MANIFEST_NAME, OPS_DIR
 
@@ -70,10 +71,12 @@ def read_rows(
     metrics: SegmentCacheMetrics | None = None,
 ) -> list[tuple[int | None, DataItem]]:
     """Decode the result rows segment of a run."""
-    buffer = (FsPath(run_dir) / manifest["rows"]["segment"]).read_bytes()
-    if metrics is not None:
-        metrics.bytes_read += len(buffer)
-    return wf.decode_rows(wf.open_segment(buffer, wf.SEGMENT_ROWS))
+    with get_tracer().span("segment-read rows", "warehouse") as span:
+        buffer = (FsPath(run_dir) / manifest["rows"]["segment"]).read_bytes()
+        if metrics is not None:
+            metrics.bytes_read += len(buffer)
+        span.set(bytes=len(buffer))
+        return wf.decode_rows(wf.open_segment(buffer, wf.SEGMENT_ROWS))
 
 
 class LazyProvenanceStore:
@@ -164,8 +167,15 @@ class LazyProvenanceStore:
             return cached
         entry = self._entry(oid)
         self.metrics.misses += 1
-        raw = self._read_range(entry, "offset", "record_length")
-        provenance = wf.decode_operator(wf.Cursor(raw))
+        with get_tracer().span(
+            f"segment-read op-{oid}",
+            "warehouse",
+            segment=entry["segment"],
+            op_type=entry["op_type"],
+            bytes=entry["record_length"],
+        ):
+            raw = self._read_range(entry, "offset", "record_length")
+            provenance = wf.decode_operator(wf.Cursor(raw))
         self._operators[oid] = provenance
         if len(self._operators) > self._cache_size:
             self._operators.popitem(last=False)
@@ -183,8 +193,14 @@ class LazyProvenanceStore:
         if "items_offset" not in entry:
             raise BacktraceError(f"operator {oid} is not a read operator")
         self.metrics.item_misses += 1
-        raw = self._read_range(entry, "items_offset", "items_length")
-        _, items = wf.decode_source_items(wf.Cursor(raw))
+        with get_tracer().span(
+            f"segment-read items op-{oid}",
+            "warehouse",
+            segment=entry["segment"],
+            bytes=entry["items_length"],
+        ):
+            raw = self._read_range(entry, "items_offset", "items_length")
+            _, items = wf.decode_source_items(wf.Cursor(raw))
         self._source_items[oid] = items
         if len(self._source_items) > self._cache_size:
             self._source_items.popitem(last=False)

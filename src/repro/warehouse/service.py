@@ -19,6 +19,7 @@ Directory layout::
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path as FsPath
 from typing import Any
@@ -32,6 +33,9 @@ from repro.engine.partition import partition_rows
 from repro.errors import ProvenanceError
 from repro.nested.schema import Schema, infer_schema
 from repro.nested.types import StructType
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import get_tracer
 from repro.warehouse.catalog import Catalog, RunRecord
 from repro.warehouse.reader import (
     DEFAULT_CACHE_SIZE,
@@ -45,6 +49,9 @@ from repro.warehouse.writer import write_run
 __all__ = ["Warehouse"]
 
 RUNS_DIR = "runs"
+
+#: Execution accounting recorded next to a run's manifest (``repro stats``).
+METRICS_NAME = "metrics.json"
 
 
 class Warehouse:
@@ -72,7 +79,12 @@ class Warehouse:
         created = time.time()
         run_id = self._catalog.new_run_id(name)
         run_dir = self.root / RUNS_DIR / run_id
-        manifest = write_run(run_dir, execution, run_id, name, created)
+        with get_tracer().span("warehouse-record", "warehouse", run_id=run_id):
+            manifest = write_run(run_dir, execution, run_id, name, created)
+            # Keep the execution's accounting next to the segments so
+            # ``repro stats`` can rebuild a registry for the stored run.
+            with open(run_dir / METRICS_NAME, "w", encoding="utf-8") as handle:
+                json.dump(execution.metrics.to_json(), handle, indent=2)
         record = RunRecord(
             run_id,
             name,
@@ -84,6 +96,13 @@ class Warehouse:
         )
         self._catalog.add(record)
         self._catalog.save()
+        get_logger(run_id).event(
+            "run-recorded",
+            name=name,
+            operators=record.operator_count,
+            rows=record.row_count,
+            bytes=record.total_bytes,
+        )
         return record
 
     # -- listing / inspection --------------------------------------------------
@@ -142,11 +161,12 @@ class Warehouse:
         num_partitions = resolve_partitions(num_partitions)
         record = self._catalog.find(run_id) if run_id else self._catalog.latest()
         run_dir = self.root / RUNS_DIR / record.run_id
-        manifest = load_manifest(run_dir)
-        store = LazyProvenanceStore(
-            run_dir, manifest, cache_size=cache_size, metrics=metrics
-        )
-        rows = read_rows(run_dir, manifest, metrics=store.metrics)
+        with get_tracer().span("warehouse-load", "warehouse", run_id=record.run_id):
+            manifest = load_manifest(run_dir)
+            store = LazyProvenanceStore(
+                run_dir, manifest, cache_size=cache_size, metrics=metrics
+            )
+            rows = read_rows(run_dir, manifest, metrics=store.metrics)
         from repro.engine.executor import SCHEMA_SAMPLE
 
         schema = (
@@ -177,10 +197,75 @@ class Warehouse:
         """
         from repro.pebble.query import query_provenance
 
-        execution = self.load(run_id, num_partitions=num_partitions, cache_size=cache_size)
-        result = query_provenance(execution, pattern)
-        assert isinstance(execution.store, LazyProvenanceStore)
-        return result, execution.store.metrics
+        with get_tracer().span("warehouse-query", "warehouse") as span:
+            execution = self.load(
+                run_id, num_partitions=num_partitions, cache_size=cache_size
+            )
+            result = query_provenance(execution, pattern)
+            assert isinstance(execution.store, LazyProvenanceStore)
+            metrics = execution.store.metrics
+            span.set(
+                run_id=execution.store.run_id,
+                segments_decoded=metrics.misses,
+                bytes_read=metrics.bytes_read,
+            )
+        metrics.publish()
+        get_logger(execution.store.run_id).event(
+            "warehouse-query",
+            pattern=str(pattern),
+            matched=len(result.matched_output_ids),
+            segments_decoded=metrics.misses,
+            bytes_read=metrics.bytes_read,
+            hit_rate=metrics.hit_rate,
+        )
+        return result, metrics
+
+    def stats(
+        self,
+        run_id: str | None = None,
+        pattern: TreePattern | str | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> MetricsRegistry:
+        """Build a metrics registry describing one stored run.
+
+        Folds the run's footer index (operator/record/byte counts) and the
+        execution accounting recorded at ``record`` time into *registry*
+        (a fresh one by default).  With *pattern*, additionally runs the
+        backtrace and folds its segment-cache behaviour in, so the returned
+        registry answers "what would this query touch?" as numbers.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        record = self._catalog.find(run_id) if run_id else self._catalog.latest()
+        run_dir = self.root / RUNS_DIR / record.run_id
+        manifest = load_manifest(run_dir)
+        registry.gauge("repro_run_operators", run_id=record.run_id).set(
+            len(manifest["operators"])
+        )
+        registry.gauge("repro_run_rows", run_id=record.run_id).set(
+            manifest["rows"]["count"]
+        )
+        registry.gauge("repro_run_bytes", run_id=record.run_id).set(
+            manifest["total_bytes"]
+        )
+        for oid, entry in sorted(manifest["operators"].items(), key=lambda p: int(p[0])):
+            registry.counter(
+                "repro_run_operator_records_total", op_type=entry["op_type"]
+            ).inc(entry["records"])
+        metrics_path = run_dir / METRICS_NAME
+        if metrics_path.exists():
+            with open(metrics_path, "r", encoding="utf-8") as handle:
+                stored = json.load(handle)
+            registry.gauge("repro_run_total_seconds", run_id=record.run_id).set(
+                stored.get("total_seconds", 0.0)
+            )
+            for op in stored.get("operators", ()):
+                registry.counter(
+                    "repro_run_capture_seconds_total", run_id=record.run_id
+                ).inc(op.get("capture_seconds", 0.0))
+        if pattern is not None:
+            _, cache_metrics = self.backtrace(record.run_id, pattern)
+            cache_metrics.publish(registry)
+        return registry
 
     def __len__(self) -> int:
         return len(self._catalog)

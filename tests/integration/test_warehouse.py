@@ -147,6 +147,61 @@ class TestLazyBacktrace:
         assert metrics.evictions > 0
 
 
+class TestEvictionAccounting:
+    @pytest.fixture
+    def store(self, recorded):
+        root, run_id = recorded
+        metrics = SegmentCacheMetrics()
+        return LazyProvenanceStore(
+            Warehouse.open(root).run_dir(run_id), cache_size=1, metrics=metrics
+        )
+
+    def test_operator_evictions_count_each_displacement(self, store):
+        metrics = store.metrics
+        store.get(9)
+        assert metrics.evictions == 0, "filling to capacity evicts nothing"
+        store.get(8)
+        assert metrics.evictions == 1
+        store.get(9)  # re-decode: 9 was displaced, so this evicts 8 again
+        assert metrics.evictions == 2
+        assert metrics.misses == 3 and metrics.hits == 0
+
+    def test_item_block_evictions_count_separately(self, store):
+        # Operators 1 and 4 are the running example's two read operators.
+        store.source_items(1)
+        store.source_items(4)
+        assert store.metrics.item_misses == 2
+        assert store.metrics.evictions == 1
+
+    def test_within_capacity_never_evicts(self, recorded):
+        root, run_id = recorded
+        store = LazyProvenanceStore(
+            Warehouse.open(root).run_dir(run_id), cache_size=64
+        )
+        for oid in range(1, 10):
+            store.get(oid)
+            store.get(oid)
+        assert store.metrics.evictions == 0
+        assert store.metrics.hits == store.metrics.misses == 9
+
+    def test_reset_clears_every_counter(self, store):
+        store.get(9)
+        store.get(8)
+        store.source_items(1)
+        metrics = store.metrics
+        assert metrics.lookups > 0 and metrics.bytes_read > 0
+        metrics.reset()
+        assert metrics.to_json() == {
+            "hits": 0,
+            "misses": 0,
+            "item_hits": 0,
+            "item_misses": 0,
+            "bytes_read": 0,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
+
+
 class TestWarehouseCli:
     def test_record_ls_inspect_query(self, tmp_path, capsys):
         root = str(tmp_path / "wh")
@@ -172,3 +227,87 @@ class TestWarehouseCli:
         assert "run-0001-example" in output
         assert "segments decoded: 9/9" in output
         assert "contributing" in output
+        assert '"bytes_read"' in output, "query must print the cache accounting"
+
+    def test_query_trace_flag_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.tracer import iter_b_e_pairs
+
+        root = str(tmp_path / "wh")
+        trace_path = tmp_path / "query-trace.json"
+        assert main(["warehouse", "record", "example", "--root", root]) == 0
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "query",
+                    "example",
+                    RUNNING_EXAMPLE_PATTERN,
+                    "--root",
+                    root,
+                    "--partitions",
+                    "2",
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        list(iter_b_e_pairs(events))  # raises on imbalance
+        names = {event["name"] for event in events if event["ph"] == "B"}
+        assert {"pattern-match", "backtrace", "source-resolution"} <= names
+        assert any(name.startswith("segment-read") for name in names)
+        assert all("ts" in e and "pid" in e and "tid" in e for e in events)
+
+    def test_inspect_probe_reports_cache_accounting(self, tmp_path, capsys):
+        root = str(tmp_path / "wh")
+        assert main(["warehouse", "record", "example", "--root", root]) == 0
+        assert (
+            main(
+                [
+                    "warehouse",
+                    "inspect",
+                    "example",
+                    "--root",
+                    root,
+                    "--probe",
+                    RUNNING_EXAMPLE_PATTERN,
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "segment cache:" in output
+        assert '"misses": 9' in output
+
+    def test_stats_command(self, tmp_path, capsys):
+        import json
+
+        root = str(tmp_path / "wh")
+        assert main(["warehouse", "record", "example", "--root", root]) == 0
+        assert main(["stats", "example", "--root", root]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_run_operators gauge" in text
+        assert "repro_run_operators" in text and "} 9" in text
+        assert "repro_run_capture_seconds_total" in text
+
+        assert (
+            main(
+                [
+                    "stats",
+                    "--root",
+                    root,
+                    "--pattern",
+                    RUNNING_EXAMPLE_PATTERN,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in payload["metrics"]}
+        assert "repro_segment_cache_misses_total" in names
+        assert "repro_run_rows" in names

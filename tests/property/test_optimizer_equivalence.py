@@ -14,6 +14,7 @@ from repro.core.operator_provenance import UNDEFINED
 from repro.engine.config import EngineConfig
 from repro.engine.expressions import col, collect_list, count
 from repro.engine.session import Session
+from repro.obs.tracer import Tracer, tracing
 from repro.pebble.query import query_provenance
 from repro.workloads.dblp import DblpConfig, generate_dblp
 from repro.workloads.twitter import TwitterConfig, generate_tweets
@@ -166,6 +167,30 @@ def test_plain_results_equivalent_across_configs(shape, k):
         if baseline.items():
             assert execution.schema == baseline.schema, name
         assert execution.store is None, name
+
+
+@given(st.sampled_from(sorted(SHAPES)), st.integers(min_value=0, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_tracing_does_not_perturb_results(shape, k):
+    """Tracing only observes: traced runs must equal untraced runs exactly --
+    same items, same provenance store, same backtrace answer -- while the
+    tracer actually records execution and query spans."""
+    pattern = SHAPES[shape]
+    untraced = _run(shape, k, BASELINE[1], capture=True)
+    expected_answer = query_provenance(untraced, pattern)
+    for name, config in (BASELINE, VARIANTS[1]):  # seed path + opt threads
+        tracer = Tracer()
+        with tracing(tracer):
+            traced = _run(shape, k, config, capture=True)
+            answer = query_provenance(traced, pattern)
+        assert traced.items() == untraced.items(), name
+        assert traced.rows() == untraced.rows(), name
+        assert _store_fingerprint(traced.store) == _store_fingerprint(untraced.store), name
+        assert answer.matched_output_ids == expected_answer.matched_output_ids, name
+        assert answer.all_ids() == expected_answer.all_ids(), name
+        assert answer.render() == expected_answer.render(), name
+        assert tracer.find("run"), name
+        assert tracer.find("query", name="pattern-match"), name
 
 
 @given(st.sampled_from(sorted(SHAPES)), st.integers(min_value=0, max_value=4))

@@ -1,0 +1,48 @@
+"""Unit tests for the structured run logger."""
+
+import io
+import json
+import logging
+
+from repro.obs.log import LOGGER_NAME, enable, get_logger
+
+
+def _fresh_stream() -> io.StringIO:
+    # Detach any handler a previous test attached; the logger is process-wide.
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    stream = io.StringIO()
+    enable(stream)
+    return stream
+
+
+class TestRunLogger:
+    def test_event_emits_one_json_line(self):
+        stream = _fresh_stream()
+        get_logger("run-0001-example").event("stage-finished", stage=0, rows_out=6)
+        payload = json.loads(stream.getvalue())
+        assert payload["run_id"] == "run-0001-example"
+        assert payload["event"] == "stage-finished"
+        assert payload["stage"] == 0
+        assert payload["rows_out"] == 6
+        assert payload["ts"] > 0
+
+    def test_levels_filter(self):
+        stream = _fresh_stream()
+        get_logger("run-x").event("debug-detail", level=logging.DEBUG)
+        assert stream.getvalue() == ""
+
+    def test_enable_is_idempotent_per_stream(self):
+        stream = _fresh_stream()
+        first = enable(stream)
+        second = enable(stream)
+        assert first is second
+        get_logger("run-x").event("once")
+        assert len(stream.getvalue().splitlines()) == 1
+
+    def test_plain_messages_still_render(self):
+        stream = _fresh_stream()
+        logging.getLogger(LOGGER_NAME).info("plain text")
+        payload = json.loads(stream.getvalue())
+        assert payload["event"] == "plain text"

@@ -1,0 +1,134 @@
+"""Unit tests for the process-wide metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    ROWS_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = MetricsRegistry().counter("repro_runs_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("repro_runs_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("repro_cache_hit_rate")
+        gauge.set(0.5)
+        gauge.add(0.25)
+        assert gauge.value == 0.75
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_rows", buckets=ROWS_BUCKETS
+        )
+        histogram.observe(0)
+        histogram.observe(5)
+        histogram.observe(10)  # boundary: le=10
+        histogram.observe(10_000_000)  # beyond the last boundary
+        assert histogram.count == 4
+        assert histogram.sum == 10_000_015
+        assert histogram.counts[0] == 1  # le 0
+        assert histogram.counts[2] == 2  # le 10 (5 and the boundary hit)
+        assert histogram.counts[-1] == 1  # overflow
+
+    def test_render_is_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_rows", buckets=(1, 10))
+        histogram.observe(0.5)
+        histogram.observe(5)
+        text = registry.render_prometheus()
+        assert 'repro_rows_bucket{le="1"} 1' in text
+        assert 'repro_rows_bucket{le="10"} 2' in text
+        assert 'repro_rows_bucket{le="+Inf"} 2' in text
+        assert "repro_rows_count 2" in text
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(10, 1))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+        assert registry.counter("a_total", op="x") is not registry.counter(
+            "a_total", op="y"
+        )
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total", x=1, y=2) is registry.counter(
+            "a_total", y=2, x=1
+        )
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a")
+
+    def test_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 2))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("h", buckets=(1, 2, 3))
+
+    def test_default_buckets_are_latency(self):
+        histogram = MetricsRegistry().histogram("repro_run_seconds")
+        assert histogram.buckets == LATENCY_BUCKETS
+
+    def test_to_json_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.gauge("z_gauge").set(1)
+        registry.counter("a_total", op="x").inc(2)
+        payload = registry.to_json()
+        names = [entry["name"] for entry in payload["metrics"]]
+        assert names == sorted(names)
+        counter_entry = payload["metrics"][0]
+        assert counter_entry == {
+            "type": "counter",
+            "name": "a_total",
+            "labels": {"op": "x"},
+            "value": 2.0,
+        }
+
+    def test_prometheus_type_headers_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", op="x").inc()
+        registry.counter("a_total", op="y").inc()
+        text = registry.render_prometheus()
+        assert text.count("# TYPE a_total counter") == 1
+        assert 'a_total{op="x"} 1' in text
+
+    def test_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestProcessWideRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

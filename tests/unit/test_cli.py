@@ -33,6 +33,21 @@ class TestCommands:
         assert "Lisa Paul" in out
         assert "contributing" in out
 
+    def test_example_trace_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.tracer import get_tracer, iter_b_e_pairs, NULL_TRACER
+
+        path = tmp_path / "trace.json"
+        assert main(["example", "--trace", str(path)]) == 0
+        assert get_tracer() is NULL_TRACER, "the CLI must deactivate its tracer"
+        payload = json.loads(path.read_text())
+        pairs = list(iter_b_e_pairs(payload["traceEvents"]))
+        assert pairs, "a traced run must record spans"
+        names = {event["name"] for event in payload["traceEvents"] if event["ph"] == "B"}
+        assert "run" in names and "pattern-match" in names
+        assert f"wrote trace {path}" in capsys.readouterr().out
+
     def test_scenario_with_query(self, capsys):
         assert main(["scenario", "D1", "--scale", "0.1"]) == 0
         out = capsys.readouterr().out
