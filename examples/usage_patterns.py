@@ -15,9 +15,8 @@ Run with::
     python examples/usage_patterns.py
 """
 
+from repro import PebbleSession, query_provenance
 from repro.core.usecases.usage import UsageAnalysis
-from repro.engine.session import Session
-from repro.pebble.query import query_provenance
 from repro.workloads.scenarios import DBLP_SCENARIOS, load_workload, scenario
 
 SCALE = 0.5
@@ -31,7 +30,8 @@ def main() -> None:
     for name in DBLP_SCENARIOS:
         spec = scenario(name)
         data = load_workload(spec.kind, SCALE)
-        execution = spec.build(Session(num_partitions=4), data).execute(capture=True)
+        pebble = PebbleSession(num_partitions=4)
+        execution = spec.build(pebble.session, data).execute(capture=True)
         provenance = query_provenance(execution, spec.pattern)
         usage.add(provenance)
         touched = sum(len(source) for source in provenance.sources)

@@ -1,13 +1,29 @@
 """Pebble reproduction: structural provenance for nested big-data analytics.
 
 Reproduces Diestelkaemper & Herschel, "Tracing nested data with structural
-provenance for big data analytics", EDBT 2020.  The top-level package
-re-exports the pieces a typical user needs: the Pebble session, the engine's
-expression language, and the tree-pattern builders.
+provenance for big data analytics", EDBT 2020.
+
+This module is the library's **stable facade**: user programs import from
+``repro`` and nothing deeper.  It re-exports
+
+* :class:`PebbleSession` -- build pipelines and run them with capture,
+* :class:`CapturedExecution` -- a captured run: results + backtracing,
+* :class:`Warehouse` -- durable multi-run provenance storage,
+* :class:`TreePattern` (with ``parse_pattern``/``child``/``descendant``) --
+  the structural query language,
+* :class:`EngineConfig` -- execution knobs (partitions, scheduler backend,
+  retries/timeouts, fault injection, optimizer rules),
+* the expression language (``col``, ``lit``, ``struct_``, the aggregates).
+
+Internal module paths (``repro.engine.*``, ``repro.core.*``, ...) remain
+importable but are not part of the stable surface and may move between
+releases.
 """
 
+import warnings
+
+from repro.core.treepattern import TreePattern, child, descendant, parse_pattern
 from repro.engine import (
-    Session,
     avg,
     coalesce,
     col,
@@ -20,13 +36,26 @@ from repro.engine import (
     struct_,
     sum_,
 )
-from repro.core.treepattern import TreePattern, child, descendant, parse_pattern
+from repro.engine.config import EngineConfig
+from repro.engine.session import Session as _EngineSession
 from repro.pebble import CapturedExecution, PebbleSession, query_provenance
+from repro.warehouse import Warehouse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Session",
+    # primary API
+    "PebbleSession",
+    "CapturedExecution",
+    "Warehouse",
+    "TreePattern",
+    "EngineConfig",
+    # tree-pattern builders
+    "child",
+    "descendant",
+    "parse_pattern",
+    "query_provenance",
+    # expression language
     "avg",
     "coalesce",
     "col",
@@ -38,12 +67,25 @@ __all__ = [
     "min_",
     "struct_",
     "sum_",
-    "TreePattern",
-    "child",
-    "descendant",
-    "parse_pattern",
-    "CapturedExecution",
-    "PebbleSession",
-    "query_provenance",
+    # deprecated
+    "Session",
     "__version__",
 ]
+
+
+class Session(_EngineSession):
+    """Deprecated alias of the engine session; use :class:`PebbleSession`.
+
+    ``repro.Session`` predates the facade; constructing it still works but
+    warns.  The engine-internal ``repro.engine.session.Session`` stays
+    silent -- the deprecation targets the public entry point only.
+    """
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        warnings.warn(
+            "repro.Session is deprecated; construct repro.PebbleSession "
+            "(capture + querying) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]

@@ -424,15 +424,22 @@ def measure_titian_comparison(
 
 
 #: The optimizer ablation ladder: no rewrites at all (the seed layout),
-#: projection pruning alone, then pruning plus operator fusion.  The final
+#: projection pruning alone, then pruning plus operator fusion.  The
 #: ``+trace`` rung repeats the full ladder with a live span tracer, pinning
 #: the "tracing off costs nothing" claim: its delta against ``prune+fuse``
-#: is the entire observability tax.
+#: is the entire observability tax.  The ``+threads``/``+procs`` rungs swap
+#: in the pool schedulers over the same optimized plan: their deltas against
+#: ``prune+fuse`` isolate what concurrent stage execution buys (or costs) --
+#: threads are GIL-bound on capture's pure-Python work, processes scale the
+#: capture phase with cores at the price of pickling partitions across the
+#: pool boundary.
 ABLATION_CONFIGS: tuple[tuple[str, EngineConfig], ...] = (
     ("no-opt", EngineConfig(optimize=False)),
     ("prune", EngineConfig(rules=("prune",))),
     ("prune+fuse", EngineConfig(rules=("prune", "fuse"))),
     ("prune+fuse+trace", EngineConfig(rules=("prune", "fuse"))),
+    ("prune+fuse+threads", EngineConfig(rules=("prune", "fuse"), scheduler="threads")),
+    ("prune+fuse+procs", EngineConfig(rules=("prune", "fuse"), scheduler="processes")),
 )
 
 

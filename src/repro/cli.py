@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import contextlib
-import dataclasses
 import json
 import sys
 from typing import Iterator, Sequence
@@ -87,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="partition count (default: engine default)")
     run.add_argument("--pattern", default=None, help="override the scenario's query")
     run.add_argument("--no-query", action="store_true", help="execute only, skip the query")
-    run.add_argument("--scheduler", choices=["serial", "threads"], default=None,
+    run.add_argument("--scheduler", choices=["serial", "threads", "processes"], default=None,
                      help="partition scheduler (default: engine config / REPRO_SCHEDULER)")
     run.add_argument("--no-optimize", action="store_true",
                      help="disable plan rewriting (seed operator-at-a-time execution)")
@@ -105,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="partition count (default: engine default)")
     explain.add_argument("--capture", action="store_true",
                          help="compile for provenance capture (disables store-unsafe rewrites)")
-    explain.add_argument("--scheduler", choices=["serial", "threads"], default=None)
+    explain.add_argument("--scheduler", choices=["serial", "threads", "processes"], default=None)
     explain.add_argument("--no-optimize", action="store_true",
                          help="disable plan rewriting (show the unoptimized stages)")
 
@@ -205,9 +204,9 @@ def _engine_config(scheduler: str | None, no_optimize: bool) -> EngineConfig:
     """The environment-derived config with the CLI's explicit overrides."""
     config = EngineConfig.from_env()
     if scheduler is not None:
-        config = dataclasses.replace(config, scheduler=scheduler)
+        config = config.replace(scheduler=scheduler)
     if no_optimize:
-        config = dataclasses.replace(config, optimize=False)
+        config = config.replace(optimize=False)
     return config
 
 

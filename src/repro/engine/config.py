@@ -1,23 +1,31 @@
-"""Engine configuration: partitioning, scheduling, and optimizer knobs.
+"""Engine configuration: partitioning, scheduling, fault-tolerance, optimizer.
 
 One :class:`EngineConfig` replaces the ``num_partitions`` defaults that were
 previously duplicated across ``Session``, ``PebbleSession`` and
-``CapturedExecution.load``, and adds the two knobs introduced by the
-logical/physical split: which scheduler backend executes the partitions of a
-fused stage, and which optimizer rules rewrite the plan before compilation.
+``CapturedExecution.load``, and carries the knobs introduced by the
+logical/physical split and the fault-tolerant scheduler layer: which backend
+executes the partitions of a fused stage, how failed tasks are retried, and
+which optimizer rules rewrite the plan before compilation.
 
-The config is immutable; derive variants with :meth:`with_partitions` /
-``dataclasses.replace``.  :meth:`from_env` builds the process-wide default
-and honours environment overrides (``REPRO_SCHEDULER``, ``REPRO_OPTIMIZE``,
-``REPRO_MAX_WORKERS``) so an entire test suite or benchmark run can be
-switched to, say, the thread-pool scheduler without touching call sites.
+The config is immutable and **keyword-only**; derive variants with
+:meth:`replace` / :meth:`with_partitions`.  :meth:`from_env` builds the
+process-wide default and honours environment overrides (``REPRO_SCHEDULER``,
+``REPRO_OPTIMIZE``, ``REPRO_MAX_WORKERS``, ``REPRO_TASK_TIMEOUT``,
+``REPRO_MAX_RETRIES``, ``REPRO_RETRY_BACKOFF``, ``REPRO_FAULTS``) so an
+entire test suite or benchmark run can be switched to, say, the process-pool
+scheduler without touching call sites.  Environment variables are overrides;
+every knob is equally settable in code:
+
+>>> config = EngineConfig(scheduler="processes").replace(max_retries=3)
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
+from repro.engine.faults import parse_faults
 from repro.errors import ExecutionError
 
 __all__ = [
@@ -37,23 +45,33 @@ DEFAULT_NUM_PARTITIONS = 4
 #: ``fuse`` pipelines consecutive narrow operators into one stage.
 ALL_RULES: tuple[str, ...] = ("pushdown", "prune", "fuse")
 
-_SCHEDULERS = ("serial", "threads")
+_SCHEDULERS = ("serial", "threads", "processes")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class EngineConfig:
     """Immutable execution configuration carried by a ``Session``."""
 
     num_partitions: int = DEFAULT_NUM_PARTITIONS
-    #: ``"serial"`` or ``"threads"`` (thread pool over partitions).
+    #: ``"serial"``, ``"threads"`` (thread pool over partitions) or
+    #: ``"processes"`` (process pool over pickled stage tasks).
     scheduler: str = "serial"
-    #: Worker cap for the thread-pool scheduler; ``None`` sizes from the CPU.
+    #: Worker cap for the pool schedulers; ``None`` sizes from the CPU.
     max_workers: int | None = None
     #: Master switch for plan rewriting; ``False`` reproduces the seed
     #: operator-at-a-time execution exactly.
     optimize: bool = True
     #: Enabled rule subset (ablations disable individual rules).
     rules: tuple[str, ...] = ALL_RULES
+    #: Wall-clock budget per partition task in seconds; ``None`` disables
+    #: timeout enforcement (timeouts are transient -> retried).
+    task_timeout: float | None = None
+    #: Retries *after* the first attempt for transient task failures.
+    max_retries: int = 2
+    #: Base delay of the jitter-free exponential backoff between attempts.
+    retry_backoff: float = 0.05
+    #: Fault-injection spec (see :mod:`repro.engine.faults`); ``None`` off.
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -69,16 +87,34 @@ class EngineConfig:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ExecutionError(f"max_workers must be positive, got {self.max_workers}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ExecutionError(f"task_timeout must be positive, got {self.task_timeout}")
+        if self.max_retries < 0:
+            raise ExecutionError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ExecutionError(f"retry_backoff must be non-negative, got {self.retry_backoff}")
+        parse_faults(self.faults)  # validate the spec eagerly
 
     def rule_enabled(self, name: str) -> bool:
         """Return whether the optimizer rule *name* is active."""
         return self.optimize and name in self.rules
 
+    def replace(self, **changes: object) -> "EngineConfig":
+        """Return a copy with the given knobs overridden (the builder API).
+
+        ``config.replace(scheduler="processes", max_retries=3)`` is the
+        code-level equivalent of the environment switches; unknown knob
+        names raise ``TypeError`` and the copy is re-validated.
+        """
+        if not changes:
+            return self
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
     def with_partitions(self, num_partitions: int | None) -> "EngineConfig":
         """Return a copy with the partition count overridden (``None`` keeps it)."""
         if num_partitions is None or num_partitions == self.num_partitions:
             return self
-        return replace(self, num_partitions=num_partitions)
+        return self.replace(num_partitions=num_partitions)
 
     @classmethod
     def from_env(cls, **overrides: object) -> "EngineConfig":
@@ -99,6 +135,18 @@ class EngineConfig:
         max_workers = os.environ.get("REPRO_MAX_WORKERS")
         if max_workers:
             values["max_workers"] = int(max_workers)
+        task_timeout = os.environ.get("REPRO_TASK_TIMEOUT")
+        if task_timeout:
+            values["task_timeout"] = float(task_timeout)
+        max_retries = os.environ.get("REPRO_MAX_RETRIES")
+        if max_retries:
+            values["max_retries"] = int(max_retries)
+        retry_backoff = os.environ.get("REPRO_RETRY_BACKOFF")
+        if retry_backoff:
+            values["retry_backoff"] = float(retry_backoff)
+        faults = os.environ.get("REPRO_FAULTS")
+        if faults:
+            values["faults"] = faults
         values.update(overrides)
         return cls(**values)  # type: ignore[arg-type]
 

@@ -29,6 +29,7 @@ hook needs ids, so the plain path carries no provenance cost.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Sequence
 
@@ -42,9 +43,11 @@ from repro.core.paths import Path
 from repro.core.store import ProvenanceStoreProtocol
 from repro.engine.config import EngineConfig
 from repro.engine.expressions import BinaryExpr, ColumnExpr, Expression
+from repro.engine.faults import parse_faults
 from repro.engine.hooks import (
     CaptureHook,
     MetricsHook,
+    capture_spec,
     hooks_for,
     provenance_store,
 )
@@ -59,6 +62,7 @@ from repro.engine.physical import (
     PhysicalPlan,
     ReadStage,
     Stage,
+    StageTask,
     WideStage,
 )
 from repro.engine.plan import (
@@ -158,8 +162,10 @@ class Executor:
             hook_list.append(metrics_hook)
         self._hooks: tuple[CaptureHook, ...] = tuple(hook_list)
         self._metrics = metrics_hook.metrics
-        #: Whether any hook needs per-row provenance ids (the seed ``capture``).
-        self._capturing = any(hook.needs_ids for hook in hook_list)
+        #: Whether any hook needs per-row provenance ids (the seed ``capture``);
+        #: this is the capture-hook spec shipped inside every ``StageTask``.
+        self._capturing = capture_spec(hook_list)
+        self._fault_plan = parse_faults(base.faults)
         self._store = provenance_store(hook_list)
         self._next_id = 1
         self._partitions: dict[int, list[list[Row]]] = {}
@@ -178,7 +184,6 @@ class Executor:
     def execute(self, root: PlanNode) -> ExecutionResult:
         """Execute the plan rooted at *root* and return its result."""
         physical = self.compile(root)
-        scheduler = make_scheduler(self._config)
         run_span = get_tracer().span(
             "run",
             "run",
@@ -188,12 +193,14 @@ class Executor:
             capture=self._capturing,
             stages=len(physical.stages),
         )
-        try:
+        # The context-manager protocol shuts the scheduler's pools down on
+        # the error path too (a raising stage must not leak worker threads
+        # or processes).
+        with make_scheduler(self._config) as scheduler:
             with run_span, Stopwatch() as watch:
                 for index, stage in enumerate(physical.stages):
                     self._execute_stage(index, stage, scheduler)
-        finally:
-            scheduler.close()
+            self._metrics.record_scheduler(scheduler.name, scheduler.stats)
         self._metrics.total_seconds = watch.elapsed
         self._metrics.publish()
         root_oid = physical.root_oid
@@ -216,7 +223,9 @@ class Executor:
                 if isinstance(stage, ReadStage):
                     rows_in, rows_out, op_stats = self._run_read_stage(stage)
                 elif isinstance(stage, FusedStage):
-                    rows_in, rows_out, op_stats = self._run_fused_stage(stage, scheduler)
+                    rows_in, rows_out, op_stats = self._run_fused_stage(
+                        index, stage, scheduler
+                    )
                 else:
                     assert isinstance(stage, WideStage)
                     rows_in, rows_out, op_stats = self._run_wide_stage(stage)
@@ -299,13 +308,15 @@ class Executor:
     # -- fused pipelines -----------------------------------------------------
 
     def _run_fused_stage(
-        self, stage: FusedStage, scheduler: Scheduler
+        self, stage_index: int, stage: FusedStage, scheduler: Scheduler
     ) -> tuple[int, int, _OpStats]:
         ops = stage.ops
         in_partitions = self._partitions[stage.input_oid]
         nparts = len(in_partitions)
         capturing = self._capturing
         tracer = get_tracer()
+        trace_epoch = tracer.epoch if tracer.enabled else None
+        origin_pid = os.getpid()
         stage_label = stage.label()
         sampling = [
             type(op).propagate_schema is NarrowOp.propagate_schema for op in ops
@@ -352,34 +363,31 @@ class Executor:
                     op.check_input_schema(schema)
                     schema = op.propagate_schema(schema)
 
-            def make_task(part: int, segment: list[int] = segment):
-                def task():
-                    with tracer.span(
-                        f"task p{part}", "task", stage=stage_label, rows=len(items_by_part[part])
-                    ):
-                        items = items_by_part[part]
-                        seg_entries: list[Any] = []
-                        seg_counts: list[tuple[int, int]] = []
-                        seg_samples: list[list[DataItem] | None] = []
-                        for position in segment:
-                            op = ops[position]
-                            out, entries = op.apply(items, capturing and op.registers)
-                            seg_entries.append(entries)
-                            seg_counts.append((len(items), len(out)))
-                            seg_samples.append(out[:SCHEMA_SAMPLE] if sampling[position] else None)
-                            items = out
-                        return items, seg_entries, seg_counts, seg_samples
-
-                return task
-
-            results = scheduler.run([make_task(part) for part in range(nparts)])
-            for part, (items, seg_entries, seg_counts, seg_samples) in enumerate(results):
-                items_by_part[part] = items
+            tasks = [
+                StageTask(
+                    key=f"s{stage_index}:o{segment[0]}:p{part}",
+                    ops=tuple(ops[position] for position in segment),
+                    sampling=tuple(sampling[position] for position in segment),
+                    items=items_by_part[part],
+                    capturing=capturing,
+                    stage_label=stage_label,
+                    part=part,
+                    trace_epoch=trace_epoch,
+                    origin_pid=origin_pid,
+                    fault_plan=self._fault_plan,
+                )
+                for part in range(nparts)
+            ]
+            results = scheduler.run(tasks)
+            for part, result in enumerate(results):
+                items_by_part[part] = result.items
                 for offset, position in enumerate(segment):
-                    entries_by_part[part][position] = seg_entries[offset]
-                    counts[part][position] = seg_counts[offset]
-                    if seg_samples[offset] is not None:
-                        samples[position][part] = seg_samples[offset]
+                    entries_by_part[part][position] = result.entries[offset]
+                    counts[part][position] = result.counts[offset]
+                    if result.samples[offset] is not None:
+                        samples[position][part] = result.samples[offset]
+                for span in result.spans:  # worker-side spans -> parent trace
+                    tracer.record_span(span)
 
             # Runtime schemas along the executed segment: structure-preserving
             # ops propagate, rebuilding ops are inferred from the first

@@ -54,6 +54,60 @@ __all__ = [
 ]
 
 
+# -- named operand functions --------------------------------------------------
+#
+# Expression nodes are shipped to process-pool workers inside pickled
+# ``StageTask`` descriptors; module-level functions pickle by reference while
+# lambdas do not, so every derived-expression semantic lives here by name.
+
+
+def _logical_and(a: Any, b: Any) -> bool:
+    return bool(a) and bool(b)
+
+
+def _logical_or(a: Any, b: Any) -> bool:
+    return bool(a) or bool(b)
+
+
+def _logical_not(a: Any) -> bool:
+    return not bool(a)
+
+
+def _is_null(a: Any) -> bool:
+    return a is None
+
+
+def _is_not_null(a: Any) -> bool:
+    return a is not None
+
+
+def _contains(a: Any, b: Any) -> bool:
+    return b in a if a is not None else False
+
+
+def _startswith(a: Any, b: Any) -> bool:
+    return a.startswith(b) if isinstance(a, str) else False
+
+
+def _isin(a: Any, b: Any) -> bool:
+    return a in b
+
+
+def _collection_size(a: Any) -> int:
+    return 0 if a is None else len(a)
+
+
+def _lowercase(a: Any) -> Any:
+    return a.lower() if isinstance(a, str) else a
+
+
+def _first_non_null(*values: Any) -> Any:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
 def as_expression(value: Any) -> "Expression":
     """Coerce *value* into an expression.
 
@@ -140,13 +194,13 @@ class Expression:
         return BinaryExpr("/", self, as_operand(other), operator.truediv)
 
     def __and__(self, other: Any) -> "BinaryExpr":
-        return BinaryExpr("and", self, as_operand(other), lambda a, b: bool(a) and bool(b))
+        return BinaryExpr("and", self, as_operand(other), _logical_and)
 
     def __or__(self, other: Any) -> "BinaryExpr":
-        return BinaryExpr("or", self, as_operand(other), lambda a, b: bool(a) or bool(b))
+        return BinaryExpr("or", self, as_operand(other), _logical_or)
 
     def __invert__(self) -> "UnaryExpr":
-        return UnaryExpr("not", self, lambda a: not bool(a))
+        return UnaryExpr("not", self, _logical_not)
 
     def __hash__(self) -> int:  # expressions are identity-hashed
         return id(self)
@@ -154,37 +208,27 @@ class Expression:
     # -- convenience predicates ---------------------------------------------
 
     def is_null(self) -> "UnaryExpr":
-        return UnaryExpr("is_null", self, lambda a: a is None)
+        return UnaryExpr("is_null", self, _is_null)
 
     def is_not_null(self) -> "UnaryExpr":
-        return UnaryExpr("is_not_null", self, lambda a: a is not None)
+        return UnaryExpr("is_not_null", self, _is_not_null)
 
     def contains(self, needle: Any) -> "BinaryExpr":
-        return BinaryExpr(
-            "contains",
-            self,
-            as_operand(needle),
-            lambda a, b: b in a if a is not None else False,
-        )
+        return BinaryExpr("contains", self, as_operand(needle), _contains)
 
     def startswith(self, prefix: Any) -> "BinaryExpr":
-        return BinaryExpr(
-            "startswith",
-            self,
-            as_operand(prefix),
-            lambda a, b: a.startswith(b) if isinstance(a, str) else False,
-        )
+        return BinaryExpr("startswith", self, as_operand(prefix), _startswith)
 
     def isin(self, candidates: Iterable[Any]) -> "BinaryExpr":
         frozen = tuple(candidates)
-        return BinaryExpr("isin", self, LiteralExpr(frozen), lambda a, b: a in b)
+        return BinaryExpr("isin", self, LiteralExpr(frozen), _isin)
 
     def size(self) -> "UnaryExpr":
         """Collection size; ``None`` counts as 0 (missing nested list)."""
-        return UnaryExpr("size", self, lambda a: 0 if a is None else len(a))
+        return UnaryExpr("size", self, _collection_size)
 
     def lower(self) -> "UnaryExpr":
-        return UnaryExpr("lower", self, lambda a: a.lower() if isinstance(a, str) else a)
+        return UnaryExpr("lower", self, _lowercase)
 
 
 class ColumnExpr(Expression):
@@ -380,14 +424,7 @@ def struct_(**fields: Any) -> StructExpr:
 
 def coalesce(*operands: Any) -> FunctionExpr:
     """Return the first non-null operand value."""
-
-    def first_non_null(*values: Any) -> Any:
-        for value in values:
-            if value is not None:
-                return value
-        return None
-
-    return FunctionExpr("coalesce", [as_expression(op) for op in operands], first_non_null)
+    return FunctionExpr("coalesce", [as_expression(op) for op in operands], _first_non_null)
 
 
 # ---------------------------------------------------------------------------
@@ -451,43 +488,64 @@ def _numeric(values: list[Any]) -> list[Any]:
     return [value for value in values if value is not None]
 
 
+def _count_all(values: list[Any]) -> int:
+    return len(values)
+
+
+def _count_non_null(values: list[Any]) -> int:
+    return len(_numeric(values))
+
+
+def _sum_non_null(values: list[Any]) -> Any:
+    numeric = _numeric(values)
+    return sum(numeric) if numeric else None
+
+
+def _min_non_null(values: list[Any]) -> Any:
+    return min(_numeric(values), default=None)
+
+
+def _max_non_null(values: list[Any]) -> Any:
+    return max(_numeric(values), default=None)
+
+
+def _mean_non_null(values: list[Any]) -> Any:
+    numeric = _numeric(values)
+    return sum(numeric) / len(numeric) if numeric else None
+
+
 def count(column: Any = None) -> AggregateExpr:
     """Count items per group (``count()``) or non-null values of a column."""
     if column is None:
-        return AggregateExpr("count", LiteralExpr(1), lambda vs: len(vs), is_nested=False, output="count")
-    return AggregateExpr("count", as_expression(column), lambda vs: len(_numeric(vs)), is_nested=False)
+        return AggregateExpr("count", LiteralExpr(1), _count_all, is_nested=False, output="count")
+    return AggregateExpr("count", as_expression(column), _count_non_null, is_nested=False)
 
 
 def sum_(column: Any) -> AggregateExpr:
     """Sum of non-null values per group."""
-    return AggregateExpr("sum", as_expression(column), lambda vs: sum(_numeric(vs)) if _numeric(vs) else None, is_nested=False)
+    return AggregateExpr("sum", as_expression(column), _sum_non_null, is_nested=False)
 
 
 def min_(column: Any) -> AggregateExpr:
     """Minimum non-null value per group."""
-    return AggregateExpr("min", as_expression(column), lambda vs: min(_numeric(vs), default=None), is_nested=False)
+    return AggregateExpr("min", as_expression(column), _min_non_null, is_nested=False)
 
 
 def max_(column: Any) -> AggregateExpr:
     """Maximum non-null value per group."""
-    return AggregateExpr("max", as_expression(column), lambda vs: max(_numeric(vs), default=None), is_nested=False)
+    return AggregateExpr("max", as_expression(column), _max_non_null, is_nested=False)
 
 
 def avg(column: Any) -> AggregateExpr:
     """Arithmetic mean of non-null values per group."""
-
-    def mean(values: list[Any]) -> Any:
-        numeric = _numeric(values)
-        return sum(numeric) / len(numeric) if numeric else None
-
-    return AggregateExpr("avg", as_expression(column), mean, is_nested=False)
+    return AggregateExpr("avg", as_expression(column), _mean_non_null, is_nested=False)
 
 
 def collect_list(column: Any) -> AggregateExpr:
     """Collect the column values of a group into a nested bag (``A_B``)."""
-    return AggregateExpr("collect_list", as_expression(column), lambda vs: Bag(vs), is_nested=True)
+    return AggregateExpr("collect_list", as_expression(column), Bag, is_nested=True)
 
 
 def collect_set(column: Any) -> AggregateExpr:
     """Collect the distinct column values of a group into a nested set (``A_B``)."""
-    return AggregateExpr("collect_set", as_expression(column), lambda vs: NestedSet(vs), is_nested=True)
+    return AggregateExpr("collect_set", as_expression(column), NestedSet, is_nested=True)

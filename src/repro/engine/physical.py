@@ -31,7 +31,10 @@ only downstream of a UDF (``map``) until a projection rebuilds the shape.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.faults import FaultPlan
 
 from repro.core.operator_provenance import (
     Associations,
@@ -73,6 +76,8 @@ __all__ = [
     "ReadStage",
     "FusedStage",
     "WideStage",
+    "StageTask",
+    "StageTaskResult",
     "PhysicalPlan",
     "compile_stages",
     "narrow_op_for",
@@ -644,3 +649,159 @@ def _wide_static_attrs(
             return None
         return left + right
     return None
+
+
+# ---------------------------------------------------------------------------
+# Stage tasks: the picklable unit of scheduled work
+# ---------------------------------------------------------------------------
+
+
+class StageTaskResult:
+    """What one executed :class:`StageTask` hands back to the driver.
+
+    Plain picklable data: the partition's output items, the per-operator
+    trace entries / cardinalities / schema samples the driver's finalisation
+    pass needs, and -- when the task ran traced in a pool worker -- the spans
+    recorded there, for merging into the parent trace.
+    """
+
+    __slots__ = ("items", "entries", "counts", "samples", "spans", "part", "attempt")
+
+    def __init__(
+        self,
+        items: list[DataItem],
+        entries: list[Any],
+        counts: list[tuple[int, int]],
+        samples: list[list[DataItem] | None],
+        spans: tuple[Any, ...],
+        part: int,
+        attempt: int,
+    ):
+        self.items = items
+        self.entries = entries
+        self.counts = counts
+        self.samples = samples
+        self.spans = spans
+        self.part = part
+        self.attempt = attempt
+
+    def __repr__(self) -> str:
+        return (
+            f"StageTaskResult(p{self.part}, {len(self.items)} items, "
+            f"attempt {self.attempt})"
+        )
+
+
+class StageTask:
+    """A picklable descriptor of one partition's slice of a fused segment.
+
+    The fused-stage executor used to build closures over its local state;
+    closures don't pickle, which ruled out process pools and made tasks
+    non-restartable.  A ``StageTask`` instead carries plain data -- the
+    segment's operator chain, the partition's items, the capture-hook spec,
+    the tracing linkage, and the fault-injection plan -- and ``__call__`` is
+    the module-level-importable entrypoint every scheduler backend runs.
+
+    Tasks are **pure**: they read only their own fields and return a fresh
+    :class:`StageTaskResult`, so a retried task recomputes the identical
+    value and the engine's output is attempt-count independent.
+
+    ``attempt`` is the one mutable field; the scheduler's retry layer bumps
+    it before each submission (a process pool re-pickles the task per
+    submit, so workers observe the current value).
+    """
+
+    __slots__ = (
+        "key",
+        "ops",
+        "sampling",
+        "items",
+        "capturing",
+        "stage_label",
+        "part",
+        "trace_epoch",
+        "origin_pid",
+        "fault_plan",
+        "attempt",
+    )
+
+    def __init__(
+        self,
+        *,
+        key: str,
+        ops: tuple[NarrowOp, ...],
+        sampling: tuple[bool, ...],
+        items: list[DataItem],
+        capturing: bool,
+        stage_label: str,
+        part: int,
+        trace_epoch: float | None = None,
+        origin_pid: int | None = None,
+        fault_plan: "FaultPlan | None" = None,
+    ):
+        self.key = key
+        self.ops = ops
+        self.sampling = sampling
+        self.items = items
+        self.capturing = capturing
+        self.stage_label = stage_label
+        self.part = part
+        #: Parent tracer epoch; workers align their local clock to it so
+        #: merged spans land on the parent timeline (``perf_counter`` is
+        #: CLOCK_MONOTONIC, shared system-wide on Linux).
+        self.trace_epoch = trace_epoch
+        self.origin_pid = origin_pid
+        self.fault_plan = fault_plan
+        self.attempt = 1
+
+    def _tracer(self, in_worker: bool):
+        from repro.obs.tracer import NULL_TRACER, Tracer, get_tracer
+
+        if not in_worker:
+            return get_tracer()
+        if self.trace_epoch is None:
+            return NULL_TRACER
+        # A forked worker inherits the parent's (driver-owned, non-IPC-safe)
+        # tracer object; record into a fresh local one and ship the spans.
+        return Tracer("repro-worker", epoch=self.trace_epoch)
+
+    def __call__(self) -> StageTaskResult:
+        import os
+
+        if self.fault_plan is not None:
+            self.fault_plan.apply(self.key, self.attempt)
+        in_worker = self.origin_pid is not None and os.getpid() != self.origin_pid
+        tracer = self._tracer(in_worker)
+        items = list(self.items)
+        entries_out: list[Any] = []
+        counts_out: list[tuple[int, int]] = []
+        samples_out: list[list[DataItem] | None] = []
+        with tracer.span(
+            f"task p{self.part}",
+            "task",
+            stage=self.stage_label,
+            rows=len(items),
+            attempt=self.attempt,
+        ):
+            for op, sampled in zip(self.ops, self.sampling):
+                out, entries = op.apply(items, self.capturing and op.registers)
+                entries_out.append(entries)
+                counts_out.append((len(items), len(out)))
+                samples_out.append(out[:SCHEMA_SAMPLE] if sampled else None)
+                items = out
+        spans: tuple[Any, ...] = ()
+        if in_worker and tracer.enabled:
+            worker_spans = tracer.spans()
+            # One export track per worker process: thread idents collide
+            # across forked processes, pids do not.
+            for span in worker_spans:
+                span.tid = os.getpid()
+                span.args.setdefault("pid", os.getpid())
+            spans = tuple(worker_spans)
+        return StageTaskResult(
+            items, entries_out, counts_out, samples_out, spans, self.part, self.attempt
+        )
+
+    def __repr__(self) -> str:
+        chain = " | ".join(op.describe() for op in self.ops)
+        return f"StageTask({self.key}: {chain}, {len(self.items)} items)"

@@ -1,33 +1,205 @@
 """Pluggable schedulers: how independent partition tasks are executed.
 
-A fused stage produces one closed-over task per input partition; the tasks
-are independent (they only read their own partition), so a scheduler may run
-them in any order or concurrently.  Result order is always task-submission
-order, and when several tasks fail the *first* task's error (in submission
-order) is raised -- so the serial and thread-pool backends surface identical
-errors and the engine's output is scheduler-independent.
+A fused stage compiles to one picklable :class:`~repro.engine.physical.
+StageTask` per input partition; the tasks are independent (each reads only
+its own partition), so a scheduler may run them in any order or concurrently.
+
+Three backends share one **fault-tolerance layer** implemented in the
+:class:`Scheduler` base class:
+
+* retries: failures whose ``retryable`` attribute is true (the
+  :class:`~repro.errors.TransientError` branch -- timeouts, lost workers,
+  injected faults) are retried up to ``RetryPolicy.max_retries`` times with
+  a jitter-free exponential backoff, so the retry schedule is deterministic
+  and unit-testable;
+* timeouts: with ``RetryPolicy.task_timeout`` set, a task that exceeds its
+  wall-clock budget fails with :class:`~repro.errors.TaskTimeoutError`
+  (transient, hence retried).  Pool backends enforce the budget on the
+  ``Future``; the serial backend checks post-hoc (it cannot preempt);
+* determinism: result order is always task-submission order, every pending
+  task finishes its protocol before the batch resolves, and when tasks fail
+  terminally the **first submission-order task's original error** (its first
+  recorded failure, not the last retry's) is raised -- identical across all
+  backends, so the engine's output and error surface are
+  scheduler-independent.
+
+Tasks must be **pure** for retries to be sound: a re-executed task must
+recompute the identical result.  ``StageTask`` guarantees this by carrying
+its full input; the equivalence property tests pin it under injected faults.
+
+Per-run accounting (attempts, retries, timeouts, worker losses) accumulates
+in :class:`TaskStats`; the executor folds it into the run's metrics and the
+process-wide registry (``repro stats``).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor as PoolExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.engine.config import EngineConfig
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TaskTimeoutError, WorkerLostError
 
-__all__ = ["Scheduler", "SerialScheduler", "ThreadPoolScheduler", "make_scheduler"]
+__all__ = [
+    "Scheduler",
+    "SerialScheduler",
+    "ThreadPoolScheduler",
+    "ProcessPoolScheduler",
+    "RetryPolicy",
+    "TaskStats",
+    "backoff_schedule",
+    "make_scheduler",
+]
 
 Task = Callable[[], Any]
 
+#: One task's outcome inside a batch: ``(value, None)`` or ``(None, error)``.
+_Outcome = tuple[Any, BaseException | None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout knobs of the fault-tolerance layer.
+
+    The backoff is **jitter-free** on purpose: the delay before retrying
+    attempt ``n`` is exactly ``min(backoff * factor**(n-1), max_delay)``
+    seconds, so chaos tests and the determinism guarantee never depend on a
+    random source.  (Partition counts are small; the thundering-herd case
+    jitter exists for does not arise here.)
+    """
+
+    #: Retries *after* the first attempt; 0 disables retrying.
+    max_retries: int = 2
+    #: Base delay in seconds before the first retry.
+    backoff: float = 0.05
+    #: Multiplier applied per subsequent retry.
+    factor: float = 2.0
+    #: Upper bound on a single delay.
+    max_delay: float = 2.0
+    #: Per-task wall-clock budget in seconds; ``None`` disables timeouts.
+    task_timeout: float | None = None
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep after failed *attempt* (1-based) before retrying."""
+        if self.backoff <= 0:
+            return 0.0
+        return min(self.backoff * self.factor ** (attempt - 1), self.max_delay)
+
+
+def backoff_schedule(policy: RetryPolicy) -> list[float]:
+    """The full deterministic delay sequence of *policy*, one per retry."""
+    return [policy.delay(attempt) for attempt in range(1, policy.max_attempts)]
+
+
+class TaskStats:
+    """Scheduler-lifetime task accounting (summed over every ``run`` call)."""
+
+    __slots__ = ("attempts", "retries", "timeouts", "worker_losses")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_losses = 0
+
+    def to_json(self) -> dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_losses": self.worker_losses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskStats(attempts={self.attempts}, retries={self.retries}, "
+            f"timeouts={self.timeouts}, worker_losses={self.worker_losses})"
+        )
+
+
+_NO_RESULT = object()
+
+
+def _set_attempt(task: Task, attempt: int) -> None:
+    """Stamp the attempt number on tasks that track it (``StageTask`` does)."""
+    try:
+        task.attempt = attempt  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+
 
 class Scheduler:
-    """Executes a batch of independent tasks; results in submission order."""
+    """Executes batches of independent tasks; results in submission order.
+
+    Subclasses implement :meth:`_run_batch` (one attempt over a task list);
+    the shared :meth:`run` drives the retry protocol around it.
+    """
 
     name = "abstract"
 
+    def __init__(self, *, policy: RetryPolicy | None = None):
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.stats = TaskStats()
+
     def run(self, tasks: Sequence[Task]) -> list[Any]:
+        """Run *tasks* with retries; returns results in submission order.
+
+        Raises the first submission-order task's original error once every
+        task has either succeeded or exhausted its retry budget.
+        """
+        policy = self.policy
+        count = len(tasks)
+        results: list[Any] = [_NO_RESULT] * count
+        errors: list[BaseException | None] = [None] * count
+        pending = list(range(count))
+        for attempt in range(1, policy.max_attempts + 1):
+            for index in pending:
+                _set_attempt(tasks[index], attempt)
+            outcomes = self._run_batch([tasks[index] for index in pending])
+            self.stats.attempts += len(pending)
+            retrying: list[int] = []
+            for index, (value, error) in zip(pending, outcomes):
+                if error is None:
+                    results[index] = value
+                    continue
+                if isinstance(error, TaskTimeoutError):
+                    self.stats.timeouts += 1
+                elif isinstance(error, WorkerLostError):
+                    self.stats.worker_losses += 1
+                if errors[index] is None:
+                    errors[index] = error  # keep the task's *original* failure
+                if getattr(error, "retryable", False) and attempt < policy.max_attempts:
+                    retrying.append(index)
+            if not retrying:
+                break
+            self.stats.retries += len(retrying)
+            delay = policy.delay(attempt)
+            if delay:
+                time.sleep(delay)
+            pending = retrying
+        for index in range(count):
+            if results[index] is _NO_RESULT:
+                error = errors[index]
+                assert error is not None
+                raise error
+        return results
+
+    def _run_batch(self, tasks: Sequence[Task]) -> list[_Outcome]:
+        """Run one attempt of *tasks*; one outcome per task, never raises."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -41,15 +213,95 @@ class Scheduler:
 
 
 class SerialScheduler(Scheduler):
-    """Runs tasks one after another on the calling thread (the seed path)."""
+    """Runs tasks one after another on the calling thread (the seed path).
+
+    Timeouts are detected post-hoc (a single thread cannot preempt a running
+    task): the task's result is discarded and the attempt reported as a
+    :class:`TaskTimeoutError`, keeping the error surface identical to the
+    pool backends.
+    """
 
     name = "serial"
 
-    def run(self, tasks: Sequence[Task]) -> list[Any]:
-        return [task() for task in tasks]
+    def _run_batch(self, tasks: Sequence[Task]) -> list[_Outcome]:
+        timeout = self.policy.task_timeout
+        outcomes: list[_Outcome] = []
+        for task in tasks:
+            started = time.perf_counter()
+            try:
+                value = task()
+            except BaseException as exc:
+                outcomes.append((None, exc))
+                continue
+            if timeout is not None and time.perf_counter() - started > timeout:
+                outcomes.append(
+                    (None, TaskTimeoutError(f"task exceeded {timeout}s budget"))
+                )
+            else:
+                outcomes.append((value, None))
+        return outcomes
 
 
-class ThreadPoolScheduler(Scheduler):
+class _PoolScheduler(Scheduler):
+    """Shared future-driving logic of the thread- and process-pool backends."""
+
+    def __init__(self, max_workers: int | None = None, *, policy: RetryPolicy | None = None):
+        super().__init__(policy=policy)
+        self._max_workers = max_workers
+        self._pool: PoolExecutor | None = self._new_pool()
+
+    def _new_pool(self) -> PoolExecutor:
+        raise NotImplementedError
+
+    def _run_batch(self, tasks: Sequence[Task]) -> list[_Outcome]:
+        if self._pool is None:
+            raise ExecutionError("scheduler already closed")
+        timeout = self.policy.task_timeout
+        try:
+            futures: list[Future[Any]] = [self._pool.submit(task) for task in tasks]
+        except BrokenExecutor as exc:
+            # The pool broke between batches (e.g. workers OOM-killed while
+            # idle): every task of this attempt is lost but retryable.
+            self._rebuild_pool()
+            return [
+                (None, WorkerLostError(f"executor broken at submit: {exc}"))
+                for _ in tasks
+            ]
+        outcomes: list[_Outcome] = []
+        broken = False
+        for future in futures:
+            try:
+                outcomes.append((future.result(timeout), None))
+            except FutureTimeoutError:
+                future.cancel()
+                outcomes.append(
+                    (None, TaskTimeoutError(f"task exceeded {timeout}s budget"))
+                )
+            except BrokenExecutor as exc:
+                broken = True
+                outcomes.append(
+                    (None, WorkerLostError(f"worker died mid-task: {exc}"))
+                )
+            except BaseException as exc:
+                outcomes.append((None, exc))
+        if broken:
+            # A broken pool rejects all further submissions; rebuild it so
+            # the retry attempts (and later stages) have live workers.
+            self._rebuild_pool()
+        return outcomes
+
+    def _rebuild_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._new_pool()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolScheduler(_PoolScheduler):
     """Runs partition tasks concurrently on a shared thread pool.
 
     Python threads still serialise CPU-bound bytecode, but the engine's
@@ -61,37 +313,40 @@ class ThreadPoolScheduler(Scheduler):
 
     name = "threads"
 
-    def __init__(self, max_workers: int | None = None):
-        workers = max_workers or min(32, (os.cpu_count() or 2))
-        self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-stage"
-        )
+    def _new_pool(self) -> PoolExecutor:
+        workers = self._max_workers or min(32, (os.cpu_count() or 2))
+        return ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-stage")
 
-    def run(self, tasks: Sequence[Task]) -> list[Any]:
-        if self._pool is None:
-            raise ExecutionError("scheduler already closed")
-        futures: list[Future[Any]] = [self._pool.submit(task) for task in tasks]
-        results: list[Any] = []
-        first_error: BaseException | None = None
-        for future in futures:
-            try:
-                results.append(future.result())
-            except BaseException as exc:  # surface the first error in task order
-                if first_error is None:
-                    first_error = exc
-                results.append(None)
-        if first_error is not None:
-            raise first_error
-        return results
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+class ProcessPoolScheduler(_PoolScheduler):
+    """Runs pickled stage tasks on a process pool (true CPU parallelism).
+
+    Structural-provenance capture is CPU-bound pure-Python work -- exactly
+    what the GIL serialises -- so this is the backend that scales capture
+    with cores.  It requires tasks to be picklable: ``StageTask`` descriptors
+    qualify by construction; plans containing unpicklable user functions
+    (lambda UDFs) fail the submission with the raw pickling error, which is
+    deliberately *not* transient.  A worker death surfaces as
+    :class:`~repro.errors.WorkerLostError` (transient) and the pool is
+    rebuilt before the retry attempt.
+    """
+
+    name = "processes"
+
+    def _new_pool(self) -> PoolExecutor:
+        workers = self._max_workers or min(8, (os.cpu_count() or 2))
+        return ProcessPoolExecutor(max_workers=workers)
 
 
 def make_scheduler(config: EngineConfig) -> Scheduler:
-    """Instantiate the scheduler backend selected by *config*."""
+    """Instantiate the scheduler backend (and retry policy) of *config*."""
+    policy = RetryPolicy(
+        max_retries=config.max_retries,
+        backoff=config.retry_backoff,
+        task_timeout=config.task_timeout,
+    )
     if config.scheduler == "threads":
-        return ThreadPoolScheduler(config.max_workers)
-    return SerialScheduler()
+        return ThreadPoolScheduler(config.max_workers, policy=policy)
+    if config.scheduler == "processes":
+        return ProcessPoolScheduler(config.max_workers, policy=policy)
+    return SerialScheduler(policy=policy)

@@ -9,7 +9,33 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``retryable`` classifies the failure for the scheduler's fault-tolerance
+    layer: transient errors (timeouts, lost workers, injected faults) may be
+    retried with backoff, everything else fails the run immediately.  Callers
+    classify through this attribute rather than string-matching messages.
+    """
+
+    retryable: bool = False
+
+
+class TransientError(ReproError):
+    """A failure that may succeed on retry (the scheduler's retry trigger)."""
+
+    retryable = True
+
+
+class TaskTimeoutError(TransientError):
+    """A partition task exceeded the configured per-task timeout."""
+
+
+class WorkerLostError(TransientError):
+    """A pool worker died before delivering its task's result."""
+
+
+class InjectedFault(TransientError):
+    """A synthetic failure raised by the fault-injection harness."""
 
 
 class DataModelError(ReproError):

@@ -120,15 +120,33 @@ class CapturedExecution:
 
 
 class PebbleSession:
-    """Transparent wrapper over the engine session (the PebbleAPI of Fig. 5)."""
+    """Transparent wrapper over the engine session (the PebbleAPI of Fig. 5).
+
+    The constructor is **keyword-only** and accepts every
+    :class:`~repro.engine.config.EngineConfig` knob directly, so scheduler,
+    retry, and fault-injection settings are settable in code without
+    touching environment variables:
+
+    >>> pebble = PebbleSession(scheduler="processes", max_retries=3)
+    >>> pebble = PebbleSession(num_partitions=8, config=my_config)
+
+    An explicit ``config`` provides the base (``EngineConfig.from_env()``
+    otherwise -- environment variables are overrides of the defaults, not
+    the only path); extra knobs are applied on top via
+    :meth:`EngineConfig.replace`, and unknown knob names raise ``TypeError``.
+    """
 
     def __init__(
         self,
-        num_partitions: int | None = None,
         *,
+        num_partitions: int | None = None,
         config: "EngineConfig | None" = None,
+        **knobs: object,
     ):
-        self.session = Session(num_partitions=num_partitions, config=config)
+        base = config if config is not None else EngineConfig.from_env()
+        if knobs:
+            base = base.replace(**knobs)
+        self.session = Session(num_partitions=num_partitions, config=base)
 
     @property
     def config(self) -> "EngineConfig":

@@ -1,0 +1,96 @@
+"""Chaos equivalence: injected faults plus retries must not change anything.
+
+Extends the optimizer-equivalence properties with the fault-tolerance layer:
+for random plan shapes, a run with deterministic injected faults (healed by
+the scheduler's retry protocol) under any backend -- serial, thread pool, or
+process pool -- must produce results, provenance stores, and backtrace
+answers identical to the fault-free seed execution.  This pins the retry
+protocol's core soundness claim: stage tasks are pure, so re-execution is
+invisible in every observable output.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.config import EngineConfig
+from repro.engine.session import Session
+from repro.pebble.query import query_provenance
+from tests.property.test_optimizer_equivalence import (
+    SHAPES,
+    _build,
+    _store_fingerprint,
+)
+
+#: The seed execution path: no rewrites, serial scheduler, no faults.
+BASELINE = EngineConfig(optimize=False)
+
+#: Every chaos configuration must reproduce the baseline bit-for-bit.
+#: ``flaky_once`` faults heal after one retry, so ``max_retries=2`` (the
+#: default) always recovers; zero backoff keeps the suite fast.
+CHAOS_VARIANTS = (
+    ("serial+faults", EngineConfig(faults="flaky_once:0.5", retry_backoff=0.0)),
+    (
+        "threads+faults",
+        EngineConfig(scheduler="threads", faults="flaky_once:0.5", retry_backoff=0.0),
+    ),
+    ("processes", EngineConfig(scheduler="processes")),
+    (
+        "processes+faults",
+        EngineConfig(
+            scheduler="processes", faults="flaky_once:0.5", retry_backoff=0.0
+        ),
+    ),
+)
+
+
+def _run(shape, k, config, capture=True):
+    session = Session(num_partitions=2, config=config)
+    return _build(session, shape, k).execute(capture=capture)
+
+
+@given(st.sampled_from(sorted(SHAPES)), st.integers(min_value=0, max_value=4))
+@settings(max_examples=8, deadline=None)
+def test_chaos_runs_match_the_seed_execution(shape, k):
+    baseline = _run(shape, k, BASELINE)
+    expected_rows = baseline.rows()
+    expected_store = _store_fingerprint(baseline.store)
+    for name, config in CHAOS_VARIANTS:
+        execution = _run(shape, k, config)
+        assert execution.rows() == expected_rows, name
+        assert _store_fingerprint(execution.store) == expected_store, name
+
+
+@given(st.sampled_from(sorted(SHAPES)), st.integers(min_value=0, max_value=4))
+@settings(max_examples=6, deadline=None)
+def test_chaos_backtrace_answers_match_the_seed_execution(shape, k):
+    pattern = SHAPES[shape]
+    baseline = _run(shape, k, BASELINE)
+    expected = query_provenance(baseline, pattern)
+    for name, config in CHAOS_VARIANTS:
+        execution = _run(shape, k, config)
+        answer = query_provenance(execution, pattern)
+        assert answer.matched_output_ids == expected.matched_output_ids, name
+        assert answer.all_ids() == expected.all_ids(), name
+        assert answer.render() == expected.render(), name
+
+
+def test_faults_actually_fire_and_are_retried():
+    """With p=1.0 every fused stage task fails once; the run still succeeds
+    and the retry accounting proves the faults were injected, not skipped."""
+    config = EngineConfig(faults="flaky_once:1.0", retry_backoff=0.0)
+    baseline = _run("select-filter", 1, BASELINE)
+    execution = _run("select-filter", 1, config)
+    assert execution.rows() == baseline.rows()
+    assert execution.metrics.task_retries > 0
+    assert execution.metrics.task_attempts > execution.metrics.task_retries
+
+
+def test_crash_faults_exhaust_the_retry_budget():
+    """A ``crash`` probe at p=1.0 fails every attempt: the run must raise the
+    *original* injected fault after the budget is spent."""
+    import pytest
+
+    from repro.errors import InjectedFault
+
+    config = EngineConfig(faults="crash:1.0", max_retries=1, retry_backoff=0.0)
+    with pytest.raises(InjectedFault, match="attempt 1"):
+        _run("select-filter", 1, config)

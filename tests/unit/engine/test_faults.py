@@ -1,0 +1,102 @@
+"""Unit tests for deterministic fault injection (spec parsing + probes)."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.engine.faults import DEFAULT_DELAY_SECONDS, FaultPlan, parse_faults
+from repro.errors import ExecutionError, InjectedFault
+
+
+class TestParseFaults:
+    def test_empty_specs_mean_no_plan(self):
+        assert parse_faults(None) is None
+        assert parse_faults("") is None
+        assert parse_faults("   ") is None
+
+    def test_mode_and_probability(self):
+        plan = parse_faults("flaky_once:0.2")
+        assert plan == FaultPlan(mode="flaky_once", probability=0.2)
+
+    def test_options(self):
+        plan = parse_faults("delay:0.5:seed=7:seconds=0.01")
+        assert plan.mode == "delay"
+        assert plan.seed == 7
+        assert plan.seconds == 0.01
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "flaky_once",  # missing probability
+            "flaky_once:lots",  # non-numeric probability
+            "flaky_once:2.0",  # probability out of range
+            "meteor:0.5",  # unknown mode
+            "crash:0.5:color=red",  # unknown option
+            "delay:0.5:seconds=soon",  # non-numeric option
+            "delay:0.5:seconds=-1",  # negative delay
+        ],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ExecutionError):
+            parse_faults(spec)
+
+    def test_spec_round_trips(self):
+        for spec in ("flaky_once:0.2", "crash:1.0:seed=3", "delay:0.5:seconds=0.01"):
+            plan = parse_faults(spec)
+            assert parse_faults(plan.spec()) == plan
+
+
+class TestFaultPlanDeterminism:
+    def test_selection_is_a_pure_function_of_key_and_attempt(self):
+        plan = FaultPlan(mode="crash", probability=0.5)
+        draws = [plan.selects(f"s0:o1:p{part}", 1) for part in range(32)]
+        assert draws == [plan.selects(f"s0:o1:p{part}", 1) for part in range(32)]
+        assert any(draws) and not all(draws)  # p=0.5 over 32 keys: mixed
+
+    def test_seed_changes_the_selection(self):
+        keys = [f"s0:o1:p{part}" for part in range(64)]
+        base = [FaultPlan("crash", 0.5, seed=0).selects(key, 1) for key in keys]
+        reseeded = [FaultPlan("crash", 0.5, seed=1).selects(key, 1) for key in keys]
+        assert base != reseeded
+
+    def test_probability_bounds(self):
+        never = FaultPlan(mode="crash", probability=0.0)
+        always = FaultPlan(mode="crash", probability=1.0)
+        assert not any(never.selects(f"k{i}", 1) for i in range(16))
+        assert all(always.selects(f"k{i}", 1) for i in range(16))
+
+    def test_flaky_once_fires_only_on_the_first_attempt(self):
+        plan = FaultPlan(mode="flaky_once", probability=1.0)
+        assert plan.selects("task", 1)
+        assert not plan.selects("task", 2)
+        with pytest.raises(InjectedFault):
+            plan.apply("task", 1)
+        plan.apply("task", 2)  # retry heals
+
+    def test_injected_fault_is_retryable(self):
+        plan = FaultPlan(mode="crash", probability=1.0)
+        with pytest.raises(InjectedFault) as excinfo:
+            plan.apply("task", 1)
+        assert excinfo.value.retryable
+
+    def test_crash_redraws_per_attempt(self):
+        plan = FaultPlan(mode="crash", probability=0.5)
+        per_attempt = [
+            [plan.selects(f"k{i}", attempt) for i in range(64)]
+            for attempt in (1, 2)
+        ]
+        assert per_attempt[0] != per_attempt[1]
+
+    def test_delay_sleeps_instead_of_raising(self):
+        plan = FaultPlan(mode="delay", probability=1.0, seconds=0.005)
+        started = time.perf_counter()
+        plan.apply("task", 1)
+        assert time.perf_counter() - started >= 0.005
+
+    def test_default_delay(self):
+        assert FaultPlan(mode="delay", probability=1.0).seconds == DEFAULT_DELAY_SECONDS
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan(mode="flaky_once", probability=0.3, seed=9)
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -51,7 +51,14 @@ class TestExecutionMetricsJson:
 
     def test_top_level_shape_is_stable(self):
         payload = ExecutionMetrics().to_json()
-        assert set(payload) == {"total_seconds", "operators", "stages"}
+        assert set(payload) == {"total_seconds", "scheduler", "operators", "stages"}
+        assert set(payload["scheduler"]) == {
+            "backend",
+            "task_attempts",
+            "task_retries",
+            "task_timeouts",
+            "worker_losses",
+        }
 
 
 class TestStageMetrics:

@@ -1,0 +1,98 @@
+"""Pickle round-trips of every StageTask the optimizer can emit.
+
+The process-pool scheduler only works if each fused stage compiles to a
+descriptor that survives ``pickle`` -- operator chains included, which is
+why the expression builders use named module-level functions instead of
+lambdas.  These tests run every evaluation scenario through the serial
+scheduler twice -- once untouched, once with a shim that pickles and
+unpickles each :class:`StageTask` before executing it -- asserting (a) the
+round-trip never fails and (b) the rebuilt tasks compute exactly what the
+original tasks compute.
+"""
+
+import pickle
+from contextlib import contextmanager
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.physical import StageTask
+from repro.engine.scheduler import SerialScheduler
+from repro.engine.session import Session
+from repro.workloads.scenarios import SCENARIOS, load_workload, scenario
+
+SCALE = 0.05
+
+
+@contextmanager
+def pickling_stage_tasks():
+    """Route every StageTask through pickle before the serial backend runs it."""
+    seen = []
+    original = SerialScheduler._run_batch
+
+    def round_tripping(self, tasks):
+        rebuilt = []
+        for task in tasks:
+            if isinstance(task, StageTask):
+                payload = pickle.dumps(task)
+                task = pickle.loads(payload)
+                seen.append((task.key, len(payload)))
+            rebuilt.append(task)
+        return original(self, rebuilt)
+
+    SerialScheduler._run_batch = round_tripping
+    try:
+        yield seen
+    finally:
+        SerialScheduler._run_batch = original
+
+
+def _run_scenario(name, capture):
+    spec = scenario(name)
+    data = load_workload(spec.kind, SCALE)
+    session = Session(num_partitions=2, config=EngineConfig())
+    return spec.build(session, data).execute(capture=capture)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_stage_tasks_survive_pickling(name):
+    baseline = _run_scenario(name, capture=True)
+    with pickling_stage_tasks() as seen:
+        round_tripped = _run_scenario(name, capture=True)
+    assert seen, f"{name} compiled no fused stage tasks"
+    assert round_tripped.rows() == baseline.rows()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_plain_stage_tasks_survive_pickling(name):
+    baseline = _run_scenario(name, capture=False)
+    with pickling_stage_tasks() as seen:
+        round_tripped = _run_scenario(name, capture=False)
+    assert seen
+    assert round_tripped.items() == baseline.items()
+
+
+def test_task_fields_survive_pickling():
+    captured = {}
+    original = SerialScheduler._run_batch
+
+    def grab(self, tasks):
+        for task in tasks:
+            if isinstance(task, StageTask) and "task" not in captured:
+                captured["task"] = task
+        return original(self, tasks)
+
+    SerialScheduler._run_batch = grab
+    try:
+        _run_scenario("T1", capture=True)
+    finally:
+        SerialScheduler._run_batch = original
+
+    task = captured["task"]
+    clone = pickle.loads(pickle.dumps(task))
+    assert clone.key == task.key
+    assert clone.part == task.part
+    assert clone.stage_label == task.stage_label
+    assert clone.capturing == task.capturing
+    assert len(clone.ops) == len(task.ops)
+    assert clone.items == task.items
