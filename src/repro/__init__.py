@@ -9,6 +9,8 @@ This module is the library's **stable facade**: user programs import from
 * :class:`PebbleSession` -- build pipelines and run them with capture,
 * :class:`CapturedExecution` -- a captured run: results + backtracing,
 * :class:`Warehouse` -- durable multi-run provenance storage,
+* :class:`ServeClient` -- typed access to a running ``repro serve`` query
+  service (the server side lives in :mod:`repro.serve`),
 * :class:`TreePattern` (with ``parse_pattern``/``child``/``descendant``) --
   the structural query language,
 * :class:`EngineConfig` -- execution knobs (partitions, scheduler backend,
@@ -39,15 +41,17 @@ from repro.engine import (
 from repro.engine.config import EngineConfig
 from repro.engine.session import Session as _EngineSession
 from repro.pebble import CapturedExecution, PebbleSession, query_provenance
+from repro.serve.client import ServeClient
 from repro.warehouse import Warehouse
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # primary API
     "PebbleSession",
     "CapturedExecution",
     "Warehouse",
+    "ServeClient",
     "TreePattern",
     "EngineConfig",
     # tree-pattern builders

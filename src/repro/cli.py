@@ -16,6 +16,10 @@ Usage (also via ``python -m repro``)::
     python -m repro warehouse query run-0001-example 'root{...}' --root /tmp/wh
     python -m repro stats run-0001-example --root /tmp/wh
 
+    python -m repro serve --root /tmp/wh --port 9410   # the query service
+    python -m repro bench serve --url http://127.0.0.1:9410
+    python -m repro stats --remote http://127.0.0.1:9410
+
 Most execution commands accept ``--trace PATH`` to write a Chrome
 trace-event JSON of the run (loadable in Perfetto / ``chrome://tracing``).
 """
@@ -111,7 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser("bench", help="regenerate one evaluation artefact")
     bench.add_argument(
         "figure",
-        choices=["fig6", "fig7", "fig8", "fig9", "titian", "operators", "ablation"],
+        choices=[
+            "fig6", "fig7", "fig8", "fig9", "titian", "operators", "ablation", "serve",
+        ],
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--repeats", type=int, default=3)
@@ -119,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the raw measurements as JSON")
     bench.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Chrome trace-event JSON of the benchmark runs")
+    serve_bench = bench.add_argument_group("serve", "options for `bench serve`")
+    serve_bench.add_argument("--url", default="http://127.0.0.1:9410",
+                             help="base URL of a running `repro serve`")
+    serve_bench.add_argument("--run", default=None,
+                             help="run id or name to query (default: newest)")
+    serve_bench.add_argument("--pattern", default=RUNNING_EXAMPLE_PATTERN,
+                             help="tree pattern to backtrace (default: Fig. 4)")
+    serve_bench.add_argument("--method", choices=["lazy", "eager"], default="lazy",
+                             help="server-side loading strategy for the run")
+    serve_bench.add_argument("--requests", type=int, default=100,
+                             help="total queries to issue")
+    serve_bench.add_argument("--concurrency", type=int, default=4,
+                             help="closed-loop client workers")
+    serve_bench.add_argument("--report", default=None, metavar="PATH",
+                             help="write the latency report JSON (+ .txt) here "
+                                  "(default: benchmarks/results/serve_bench.json)")
 
     heatmap = commands.add_parser("heatmap", help="Fig. 10 usage heatmap over D1-D5")
     heatmap.add_argument("--scale", type=float, default=0.5)
@@ -170,11 +192,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("run", nargs="?", default=None,
                        help="run id or name (default: newest run)")
-    stats.add_argument("--root", required=True, help="warehouse root directory")
+    stats.add_argument("--root", default=None, help="warehouse root directory")
+    stats.add_argument("--remote", default=None, metavar="URL",
+                       help="fetch the registry from a running `repro serve` "
+                            "instead of opening a warehouse locally")
     stats.add_argument("--pattern", default=None,
-                       help="also run this backtrace and fold its cache metrics in")
+                       help="also run this backtrace and fold its cache metrics in "
+                            "(local --root only)")
     stats.add_argument("--json", action="store_true", dest="as_json",
                        help="emit JSON instead of Prometheus text exposition")
+
+    serve = commands.add_parser(
+        "serve", help="serve provenance queries over a warehouse via HTTP"
+    )
+    serve.add_argument("--root", required=True, help="warehouse root directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9410,
+                       help="listening port (0: ephemeral)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admission queue depth beyond the workers (full -> 429)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="per-request deadline in seconds (0: unbounded; over -> 504)")
+    serve.add_argument("--cache-size", type=int, default=128,
+                       help="pattern-result cache capacity (entries)")
+    serve.add_argument("--segment-cache-size", type=int, default=None,
+                       help="per-resident-run operator segment cache size")
+    serve.add_argument("--partitions", type=int, default=None,
+                       help="partition count for restored runs")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON on shutdown")
 
     return parser
 
@@ -455,6 +503,24 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.remote and args.root:
+        print("stats: use either --root or --remote, not both", file=sys.stderr)
+        return 2
+    if args.remote:
+        from repro.serve.client import ServeClient
+
+        if args.pattern:
+            print("stats: --pattern needs a local --root", file=sys.stderr)
+            return 2
+        client = ServeClient(args.remote)
+        if args.as_json:
+            print(json.dumps(client.run_stats(args.run), indent=2))
+        else:
+            print(client.run_stats(args.run, prometheus=True), end="")
+        return 0
+    if not args.root:
+        print("stats: one of --root or --remote is required", file=sys.stderr)
+        return 2
     from repro.warehouse import Warehouse
 
     registry = Warehouse.open(args.root).stats(args.run, pattern=args.pattern)
@@ -463,6 +529,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(registry.render_prometheus(), end="")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ProvenanceServer, QueryService, ServeConfig
+    from repro.warehouse.reader import DEFAULT_CACHE_SIZE
+
+    config = ServeConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        deadline=args.deadline,
+        cache_size=args.cache_size,
+        segment_cache_size=(
+            args.segment_cache_size
+            if args.segment_cache_size is not None
+            else DEFAULT_CACHE_SIZE
+        ),
+        num_partitions=args.partitions,
+    )
+    with _trace_to(args.trace):
+        service = QueryService.open(config)
+        server = ProvenanceServer(service)
+        print(f"serving warehouse {service.warehouse.root} at {server.url}")
+        print(f"  workers: {config.workers}  queue limit: {config.queue_limit}  "
+              f"deadline: {config.deadline or 'none'}s")
+        print("  endpoints: /healthz /runs /runs/<id> /stats /metrics POST /query")
+        # Supervisors read the banner through a pipe; don't sit in the buffer.
+        sys.stdout.flush()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.close()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve.bench import run_load, write_report
+
+    report = run_load(
+        args.url,
+        args.pattern,
+        run=args.run,
+        method=args.method,
+        requests=args.requests,
+        concurrency=args.concurrency,
+    )
+    print(report.render())
+    json_path, text_path = write_report(
+        report, args.report or "benchmarks/results/serve_bench.json"
+    )
+    print(f"wrote {json_path} and {text_path}")
+    return 0 if report.completed else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -479,6 +601,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "bench":
+        if args.figure == "serve":
+            return _cmd_bench_serve(args)
         with _trace_to(args.trace):
             return _cmd_bench(args.figure, args.scale, args.repeats, args.metrics_json)
     if args.command == "heatmap":
@@ -487,6 +611,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_warehouse(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -15,6 +15,7 @@ and are exportable as one Prometheus text page or JSON dump
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Iterator
 
@@ -140,9 +141,16 @@ class SegmentCacheMetrics:
     not the whole run.  Source-item blocks are counted separately because
     the reader defers them past operator decoding: a source that ends up
     with empty provenance never has its items decoded.
+
+    Counter updates are atomic (:meth:`add` takes an internal lock) so one
+    instance can account for a store shared by concurrent readers -- the
+    serving layer keeps one resident store per run and lets every request
+    thread feed the same counters.
     """
 
-    __slots__ = ("hits", "misses", "item_hits", "item_misses", "bytes_read", "evictions")
+    __slots__ = (
+        "hits", "misses", "item_hits", "item_misses", "bytes_read", "evictions", "_lock",
+    )
 
     def __init__(self) -> None:
         self.hits = 0
@@ -151,6 +159,26 @@ class SegmentCacheMetrics:
         self.item_misses = 0
         self.bytes_read = 0
         self.evictions = 0
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        *,
+        hits: int = 0,
+        misses: int = 0,
+        item_hits: int = 0,
+        item_misses: int = 0,
+        bytes_read: int = 0,
+        evictions: int = 0,
+    ) -> None:
+        """Atomically apply one batch of counter increments."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.item_hits += item_hits
+            self.item_misses += item_misses
+            self.bytes_read += bytes_read
+            self.evictions += evictions
 
     @property
     def lookups(self) -> int:
@@ -163,12 +191,13 @@ class SegmentCacheMetrics:
         return self.hits / lookups if lookups else 0.0
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.item_hits = 0
-        self.item_misses = 0
-        self.bytes_read = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.item_hits = 0
+            self.item_misses = 0
+            self.bytes_read = 0
+            self.evictions = 0
 
     def to_json(self) -> dict:
         """Machine-readable cache accounting (CLI artifacts, fig9 payload)."""

@@ -38,6 +38,20 @@ class InjectedFault(TransientError):
     """A synthetic failure raised by the fault-injection harness."""
 
 
+class ServeError(ReproError):
+    """The provenance query service could not satisfy a request."""
+
+
+class AdmissionError(ServeError):
+    """The service's admission queue is full (HTTP 429).
+
+    Retryable by design: the client-side backoff protocol treats a full
+    queue exactly like a transient scheduler failure -- wait, then retry.
+    """
+
+    retryable = True
+
+
 class DataModelError(ReproError):
     """A value does not conform to the nested data model (Sec. 4.1)."""
 

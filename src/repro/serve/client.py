@@ -1,0 +1,150 @@
+"""ServeClient: the urllib-based client of the provenance query service.
+
+A thin, dependency-free wrapper around ``urllib.request`` that speaks the
+``repro.serve`` JSON endpoints and reuses the PR-4 retry protocol: failures
+whose ``retryable`` attribute is true -- a full admission queue (429), a
+deadline overrun (504), or an unreachable server -- are retried with the
+same jitter-free exponential backoff the schedulers use
+(:class:`~repro.engine.scheduler.RetryPolicy`), so client behaviour under
+overload is deterministic and unit-testable.  Everything else (bad pattern,
+unknown run) fails immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+from urllib.parse import quote
+
+from repro.engine.scheduler import RetryPolicy
+from repro.errors import AdmissionError, ServeError, TaskTimeoutError
+
+__all__ = ["ServeClient", "DEFAULT_CLIENT_POLICY"]
+
+#: Client default: three retries, 50 ms base backoff -- enough to ride out a
+#: momentary queue spike without hammering an overloaded server.
+DEFAULT_CLIENT_POLICY = RetryPolicy(max_retries=3, backoff=0.05)
+
+
+def _error_for(status: int, message: str) -> ServeError:
+    """Build the typed error matching a response status."""
+    if status == 429:
+        return AdmissionError(message)
+    if status == 504:
+        return TaskTimeoutError(message)
+    error = ServeError(f"HTTP {status}: {message}")
+    if status == 503:  # server shutting down / transiently unavailable
+        error.retryable = True
+    return error
+
+
+class ServeClient:
+    """Typed access to one running provenance query server."""
+
+    def __init__(
+        self,
+        base_url: str,
+        policy: RetryPolicy | None = None,
+        timeout: float = 30.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.policy = policy if policy is not None else DEFAULT_CLIENT_POLICY
+        #: Socket-level timeout per attempt (connect + read), in seconds.
+        self.timeout = timeout
+
+    # -- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._get_json("/healthz")
+
+    def runs(self) -> list[dict[str, Any]]:
+        return self._get_json("/runs")["runs"]
+
+    def run(self, run_id: str) -> dict[str, Any]:
+        return self._get_json(f"/runs/{run_id}")
+
+    def run_stats(self, run_id: str | None = None, prometheus: bool = False) -> Any:
+        """The server-side ``repro stats`` registry, as JSON or Prometheus text."""
+        path = "/stats"
+        params = []
+        if run_id:
+            params.append(f"run={quote(run_id)}")
+        if prometheus:
+            params.append("format=prometheus")
+        if params:
+            path += "?" + "&".join(params)
+        body, _ = self._request("GET", path)
+        if prometheus:
+            return body.decode("utf-8")
+        return json.loads(body)
+
+    def query(
+        self,
+        pattern: str,
+        run_id: str | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        """Backtrace *pattern* over a stored run (the newest when unnamed)."""
+        payload: dict[str, Any] = {"pattern": pattern, "method": method}
+        if run_id:
+            payload["run"] = run_id
+        body, _ = self._request("POST", "/query", payload)
+        return json.loads(body)
+
+    def metrics_text(self) -> str:
+        body, _ = self._request("GET", "/metrics")
+        return body.decode("utf-8")
+
+    # -- the retry protocol ----------------------------------------------------
+
+    def _get_json(self, path: str) -> Any:
+        body, _ = self._request("GET", path)
+        return json.loads(body)
+
+    def _request(
+        self, verb: str, path: str, payload: dict[str, Any] | None = None
+    ) -> tuple[bytes, str]:
+        """One logical request: up to ``policy.max_attempts`` HTTP attempts."""
+        url = self.base_url + path
+        data = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        policy = self.policy
+        error: ServeError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            request = urllib.request.Request(
+                url,
+                data=data,
+                headers={"Content-Type": "application/json"},
+                method=verb,
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return response.read(), response.headers.get_content_type()
+            except urllib.error.HTTPError as exc:
+                message = self._error_message(exc)
+                error = _error_for(exc.code, message)
+            except urllib.error.URLError as exc:
+                error = ServeError(f"cannot reach {url}: {exc.reason}")
+                error.retryable = True
+            except TimeoutError as exc:
+                error = TaskTimeoutError(f"no response from {url} in {self.timeout}s")
+                error.__cause__ = exc
+            if not error.retryable or attempt >= policy.max_attempts:
+                raise error
+            time.sleep(policy.delay(attempt))
+        raise error  # pragma: no cover -- loop always raises or returns
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(exc.read())
+            return str(payload.get("error", payload))
+        except Exception:
+            return exc.reason if isinstance(exc.reason, str) else str(exc)
+
+    def __repr__(self) -> str:
+        return f"ServeClient({self.base_url!r}, attempts<={self.policy.max_attempts})"

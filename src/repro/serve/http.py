@@ -1,0 +1,271 @@
+"""The HTTP layer: stdlib ``http.server`` endpoints over a QueryService.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /healthz                 liveness + basic capacity figures
+    GET  /runs                    the catalog (one object per stored run)
+    GET  /runs/<run_id>           manifest summary + recorded run metrics
+    GET  /stats[?run=ID][&format=prometheus]
+                                  the per-run registry `repro stats` renders
+    POST /query                   {"pattern": ..., "run": ..., "method": ...}
+    GET  /metrics                 Prometheus text exposition (whole process)
+
+Error mapping (one JSON body ``{"error": ..., "kind": ...}``):
+
+* 400 -- malformed request (bad JSON, unknown method, invalid pattern)
+* 404 -- unknown run or route
+* 429 -- admission queue full (:class:`~repro.errors.AdmissionError`)
+* 504 -- per-request deadline exceeded (:class:`~repro.errors.TaskTimeoutError`)
+* 500 -- anything else
+
+Each connection runs on its own thread (``ThreadingHTTPServer``); heavy
+work is bounded separately by the service's query pool, so accepting a
+request never commits the server to running it.  Requests are traced
+("request <endpoint>" spans in the ``serve`` category) and counted into the
+service registry by endpoint *template* -- ``/runs/<id>``, not the concrete
+id -- to keep the metric cardinality bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    AdmissionError,
+    ProvenanceError,
+    ServeError,
+    TaskTimeoutError,
+    TreePatternError,
+)
+from repro.obs.log import get_logger
+from repro.obs.tracer import get_tracer
+from repro.serve.service import QueryService
+
+__all__ = ["ProvenanceServer"]
+
+#: Upper bound on accepted request bodies (a tree pattern is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+
+def error_status(exc: BaseException) -> int:
+    """Map a service exception to its HTTP status code."""
+    if isinstance(exc, AdmissionError):
+        return 429
+    if isinstance(exc, TaskTimeoutError):
+        return 504
+    if isinstance(exc, (ServeError, TreePatternError)):
+        return 400
+    if isinstance(exc, ProvenanceError):
+        return 404
+    return 500
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True
+    #: Ephemeral port 0 resolves at bind time; ``server_port`` reflects it.
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one connection; all responses carry Content-Length (keep-alive)."""
+
+    protocol_version = "HTTP/1.1"
+    server: _ServeHTTPServer
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # The default handler writes to stderr per request; route nothing --
+        # the service emits structured "serve-query" events instead.
+        pass
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send(status, text.encode("utf-8"), "text/plain; version=0.0.4")
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            raise ServeError(f"request body must be 1..{MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    # -- routing ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def _route(self, verb: str) -> None:
+        service = self.server.service
+        split = urlsplit(self.path)
+        segments = [part for part in split.path.split("/") if part]
+        query = parse_qs(split.query)
+        endpoint = "(unknown)"
+        status = 500
+        started = perf_counter()
+        try:
+            service.check_catalog()
+            endpoint, handler = self._dispatch(verb, segments, query)
+            with get_tracer().span(f"request {endpoint}", "serve", verb=verb):
+                status = handler()
+        except Exception as exc:  # noqa: BLE001 -- every error becomes a response
+            status = error_status(exc)
+            self._send_json(
+                status, {"error": str(exc), "kind": type(exc).__name__}
+            )
+            if status == 500:
+                get_logger("serve").event(
+                    "serve-error", endpoint=endpoint, error=str(exc)
+                )
+        finally:
+            service.observe_request(endpoint, status, perf_counter() - started)
+
+    def _dispatch(self, verb, segments, query):
+        """Resolve ``(endpoint template, thunk)``; raises for unknown routes."""
+        service = self.server.service
+        if verb == "GET" and segments == ["healthz"]:
+            return "/healthz", lambda: self._ok(service.health())
+        if verb == "GET" and segments == ["runs"]:
+            return "/runs", lambda: self._ok({"runs": service.runs()})
+        if verb == "GET" and len(segments) == 2 and segments[0] == "runs":
+            return "/runs/<id>", lambda: self._ok(service.run_detail(segments[1]))
+        if verb == "GET" and segments == ["stats"]:
+            return "/stats", lambda: self._stats(query)
+        if verb == "GET" and segments == ["metrics"]:
+            return "/metrics", lambda: self._metrics()
+        if verb == "POST" and segments == ["query"]:
+            return "/query", lambda: self._query()
+        raise ProvenanceError(f"no such route: {verb} {'/' + '/'.join(segments)}")
+
+    # -- endpoint bodies (each returns the response status) --------------------
+
+    def _ok(self, payload: Any) -> int:
+        self._send_json(200, payload)
+        return 200
+
+    def _stats(self, query: dict[str, list[str]]) -> int:
+        service = self.server.service
+        run = (query.get("run") or [None])[0]
+        registry = service.run_stats(run)
+        if (query.get("format") or ["json"])[0] == "prometheus":
+            self._send_text(200, registry.render_prometheus())
+        else:
+            self._send_json(200, registry.to_json())
+        return 200
+
+    def _metrics(self) -> int:
+        self._send_text(200, self.server.service.render_metrics())
+        return 200
+
+    def _query(self) -> int:
+        body = self._read_body()
+        pattern = body.get("pattern")
+        if not isinstance(pattern, str):
+            raise ServeError("query needs a 'pattern' string")
+        payload = self.server.service.query(
+            pattern,
+            run_id=body.get("run"),
+            method=body.get("method", "lazy"),
+        )
+        self._send_json(200, payload)
+        return 200
+
+
+class ProvenanceServer:
+    """The long-running server: binds, serves, and shuts down cleanly.
+
+    ::
+
+        with ProvenanceServer(service, port=0) as server:   # ephemeral port
+            client = ServeClient(server.url)
+            ...
+
+    ``start()`` serves from a daemon thread (tests, embedding);
+    ``serve_forever()`` blocks (the CLI).  Closing shuts the socket down and
+    closes the service's query pool.
+    """
+
+    def __init__(self, service: QueryService, host: str | None = None, port: int | None = None):
+        self.service = service
+        host = host if host is not None else service.config.host
+        port = port if port is not None else service.config.port
+        self._httpd = _ServeHTTPServer((host, port), service)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ProvenanceServer":
+        """Serve from a background daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise ServeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted or shut down."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "ProvenanceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ProvenanceServer({self.url}, {self.service!r})"

@@ -1,0 +1,372 @@
+"""The query service: warehouse + resident stores + caches + admission.
+
+This is the transport-independent core of ``repro.serve``: every HTTP
+endpoint is a thin shim over one :class:`QueryService` method, so the whole
+serving behaviour (admission control, deadlines, caching, invalidation,
+metrics) is testable without a socket.
+
+Serving changes the warehouse's access pattern from "load per query" to
+"load once, query forever":
+
+* one **resident execution per (run, method)** -- loaded lazily on first
+  use and shared by all request threads (the
+  :class:`~repro.warehouse.reader.LazyProvenanceStore` is thread safe);
+  the ``lazy`` method decodes operator segments on demand, the ``eager``
+  method materialises the whole run up front so queries never touch disk --
+  the two sides of the paper's eager-vs-lazy query evaluation (Sec. 6),
+  now selectable per request;
+* one **pattern-result cache** keyed by ``(run, pattern, method)``,
+  invalidated when the catalog gains a run (stored runs are immutable, but
+  name resolution is "newest wins");
+* one **query pool** bounding concurrent backtraces with admission control
+  (429) and per-request deadlines (504).
+
+Request accounting flows into a :class:`~repro.obs.metrics.MetricsRegistry`
+(the process-wide one by default) and every query runs under a tracer span,
+so a ``--trace`` serve session exports one merged timeline of requests,
+backtrace phases, and segment reads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.backtrace.result import ProvenanceResult
+from repro.engine.executor import ExecutionResult
+from repro.errors import ServeError
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import get_tracer
+from repro.pebble.query import query_provenance
+from repro.serve.cache import PatternResultCache
+from repro.serve.pool import QueryPool
+from repro.warehouse import Warehouse
+from repro.warehouse.reader import DEFAULT_CACHE_SIZE, LazyProvenanceStore
+from repro.warehouse.service import METRICS_NAME
+
+__all__ = ["ServeConfig", "QueryService", "QUERY_METHODS", "result_to_json"]
+
+#: The two run-loading strategies a query may request.
+QUERY_METHODS = ("lazy", "eager")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """All serving knobs in one picklable, printable bundle."""
+
+    root: str
+    host: str = "127.0.0.1"
+    port: int = 9410
+    #: Query workers (concurrent backtraces).
+    workers: int = 4
+    #: Admitted-but-waiting requests beyond the workers; 0 rejects eagerly.
+    queue_limit: int = 16
+    #: Per-request wall-clock budget in seconds; ``None``/0 disables it.
+    deadline: float | None = 30.0
+    #: Pattern-result cache capacity (entries).
+    cache_size: int = 128
+    #: Per-store LRU capacity for lazily decoded operator segments.
+    segment_cache_size: int = DEFAULT_CACHE_SIZE
+    #: Partition count used when restoring runs (None: engine default).
+    num_partitions: int | None = None
+
+    def effective_deadline(self) -> float | None:
+        return self.deadline if self.deadline else None
+
+
+def result_to_json(result: ProvenanceResult) -> dict[str, Any]:
+    """A deterministic JSON view of a provenance query answer.
+
+    Everything is sorted (entry ids, paths, operator ids), so two answers to
+    the same question serialise byte-identically -- the property the
+    concurrent-vs-serial equivalence tests pin.
+    """
+    return {
+        "matched_output_ids": list(result.matched_output_ids),
+        "sources": [
+            {
+                "oid": source.oid,
+                "name": source.name,
+                "ids": source.ids(),
+                "entries": [
+                    {
+                        "id": entry.item_id,
+                        "contributing": entry.contributing_paths(),
+                        "influencing": entry.influencing_paths(),
+                        "accessed_by": entry.accessed_by(),
+                        "manipulated_by": entry.manipulated_by(),
+                        "tree": entry.tree.render(),
+                    }
+                    for entry in source
+                ],
+            }
+            for source in result.sources
+        ],
+        "render": result.render(),
+    }
+
+
+class _ResidentRun:
+    """One loaded (run, method) pair shared across request threads."""
+
+    __slots__ = ("execution", "method", "loaded_at")
+
+    def __init__(self, execution: ExecutionResult, method: str):
+        self.execution = execution
+        self.method = method
+        self.loaded_at = time.time()
+
+    @property
+    def store(self) -> LazyProvenanceStore:
+        store = self.execution.store
+        assert isinstance(store, LazyProvenanceStore)
+        return store
+
+
+class QueryService:
+    """Long-lived provenance query engine over one warehouse root."""
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        config: ServeConfig,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.warehouse = warehouse
+        self.config = config
+        self.registry = registry if registry is not None else get_registry()
+        self.pool = QueryPool(
+            workers=config.workers,
+            queue_limit=config.queue_limit,
+            deadline=config.effective_deadline(),
+        )
+        self.cache = PatternResultCache(config.cache_size)
+        self._residents: dict[tuple[str, str], _ResidentRun] = {}
+        self._load_lock = threading.Lock()
+        self._catalog_sig = self._catalog_signature()
+        self._started = time.time()
+        #: Test instrumentation: called on the worker thread before each
+        #: query executes (lets tests hold workers busy deterministically).
+        self.query_hook: Callable[[], None] | None = None
+
+    @classmethod
+    def open(cls, config: ServeConfig, registry: MetricsRegistry | None = None) -> "QueryService":
+        return cls(Warehouse.open(config.root), config, registry=registry)
+
+    # -- catalog freshness -----------------------------------------------------
+
+    def _catalog_signature(self) -> tuple[int, int] | None:
+        try:
+            stat = os.stat(self.warehouse.root / "catalog.json")
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def check_catalog(self) -> bool:
+        """Pick up externally recorded runs; ``True`` if the cache was flushed.
+
+        Called on every request (one ``stat`` when nothing changed).  When
+        the catalog file changed *and* the run set actually differs, the
+        pattern-result cache is invalidated: resident executions stay (runs
+        are immutable) but name-keyed answers may now resolve differently.
+        """
+        signature = self._catalog_signature()
+        if signature == self._catalog_sig:
+            return False
+        with self._load_lock:
+            signature = self._catalog_signature()
+            if signature == self._catalog_sig:
+                return False
+            self._catalog_sig = signature
+            changed = self.warehouse.refresh()
+        if not changed:
+            return False
+        self.cache.invalidate()
+        self.registry.counter("repro_serve_catalog_refreshes_total").inc()
+        return True
+
+    # -- read-only endpoints ---------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "runs": len(self.warehouse),
+            "resident_runs": len(self._residents),
+            "uptime_seconds": time.time() - self._started,
+            "workers": self.config.workers,
+            "queue_limit": self.config.queue_limit,
+        }
+
+    def runs(self) -> list[dict[str, Any]]:
+        return [record.to_obj() for record in self.warehouse.runs()]
+
+    def run_detail(self, run_id: str) -> dict[str, Any]:
+        """Manifest summary plus the execution metrics recorded with the run."""
+        summary = self.warehouse.inspect(run_id)
+        metrics_path = self.warehouse.run_dir(summary["run_id"]) / METRICS_NAME
+        if metrics_path.exists():
+            with open(metrics_path, "r", encoding="utf-8") as handle:
+                summary["metrics"] = json.load(handle)
+        return summary
+
+    def run_stats(self, run_id: str | None = None) -> MetricsRegistry:
+        """The per-run registry ``repro stats`` renders, served remotely."""
+        return self.warehouse.stats(run_id, registry=MetricsRegistry())
+
+    # -- the query path --------------------------------------------------------
+
+    def query(
+        self,
+        pattern: str,
+        run_id: str | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        """Answer one provenance query; cached, admission-controlled, traced.
+
+        Returns the stored payload (run/pattern/method/result/query_seconds)
+        plus a per-request ``server`` block carrying the cache verdict and
+        this request's wall time.
+        """
+        if method not in QUERY_METHODS:
+            raise ServeError(
+                f"unknown query method {method!r}; expected one of {QUERY_METHODS}"
+            )
+        if not isinstance(pattern, str) or not pattern.strip():
+            raise ServeError("query needs a non-empty 'pattern' string")
+        record = self.warehouse.resolve(run_id)
+        key = (record.run_id, pattern, method)
+        started = time.perf_counter()
+        deadline = self.config.effective_deadline()
+        payload, was_hit = self.cache.get_or_compute(
+            key,
+            lambda: self.pool.run(
+                lambda: self._execute_query(record.run_id, pattern, method),
+                deadline,
+            ),
+            wait_timeout=deadline,
+        )
+        elapsed = time.perf_counter() - started
+        self.registry.counter("repro_serve_queries_total", method=method).inc()
+        return dict(payload, server={"cached": was_hit, "seconds": elapsed})
+
+    def _execute_query(self, run_id: str, pattern: str, method: str) -> dict[str, Any]:
+        """The pooled worker body: resolve the resident run and backtrace."""
+        if self.query_hook is not None:
+            self.query_hook()
+        with get_tracer().span(
+            "serve-query", "serve", run_id=run_id, pattern=pattern, method=method
+        ) as span:
+            resident = self._resident(run_id, method)
+            started = time.perf_counter()
+            result = query_provenance(resident.execution, pattern)
+            seconds = time.perf_counter() - started
+            span.set(matched=len(result.matched_output_ids))
+        get_logger(run_id).event(
+            "serve-query",
+            pattern=pattern,
+            method=method,
+            matched=len(result.matched_output_ids),
+            seconds=seconds,
+        )
+        return {
+            "run_id": run_id,
+            "pattern": pattern,
+            "method": method,
+            "result": result_to_json(result),
+            "query_seconds": seconds,
+        }
+
+    def _resident(self, run_id: str, method: str) -> _ResidentRun:
+        """The shared execution for ``(run_id, method)``, loading on first use."""
+        key = (run_id, method)
+        resident = self._residents.get(key)
+        if resident is not None:
+            return resident
+        with self._load_lock:
+            resident = self._residents.get(key)
+            if resident is not None:
+                return resident
+            record = self.warehouse.resolve(run_id)
+            cache_size = self.config.segment_cache_size
+            if method == "eager":
+                # Nothing may evict: the whole run stays resident.
+                cache_size = max(cache_size, record.operator_count)
+            with get_tracer().span(
+                "serve-load", "serve", run_id=run_id, method=method
+            ):
+                execution = self.warehouse.load(
+                    run_id,
+                    num_partitions=self.config.num_partitions,
+                    cache_size=cache_size,
+                )
+                resident = _ResidentRun(execution, method)
+                if method == "eager":
+                    self._materialise(resident.store)
+            self._residents[key] = resident
+            return resident
+
+    @staticmethod
+    def _materialise(store: LazyProvenanceStore) -> None:
+        """Decode every operator segment and source-item block up front."""
+        for oid in sorted(store.size_report().per_operator):
+            store.get(oid)
+            if store.is_source(oid):
+                store.source_items(oid)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        """Fold one finished HTTP request into the registry."""
+        self.registry.counter(
+            "repro_serve_requests_total", endpoint=endpoint, status=str(status)
+        ).inc()
+        self.registry.histogram(
+            "repro_serve_request_seconds", endpoint=endpoint
+        ).observe(seconds)
+
+    def publish_gauges(self) -> None:
+        """Refresh the point-in-time gauges before a ``/metrics`` scrape."""
+        registry = self.registry
+        registry.gauge("repro_serve_uptime_seconds").set(time.time() - self._started)
+        registry.gauge("repro_serve_inflight").set(self.pool.pending())
+        registry.gauge("repro_serve_queue_depth").set(self.pool.queue_depth())
+        pool = self.pool.stats
+        registry.gauge("repro_serve_pool_admitted").set(pool.admitted)
+        registry.gauge("repro_serve_pool_completed").set(pool.completed)
+        registry.gauge("repro_serve_pool_rejected").set(pool.rejected)
+        registry.gauge("repro_serve_pool_timeouts").set(pool.timeouts)
+        for name, value in self.cache.snapshot().items():
+            registry.gauge(f"repro_serve_pattern_cache_{name}").set(value)
+        for (run_id, method), resident in list(self._residents.items()):
+            cache = resident.store.metrics
+            for field in ("hits", "misses", "item_hits", "item_misses", "bytes_read", "evictions"):
+                registry.gauge(
+                    f"repro_serve_segment_cache_{field}", run_id=run_id, method=method
+                ).set(getattr(cache, field))
+
+    def render_metrics(self) -> str:
+        """The Prometheus text page ``GET /metrics`` serves."""
+        self.publish_gauges()
+        return self.registry.render_prometheus()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self.warehouse!r}, {len(self._residents)} resident, "
+            f"{len(self.cache)} cached answers)"
+        )

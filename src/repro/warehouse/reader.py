@@ -13,11 +13,20 @@ for sources that actually end up with provenance entries.
 Cache hits and misses feed a
 :class:`~repro.engine.metrics.SegmentCacheMetrics`, making "how much of the
 run did this query touch?" an observable rather than a hope.
+
+The store is **thread safe**: one re-entrant lock guards the LRU maps and
+the decode path, so concurrent backtraces (the ``repro.serve`` query service
+shares one resident store per run across request threads) see a consistent
+cache and deterministic hit/miss accounting -- each segment decodes exactly
+once, never twice under a racing double-miss.  Segment file handles are
+opened per read (open/seek/read/close), so no file-position state is shared
+between threads.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 from pathlib import Path as FsPath
 from typing import Any, Iterator
@@ -74,7 +83,7 @@ def read_rows(
     with get_tracer().span("segment-read rows", "warehouse") as span:
         buffer = (FsPath(run_dir) / manifest["rows"]["segment"]).read_bytes()
         if metrics is not None:
-            metrics.bytes_read += len(buffer)
+            metrics.add(bytes_read=len(buffer))
         span.set(bytes=len(buffer))
         return wf.decode_rows(wf.open_segment(buffer, wf.SEGMENT_ROWS))
 
@@ -101,6 +110,9 @@ class LazyProvenanceStore:
         self._operators: OrderedDict[int, OperatorProvenance] = OrderedDict()
         self._source_items: OrderedDict[int, dict[int, DataItem]] = OrderedDict()
         self.metrics = metrics if metrics is not None else SegmentCacheMetrics()
+        #: Guards the two LRU maps and the decode path; re-entrant because
+        #: ``source_item`` may fall through to ``source_items`` while held.
+        self._lock = threading.RLock()
 
     # -- index-only lookups (zero decodes) -----------------------------------
 
@@ -155,68 +167,76 @@ class LazyProvenanceStore:
         with open(path, "rb") as handle:
             handle.seek(entry[offset_key])
             raw = handle.read(entry[length_key])
-        self.metrics.bytes_read += len(raw)
+        self.metrics.add(bytes_read=len(raw))
         return raw
 
     def get(self, oid: int) -> OperatorProvenance:
-        """Return operator *oid*, decoding its segment on a cache miss."""
-        cached = self._operators.get(oid)
-        if cached is not None:
-            self.metrics.hits += 1
-            self._operators.move_to_end(oid)
-            return cached
-        entry = self._entry(oid)
-        self.metrics.misses += 1
-        with get_tracer().span(
-            f"segment-read op-{oid}",
-            "warehouse",
-            segment=entry["segment"],
-            op_type=entry["op_type"],
-            bytes=entry["record_length"],
-        ):
-            raw = self._read_range(entry, "offset", "record_length")
-            provenance = wf.decode_operator(wf.Cursor(raw))
-        self._operators[oid] = provenance
-        if len(self._operators) > self._cache_size:
-            self._operators.popitem(last=False)
-            self.metrics.evictions += 1
-        return provenance
+        """Return operator *oid*, decoding its segment on a cache miss.
+
+        Decoding happens under the store lock: concurrent readers of a cold
+        operator serialise on the decode instead of duplicating it, which
+        keeps the miss counter equal to the number of unique segments read.
+        """
+        with self._lock:
+            cached = self._operators.get(oid)
+            if cached is not None:
+                self.metrics.add(hits=1)
+                self._operators.move_to_end(oid)
+                return cached
+            entry = self._entry(oid)
+            self.metrics.add(misses=1)
+            with get_tracer().span(
+                f"segment-read op-{oid}",
+                "warehouse",
+                segment=entry["segment"],
+                op_type=entry["op_type"],
+                bytes=entry["record_length"],
+            ):
+                raw = self._read_range(entry, "offset", "record_length")
+                provenance = wf.decode_operator(wf.Cursor(raw))
+            self._operators[oid] = provenance
+            if len(self._operators) > self._cache_size:
+                self._operators.popitem(last=False)
+                self.metrics.add(evictions=1)
+            return provenance
 
     def source_items(self, oid: int) -> dict[int, DataItem]:
         """Return a read operator's ``id -> item`` block (decoded on demand)."""
-        cached = self._source_items.get(oid)
-        if cached is not None:
-            self.metrics.item_hits += 1
-            self._source_items.move_to_end(oid)
-            return dict(cached)
-        entry = self._entry(oid)
-        if "items_offset" not in entry:
-            raise BacktraceError(f"operator {oid} is not a read operator")
-        self.metrics.item_misses += 1
-        with get_tracer().span(
-            f"segment-read items op-{oid}",
-            "warehouse",
-            segment=entry["segment"],
-            bytes=entry["items_length"],
-        ):
-            raw = self._read_range(entry, "items_offset", "items_length")
-            _, items = wf.decode_source_items(wf.Cursor(raw))
-        self._source_items[oid] = items
-        if len(self._source_items) > self._cache_size:
-            self._source_items.popitem(last=False)
-            self.metrics.evictions += 1
-        return dict(items)
+        with self._lock:
+            cached = self._source_items.get(oid)
+            if cached is not None:
+                self.metrics.add(item_hits=1)
+                self._source_items.move_to_end(oid)
+                return dict(cached)
+            entry = self._entry(oid)
+            if "items_offset" not in entry:
+                raise BacktraceError(f"operator {oid} is not a read operator")
+            self.metrics.add(item_misses=1)
+            with get_tracer().span(
+                f"segment-read items op-{oid}",
+                "warehouse",
+                segment=entry["segment"],
+                bytes=entry["items_length"],
+            ):
+                raw = self._read_range(entry, "items_offset", "items_length")
+                _, items = wf.decode_source_items(wf.Cursor(raw))
+            self._source_items[oid] = items
+            if len(self._source_items) > self._cache_size:
+                self._source_items.popitem(last=False)
+                self.metrics.add(evictions=1)
+            return dict(items)
 
     def source_item(self, oid: int, item_id: int) -> DataItem:
-        items = self._source_items.get(oid)
-        if items is None:
-            self.source_items(oid)
-            items = self._source_items[oid]
-        else:
-            self.metrics.item_hits += 1
-        if item_id not in items:
-            raise BacktraceError(f"source {oid} has no item with id {item_id}")
-        return items[item_id]
+        with self._lock:
+            items = self._source_items.get(oid)
+            if items is None:
+                self.source_items(oid)
+                items = self._source_items[oid]
+            else:
+                self.metrics.add(item_hits=1)
+            if item_id not in items:
+                raise BacktraceError(f"source {oid} has no item with id {item_id}")
+            return items[item_id]
 
     def operators(self) -> Iterator[OperatorProvenance]:
         """Iterate over every operator (decodes the whole run; avoid on hot

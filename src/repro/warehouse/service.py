@@ -105,11 +105,29 @@ class Warehouse:
         )
         return record
 
+    def refresh(self) -> bool:
+        """Reload the catalog from disk; ``True`` if the run set changed.
+
+        A long-lived reader (the ``repro.serve`` query service) opens the
+        warehouse once but other processes may keep recording runs into the
+        same root; refreshing picks those up without reopening.  Stored runs
+        are immutable, so a refresh only ever *adds* visibility -- but name
+        resolution ("newest run named X") and cached pattern results must be
+        re-derived when the set changes.
+        """
+        before = {record.run_id for record in self._catalog.runs()}
+        self._catalog = Catalog.load(self.root)
+        return {record.run_id for record in self._catalog.runs()} != before
+
     # -- listing / inspection --------------------------------------------------
 
     def runs(self) -> list[RunRecord]:
         """All catalogued runs, oldest first (reads only the catalog)."""
         return self._catalog.runs()
+
+    def resolve(self, run_id: str | None = None) -> RunRecord:
+        """Resolve a run id or name to its record (``None``: the newest run)."""
+        return self._catalog.find(run_id) if run_id else self._catalog.latest()
 
     def run_dir(self, run_id: str) -> FsPath:
         return self.root / RUNS_DIR / self._catalog.find(run_id).run_id

@@ -1,0 +1,308 @@
+"""The provenance query service, end to end over a real HTTP socket.
+
+Each test stands up a :class:`ProvenanceServer` on an ephemeral port over a
+freshly recorded warehouse, with its own :class:`MetricsRegistry` so request
+accounting is assertable per test.  The core guarantee pinned here: answers
+served concurrently through the HTTP + pool + cache stack are byte-identical
+to a direct ``query_provenance`` over ``Warehouse.load``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.engine.scheduler import RetryPolicy
+from repro.errors import AdmissionError, TaskTimeoutError
+from repro.obs.metrics import MetricsRegistry
+from repro.pebble.query import query_provenance
+from repro.serve import (
+    ProvenanceServer,
+    QueryService,
+    ServeClient,
+    ServeConfig,
+    result_to_json,
+)
+from repro.warehouse import Warehouse
+from repro.workloads.scenarios import RUNNING_EXAMPLE_PATTERN
+
+NO_BACKOFF = RetryPolicy(max_retries=2, backoff=0.0)
+
+
+@pytest.fixture
+def recorded(captured_example, tmp_path):
+    """The running example recorded into a warehouse; returns (root, run_id)."""
+    root = tmp_path / "wh"
+    record = Warehouse.open(root).record(captured_example, name="example")
+    return root, record.run_id
+
+
+@pytest.fixture
+def served(recorded):
+    """A live server over the recorded warehouse; yields (server, service, root)."""
+    root, _ = recorded
+    service = QueryService.open(
+        ServeConfig(root=str(root), port=0), registry=MetricsRegistry()
+    )
+    with ProvenanceServer(service, port=0) as server:
+        yield server, service, root
+
+
+@pytest.fixture
+def client(served):
+    server, _, _ = served
+    return ServeClient(server.url, policy=NO_BACKOFF)
+
+
+class TestEndpoints:
+    def test_healthz_reports_capacity(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["runs"] == 1
+        assert health["workers"] == 4
+
+    def test_runs_lists_the_catalog(self, client, recorded):
+        _, run_id = recorded
+        runs = client.runs()
+        assert [run["run_id"] for run in runs] == [run_id]
+
+    def test_run_detail_includes_manifest_and_metrics(self, client, recorded):
+        _, run_id = recorded
+        detail = client.run(run_id)
+        assert detail["run_id"] == run_id
+        assert len(detail["operators"]) == 9
+        assert "total_seconds" in detail["metrics"]
+
+    def test_unknown_run_is_404(self, client):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError) as info:
+            client.run("no-such-run")
+        assert "HTTP 404" in str(info.value)
+
+    def test_unknown_route_is_404(self, client):
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(client.base_url + "/nope", timeout=5)
+        assert info.value.code == 404
+
+    def test_malformed_query_is_400(self, client):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError):
+            client.query("root{")  # unbalanced pattern
+        with pytest.raises(ServeError):
+            client.query(RUNNING_EXAMPLE_PATTERN, method="psychic")
+
+    def test_metrics_exposes_request_queue_and_cache_counters(self, client):
+        client.query(RUNNING_EXAMPLE_PATTERN)
+        text = client.metrics_text()
+        assert 'repro_serve_requests_total{endpoint="/query",status="200"}' in text
+        assert 'repro_serve_queries_total{method="lazy"}' in text
+        assert "repro_serve_queue_depth" in text
+        assert "repro_serve_pattern_cache_hits" in text
+        assert "repro_serve_segment_cache_misses" in text
+
+    def test_stats_matches_local_registry(self, served, client, recorded):
+        root, run_id = recorded
+        local = Warehouse.open(root).stats(run_id, registry=MetricsRegistry())
+        assert client.run_stats(run_id) == local.to_json()
+        assert client.run_stats(run_id, prometheus=True) == local.render_prometheus()
+
+
+class TestQueryEquivalence:
+    @pytest.mark.parametrize("method", ["lazy", "eager"])
+    def test_served_answer_equals_direct_backtrace(self, served, client, method):
+        _, _, root = served
+        payload = client.query(RUNNING_EXAMPLE_PATTERN, method=method)
+        direct = query_provenance(
+            Warehouse.open(root).load(), RUNNING_EXAMPLE_PATTERN
+        )
+        assert payload["result"] == result_to_json(direct)
+        assert payload["method"] == method
+        assert payload["server"]["cached"] is False
+
+    def test_eager_run_queries_touch_no_disk(self, served, client):
+        _, service, _ = served
+        client.query(RUNNING_EXAMPLE_PATTERN, method="eager")
+        resident = service._residents[
+            (service.warehouse.resolve().run_id, "eager")
+        ]
+        bytes_after_load = resident.store.metrics.bytes_read
+        client.query('root{//name="vx"}', method="eager")
+        assert resident.store.metrics.bytes_read == bytes_after_load
+
+    def test_concurrent_queries_identical_to_serial(self, served, recorded):
+        """N threads of mixed /query + /runs == the serial answers, byte for byte."""
+        server, service, root = served
+        _, run_id = recorded
+        patterns = [
+            RUNNING_EXAMPLE_PATTERN,
+            'root{//name="vx"}',
+            'root{//id_str="lp"}',
+        ]
+        serial = {
+            pattern: json.dumps(
+                result_to_json(
+                    query_provenance(Warehouse.open(root).load(), pattern)
+                ),
+                sort_keys=True,
+            )
+            for pattern in patterns
+        }
+        workers = 8
+        per_worker = 6
+        barrier = threading.Barrier(workers)
+        failures = []
+        lock = threading.Lock()
+
+        def drive(worker: int):
+            client = ServeClient(server.url, policy=NO_BACKOFF)
+            barrier.wait()
+            for step in range(per_worker):
+                pattern = patterns[(worker + step) % len(patterns)]
+                try:
+                    payload = client.query(pattern)
+                    got = json.dumps(payload["result"], sort_keys=True)
+                    if got != serial[pattern]:
+                        raise AssertionError(f"divergent answer for {pattern}")
+                    if [run["run_id"] for run in client.runs()] != [run_id]:
+                        raise AssertionError("catalog changed mid-flight")
+                except Exception as exc:  # noqa: BLE001 -- collected for assert
+                    with lock:
+                        failures.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(index,)) for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        # Single-flight caching makes the counters deterministic even under
+        # this much concurrency: one miss per unique (run, pattern, method).
+        snap = service.cache.snapshot()
+        assert snap["misses"] == len(patterns)
+        assert snap["hits"] == workers * per_worker - len(patterns)
+        # And decode-under-lock does the same for the segment cache: the
+        # lazy store decoded each reachable segment exactly once.
+        resident = service._residents[(run_id, "lazy")]
+        report = resident.store.size_report()
+        assert resident.store.metrics.misses <= len(report.per_operator)
+
+
+class TestAdmissionAndDeadlines:
+    def test_full_queue_answers_429(self, recorded):
+        root, _ = recorded
+        service = QueryService.open(
+            ServeConfig(root=str(root), port=0, workers=1, queue_limit=0, deadline=None),
+            registry=MetricsRegistry(),
+        )
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hold():
+            entered.set()
+            release.wait(10)
+
+        service.query_hook = hold
+        with ProvenanceServer(service, port=0) as server:
+            client = ServeClient(server.url, policy=RetryPolicy(max_retries=0))
+            blocker = threading.Thread(
+                target=lambda: client.query(RUNNING_EXAMPLE_PATTERN)
+            )
+            blocker.start()
+            try:
+                assert entered.wait(5)
+                with pytest.raises(AdmissionError):
+                    # A different pattern: must reach the pool, not the cache.
+                    client.query('root{//name="vx"}')
+            finally:
+                release.set()
+                blocker.join()
+            assert service.pool.stats.rejected == 1
+            text = client.metrics_text()
+            assert 'status="429"' in text
+
+    def test_deadline_overrun_answers_504(self, recorded):
+        root, _ = recorded
+        service = QueryService.open(
+            ServeConfig(root=str(root), port=0, workers=2, deadline=0.1),
+            registry=MetricsRegistry(),
+        )
+        service.query_hook = lambda: threading.Event().wait(2)
+        with ProvenanceServer(service, port=0) as server:
+            client = ServeClient(server.url, policy=RetryPolicy(max_retries=0))
+            with pytest.raises(TaskTimeoutError):
+                client.query(RUNNING_EXAMPLE_PATTERN)
+            assert service.pool.stats.timeouts == 1
+            # The failure must not be cached: a later, fast ask recomputes.
+            service.query_hook = None
+            payload = client.query(RUNNING_EXAMPLE_PATTERN)
+            assert payload["server"]["cached"] is False
+
+
+class TestCacheInvalidation:
+    def test_new_run_flushes_the_pattern_cache(self, served, captured_example):
+        server, service, root = served
+        client = ServeClient(server.url, policy=NO_BACKOFF)
+        first = client.query(RUNNING_EXAMPLE_PATTERN)
+        assert first["server"]["cached"] is False
+        second = client.query(RUNNING_EXAMPLE_PATTERN)
+        assert second["server"]["cached"] is True
+        # Another process records a new run into the same root.
+        Warehouse.open(root).record(captured_example, name="example")
+        third = client.query(RUNNING_EXAMPLE_PATTERN)
+        assert third["server"]["cached"] is False
+        assert third["run_id"] != first["run_id"]  # newest-run resolution moved
+        assert len(client.runs()) == 2
+        assert service.cache.stats.invalidations == 1
+
+
+class TestCliIntegration:
+    def test_stats_remote_matches_local(self, served, recorded, capsys):
+        server, _, _ = served
+        root, run_id = recorded
+        assert cli_main(["stats", run_id, "--root", str(root), "--json"]) == 0
+        local = capsys.readouterr().out
+        assert cli_main(["stats", run_id, "--remote", server.url, "--json"]) == 0
+        remote = capsys.readouterr().out
+        assert json.loads(remote) == json.loads(local)
+
+    def test_stats_requires_exactly_one_source(self, served, recorded, capsys):
+        server, _, _ = served
+        root, _ = recorded
+        assert cli_main(["stats"]) == 2
+        assert (
+            cli_main(["stats", "--root", str(root), "--remote", server.url]) == 2
+        )
+        capsys.readouterr()
+
+    def test_bench_serve_writes_a_sane_report(self, served, tmp_path, capsys):
+        server, _, _ = served
+        report_path = tmp_path / "serve_bench.json"
+        code = cli_main([
+            "bench", "serve",
+            "--url", server.url,
+            "--pattern", RUNNING_EXAMPLE_PATTERN,
+            "--requests", "24",
+            "--concurrency", "4",
+            "--report", str(report_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["completed"] == 24
+        assert report["errors"] == 0
+        assert report["cold"]["count"] == 1  # single-flight: one computation
+        assert report["warm"]["count"] == 23
+        # The warm path skips the backtrace entirely; it must not be slower
+        # than the cold computation it memoised.
+        assert report["warm"]["p50_ms"] <= report["cold"]["mean_ms"]
+        assert report_path.with_suffix(".txt").exists()
+        capsys.readouterr()

@@ -1,0 +1,172 @@
+"""PatternResultCache: LRU, single-flight, failure, and invalidation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError, TaskTimeoutError
+from repro.serve.cache import PatternResultCache
+
+
+class TestBasics:
+    def test_miss_computes_then_hit_returns_cached(self):
+        cache = PatternResultCache(4)
+        calls = []
+        value, hit = cache.get_or_compute("k", lambda: calls.append(1) or "answer")
+        assert (value, hit) == ("answer", False)
+        value, hit = cache.get_or_compute("k", lambda: calls.append(1) or "other")
+        assert (value, hit) == ("answer", True)
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServeError):
+            PatternResultCache(0)
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = PatternResultCache(2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: None)  # refresh a
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        assert cache.stats.evictions == 1
+        _, hit = cache.get_or_compute("a", lambda: None)
+        assert hit
+        _, hit = cache.get_or_compute("b", lambda: 2)
+        assert not hit
+
+    def test_capacity_one_never_evicts_the_incoming_key(self):
+        cache = PatternResultCache(1)
+        cache.get_or_compute("a", lambda: 1)
+        value, hit = cache.get_or_compute("b", lambda: 2)
+        assert (value, hit) == (2, False)
+        value, hit = cache.get_or_compute("b", lambda: None)
+        assert (value, hit) == (2, True)
+
+    def test_invalidate_clears_and_counts(self):
+        cache = PatternResultCache(4)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        assert cache.invalidate() == 0  # empty: not counted again
+        assert cache.stats.invalidations == 1
+        _, hit = cache.get_or_compute("a", lambda: 1)
+        assert not hit
+
+    def test_snapshot_reports_entries_and_stats(self):
+        cache = PatternResultCache(4)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("a", lambda: 1)
+        snap = cache.snapshot()
+        assert snap["entries"] == 1
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+
+
+class TestFailure:
+    def test_error_propagates_and_does_not_poison(self):
+        cache = PatternResultCache(4)
+
+        def boom():
+            raise ValueError("transient")
+
+        with pytest.raises(ValueError):
+            cache.get_or_compute("k", boom)
+        assert len(cache) == 0
+        value, hit = cache.get_or_compute("k", lambda: "recovered")
+        assert (value, hit) == ("recovered", False)
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_compute_once(self):
+        cache = PatternResultCache(4)
+        barrier = threading.Barrier(8)
+        calls = []
+        call_lock = threading.Lock()
+        results = []
+        results_lock = threading.Lock()
+
+        def compute():
+            with call_lock:
+                calls.append(1)
+            return "answer"
+
+        def request():
+            barrier.wait()
+            value, hit = cache.get_or_compute("k", compute, wait_timeout=10)
+            with results_lock:
+                results.append((value, hit))
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 7
+        assert all(value == "answer" for value, _ in results)
+        assert sum(1 for _, hit in results if not hit) == 1
+
+    def test_waiters_see_the_owners_error(self):
+        cache = PatternResultCache(4)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def boom():
+            entered.set()
+            release.wait(5)
+            raise RuntimeError("owner failed")
+
+        owner_error = []
+        waiter_error = []
+
+        def owner():
+            try:
+                cache.get_or_compute("k", boom)
+            except RuntimeError as exc:
+                owner_error.append(exc)
+
+        def waiter():
+            entered.wait(5)
+            try:
+                cache.get_or_compute("k", lambda: "never", wait_timeout=5)
+            except RuntimeError as exc:
+                waiter_error.append(exc)
+
+        threads = [threading.Thread(target=owner), threading.Thread(target=waiter)]
+        for thread in threads:
+            thread.start()
+        entered.wait(5)
+        release.set()
+        for thread in threads:
+            thread.join()
+        assert owner_error and waiter_error
+        assert str(waiter_error[0]) == "owner failed"
+
+    def test_wait_timeout_raises_task_timeout(self):
+        cache = PatternResultCache(4)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow():
+            entered.set()
+            release.wait(5)
+            return "late"
+
+        thread = threading.Thread(
+            target=lambda: cache.get_or_compute("k", slow)
+        )
+        thread.start()
+        entered.wait(5)
+        try:
+            with pytest.raises(TaskTimeoutError):
+                cache.get_or_compute("k", lambda: "never", wait_timeout=0.05)
+        finally:
+            release.set()
+            thread.join()

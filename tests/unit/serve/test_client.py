@@ -1,0 +1,110 @@
+"""ServeClient: the retry protocol against a scripted stub server."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.engine.scheduler import RetryPolicy
+from repro.errors import AdmissionError, ServeError, TaskTimeoutError
+from repro.serve.client import DEFAULT_CLIENT_POLICY, ServeClient, _error_for
+
+NO_BACKOFF = RetryPolicy(max_retries=3, backoff=0.0)
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    """Answers each request with the next scripted (status, payload) pair."""
+
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        pass
+
+    def _respond(self):
+        self.server.requests.append((self.command, self.path))
+        status, payload = self.server.script[
+            min(len(self.server.requests), len(self.server.script)) - 1
+        ]
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = _respond
+
+
+@pytest.fixture
+def stub_server():
+    """A server whose responses follow ``server.script``; yields (url, server)."""
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _StubHandler)
+    server.script = [(200, {"status": "ok"})]
+    server.requests = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_port}", server
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
+
+
+class TestErrorMapping:
+    def test_status_codes_map_to_typed_errors(self):
+        assert isinstance(_error_for(429, "full"), AdmissionError)
+        assert isinstance(_error_for(504, "slow"), TaskTimeoutError)
+        assert _error_for(503, "down").retryable
+        assert not _error_for(400, "bad").retryable
+        assert not _error_for(500, "boom").retryable
+
+
+class TestRetries:
+    def test_retries_through_429_to_success(self, stub_server):
+        url, server = stub_server
+        server.script = [
+            (429, {"error": "queue full"}),
+            (429, {"error": "queue full"}),
+            (200, {"runs": [{"run_id": "r1"}]}),
+        ]
+        client = ServeClient(url, policy=NO_BACKOFF)
+        assert client.runs() == [{"run_id": "r1"}]
+        assert len(server.requests) == 3
+
+    def test_non_retryable_error_fails_immediately(self, stub_server):
+        url, server = stub_server
+        server.script = [(400, {"error": "bad pattern"})]
+        client = ServeClient(url, policy=NO_BACKOFF)
+        with pytest.raises(ServeError) as info:
+            client.query("not-a-pattern")
+        assert "bad pattern" in str(info.value)
+        assert len(server.requests) == 1
+
+    def test_exhausted_retries_raise_the_last_error(self, stub_server):
+        url, server = stub_server
+        server.script = [(429, {"error": "still full"})]
+        client = ServeClient(url, policy=RetryPolicy(max_retries=1, backoff=0.0))
+        with pytest.raises(AdmissionError):
+            client.healthz()
+        assert len(server.requests) == 2  # first try + one retry
+
+    def test_unreachable_server_is_retryable(self):
+        client = ServeClient(
+            "http://127.0.0.1:1", policy=RetryPolicy(max_retries=0, backoff=0.0)
+        )
+        with pytest.raises(ServeError) as info:
+            client.healthz()
+        assert info.value.retryable
+
+    def test_query_posts_json_payload(self, stub_server):
+        url, server = stub_server
+        server.script = [(200, {"run_id": "r1", "result": {}})]
+        client = ServeClient(url, policy=NO_BACKOFF)
+        client.query("root{}", run_id="r1", method="eager")
+        verb, path = server.requests[0]
+        assert (verb, path) == ("POST", "/query")
+
+    def test_default_policy_bounds_attempts(self):
+        assert DEFAULT_CLIENT_POLICY.max_attempts == 4

@@ -1,0 +1,135 @@
+"""QueryPool: admission control, deadlines, accounting, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionError, ServeError, TaskTimeoutError
+from repro.serve.pool import QueryPool
+
+
+def _hold(release: threading.Event, entered: threading.Event):
+    def body():
+        entered.set()
+        release.wait(10)
+        return "held"
+
+    return body
+
+
+class TestAdmission:
+    def test_full_queue_rejects_immediately(self):
+        release = threading.Event()
+        entered = threading.Event()
+        with QueryPool(workers=1, queue_limit=1, deadline=None) as pool:
+            results = []
+            threads = [
+                threading.Thread(
+                    target=lambda: results.append(
+                        pool.run(_hold(release, entered))
+                    )
+                )
+                for _ in range(2)
+            ]
+            threads[0].start()
+            assert entered.wait(5)
+            threads[1].start()
+            # Both in-flight slots (1 worker + 1 queue) are now taken; wait
+            # until the second submission is actually pending.
+            for _ in range(100):
+                if pool.pending() == 2:
+                    break
+                threading.Event().wait(0.01)
+            assert pool.pending() == 2
+            assert pool.queue_depth() == 1
+            with pytest.raises(AdmissionError) as info:
+                pool.run(lambda: "rejected")
+            assert info.value.retryable
+            release.set()
+            for thread in threads:
+                thread.join()
+            assert results == ["held", "held"]
+            assert pool.stats.rejected == 1
+            assert pool.stats.admitted == 2
+            assert pool.stats.completed == 2
+
+    def test_zero_queue_limit_allows_workers_only(self):
+        release = threading.Event()
+        entered = threading.Event()
+        with QueryPool(workers=1, queue_limit=0, deadline=None) as pool:
+            thread = threading.Thread(
+                target=lambda: pool.run(_hold(release, entered))
+            )
+            thread.start()
+            assert entered.wait(5)
+            with pytest.raises(AdmissionError):
+                pool.run(lambda: None)
+            release.set()
+            thread.join()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ServeError):
+            QueryPool(workers=0)
+        with pytest.raises(ServeError):
+            QueryPool(queue_limit=-1)
+
+
+class TestDeadline:
+    def test_slow_request_times_out_with_504_semantics(self):
+        release = threading.Event()
+        with QueryPool(workers=1, queue_limit=0, deadline=0.05) as pool:
+            try:
+                with pytest.raises(TaskTimeoutError) as info:
+                    pool.run(lambda: release.wait(10))
+                assert info.value.retryable
+                assert pool.stats.timeouts == 1
+            finally:
+                release.set()
+
+    def test_per_call_deadline_overrides_default(self):
+        with QueryPool(workers=1, deadline=None) as pool:
+            release = threading.Event()
+            try:
+                with pytest.raises(TaskTimeoutError):
+                    pool.run(lambda: release.wait(10), deadline=0.05)
+            finally:
+                release.set()
+
+    def test_timed_out_but_queued_request_releases_its_slot(self):
+        release = threading.Event()
+        entered = threading.Event()
+        with QueryPool(workers=1, queue_limit=1, deadline=None) as pool:
+            thread = threading.Thread(
+                target=lambda: pool.run(_hold(release, entered))
+            )
+            thread.start()
+            assert entered.wait(5)
+            # This one never reaches a worker; its future is cancelled on
+            # timeout, so the pending slot must come back.
+            with pytest.raises(TaskTimeoutError):
+                pool.run(lambda: "queued", deadline=0.05)
+            assert pool.pending() == 1
+            release.set()
+            thread.join()
+            assert pool.pending() == 0
+
+
+class TestLifecycle:
+    def test_result_passes_through(self):
+        with QueryPool(workers=2) as pool:
+            assert pool.run(lambda: 21 * 2) == 42
+
+    def test_exception_passes_through(self):
+        with QueryPool(workers=2) as pool:
+            with pytest.raises(KeyError):
+                pool.run(lambda: {}["missing"])
+            assert pool.stats.completed == 1
+
+    def test_closed_pool_refuses_work(self):
+        pool = QueryPool(workers=1)
+        pool.close()
+        with pytest.raises(ServeError):
+            pool.run(lambda: None)
+        pool.close()  # idempotent
