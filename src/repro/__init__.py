@@ -11,6 +11,9 @@ This module is the library's **stable facade**: user programs import from
 * :class:`Warehouse` -- durable multi-run provenance storage,
 * :class:`ServeClient` -- typed access to a running ``repro serve`` query
   service (the server side lives in :mod:`repro.serve`),
+* the audit surface -- :func:`trace_forward` (forward provenance: inputs ->
+  derived outputs), :func:`subject_access_request`, and
+  :func:`verify_erasure` (the GDPR workflows in :mod:`repro.audit`),
 * :class:`TreePattern` (with ``parse_pattern``/``child``/``descendant``) --
   the structural query language,
 * :class:`EngineConfig` -- execution knobs (partitions, scheduler backend,
@@ -24,6 +27,7 @@ releases.
 
 import warnings
 
+from repro.audit import subject_access_request, trace_forward, verify_erasure
 from repro.core.treepattern import TreePattern, child, descendant, parse_pattern
 from repro.engine import (
     avg,
@@ -44,7 +48,7 @@ from repro.pebble import CapturedExecution, PebbleSession, query_provenance
 from repro.serve.client import ServeClient
 from repro.warehouse import Warehouse
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # primary API
@@ -59,6 +63,10 @@ __all__ = [
     "descendant",
     "parse_pattern",
     "query_provenance",
+    # audit / forward provenance
+    "trace_forward",
+    "subject_access_request",
+    "verify_erasure",
     # expression language
     "avg",
     "coalesce",

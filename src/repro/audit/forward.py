@@ -1,0 +1,497 @@
+"""Forward provenance: input items -> every derived output (the audit dual).
+
+Backtracing (Sec. 6.3) answers "which inputs produced this output?".  The
+GDPR questions run the other way: *given a data subject's input items,
+which outputs anywhere in the warehouse derive from them?*  This module
+answers that as the association-level dual of the backtrace walk: operators
+are visited in **forward** topological order and each one maps the ids of
+its frontier inputs to the output ids its association records derive from
+them.
+
+Per operator kind the forward step mirrors the backward step of
+:class:`~repro.core.backtrace.algorithms.Backtracer` exactly:
+
+* **unary / map / flatten** -- an output derives from its single recorded
+  input id;
+* **union / join** -- an output derives from each *defined* input side;
+* **distinct** -- every duplicate member derives the surviving output (the
+  backward step passes all members through unchanged);
+* **aggregation** -- an output derives from *every* group member.  This is
+  the one conservative spot: the backward direction filters members by
+  ``inProv`` (a ``collect_set`` that deduplicates may drop members), so the
+  forward answer can **over-approximate** for deduplicating collectors --
+  it never under-reports, which is the safe direction for an audit ("this
+  output may contain traces of the subject").  For all other operators,
+  and for aggregations whose members are all ``inProv`` (``collect_list``,
+  ``count``, ``min``/``max``/``sum``/``avg``), forward and backward agree
+  exactly -- the duality the property tests pin.
+
+Subjects are selected with the same tree-pattern language queries use,
+matched against the *source items* instead of the results.  With a
+persisted :class:`~repro.warehouse.index.RunIndex` the matching is
+index-assisted (TERMS postings narrow the candidates, ITEMS byte ranges
+decode only those candidates, and the closure skips every operator the
+INPUTS map proves untouched); without one everything falls back to a full
+scan.  Both paths confirm every candidate with
+:func:`~repro.core.treepattern.matcher.match_item`, so their answers are
+byte-identical -- the index is an accelerator, never an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.operator_provenance import (
+    AggregationAssociations,
+    BinaryAssociations,
+    FlattenAssociations,
+    OperatorProvenance,
+    ReadAssociations,
+    UnaryAssociations,
+)
+from repro.core.store import ProvenanceStoreProtocol
+from repro.core.treepattern.pattern import TreePattern
+from repro.engine.executor import ExecutionResult
+from repro.errors import AuditError
+from repro.nested.json_io import _jsonable
+from repro.nested.values import DataItem
+from repro.obs.log import get_logger
+from repro.obs.tracer import get_tracer
+from repro.pebble.query import as_pattern
+from repro.core.treepattern.matcher import match_item
+from repro.warehouse.index import MAX_TERM_LEN, RunIndex
+from repro.warehouse.reader import DEFAULT_CACHE_SIZE, LazyProvenanceStore
+
+__all__ = [
+    "AUDIT_METHODS",
+    "ForwardResult",
+    "ForwardTracer",
+    "SubjectMatch",
+    "load_execution",
+    "required_terms",
+    "trace_forward",
+]
+
+#: The two run-loading strategies an audit query may request (mirrors
+#: :data:`repro.serve.service.QUERY_METHODS` without importing serve).
+AUDIT_METHODS = ("lazy", "eager")
+
+
+def required_terms(pattern: TreePattern) -> set[str]:
+    """String constants every match must contain somewhere as a leaf.
+
+    A node's equality term is *required* when the node and all its
+    ancestors demand at least one occurrence (``count`` absent or with a
+    lower bound >= 1).  A ``[0,n]`` count is an upper bound -- possibly a
+    negation -- so nothing below it is required.  The result is the set of
+    necessary TERMS-index probes; an empty set means the index cannot help
+    and matching falls back to a scan.
+    """
+    terms: set[str] = set()
+
+    def visit(node: Any, positive: bool) -> None:
+        positive = positive and (node.count is None or node.count[0] >= 1)
+        if positive and isinstance(node.equals, str):
+            terms.add(node.equals)
+        for child in node.children:
+            visit(child, positive)
+
+    for child in pattern.children:
+        visit(child, True)
+    return terms
+
+
+class SubjectMatch:
+    """The items of one source that match the subject pattern."""
+
+    __slots__ = ("oid", "name", "ids")
+
+    def __init__(self, oid: int, name: str, ids: tuple[int, ...]):
+        self.oid = oid
+        self.name = name
+        #: Matched input item ids, ascending.
+        self.ids = ids
+
+    def to_json(self) -> dict[str, Any]:
+        return {"oid": self.oid, "name": self.name, "ids": list(self.ids)}
+
+    def __repr__(self) -> str:
+        return f"SubjectMatch({self.name!r}, ids={list(self.ids)})"
+
+
+class ForwardResult:
+    """One forward trace: matched inputs, reached ids, derived outputs.
+
+    ``stats`` carries the evaluation accounting (index used, operators
+    decoded/skipped); it is deliberately **excluded** from :meth:`to_json`
+    so indexed and scan answers to the same question serialise
+    byte-identically.
+    """
+
+    __slots__ = ("run_id", "pattern", "sources", "reached", "output_ids", "outputs", "stats")
+
+    def __init__(
+        self,
+        run_id: str | None,
+        pattern: str,
+        sources: list[SubjectMatch],
+        reached: frozenset[int],
+        output_ids: tuple[int, ...],
+        outputs: list[tuple[int, DataItem]],
+        stats: dict[str, Any],
+    ):
+        self.run_id = run_id
+        self.pattern = pattern
+        self.sources = sources
+        #: Every provenance id the closure reached (inputs included).
+        self.reached = reached
+        #: Sink output ids deriving from the matched inputs, ascending.
+        self.output_ids = output_ids
+        #: The derived result rows in row order.
+        self.outputs = outputs
+        self.stats = stats
+
+    @property
+    def matched_input_count(self) -> int:
+        return sum(len(source.ids) for source in self.sources)
+
+    def to_json(self, include_items: bool = True) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "direction": "forward",
+            "run_id": self.run_id,
+            "pattern": self.pattern,
+            "sources": [source.to_json() for source in self.sources],
+            "matched_inputs": self.matched_input_count,
+            "output_ids": list(self.output_ids),
+            "output_count": len(self.output_ids),
+        }
+        if include_items:
+            payload["outputs"] = [
+                {"id": pid, "item": _jsonable(item)} for pid, item in self.outputs
+            ]
+        return payload
+
+    def render(self) -> str:
+        lines = [f"forward trace of {self.pattern}"]
+        for source in self.sources:
+            lines.append(f"  {source.name}: {len(source.ids)} matched input items")
+        lines.append(
+            f"  derived outputs: {len(self.output_ids)} "
+            f"(of {len(self.outputs)} rows listed)"
+        )
+        for pid, item in self.outputs[:20]:
+            lines.append(f"    [{pid}] {item}")
+        if len(self.outputs) > 20:
+            lines.append(f"    ... {len(self.outputs) - 20} more")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ForwardResult({self.pattern!r}, inputs={self.matched_input_count}, "
+            f"outputs={len(self.output_ids)})"
+        )
+
+
+class ForwardTracer:
+    """Traces matched source items forward to every derived output.
+
+    Works over any captured execution (in-memory or warehouse-restored);
+    pass the run's :class:`RunIndex` to evaluate index-assisted.  Results
+    are byte-stable: identifiers are assigned by one deterministic executor
+    counter regardless of scheduler backend, and every collection here is
+    visited in sorted order -- so serial, threaded, and process-pool
+    captures of the same pipeline produce identical forward answers.
+    """
+
+    def __init__(self, execution: ExecutionResult, index: RunIndex | None = None):
+        if execution.store is None:
+            raise AuditError("forward tracing needs a capture-enabled execution")
+        self._execution = execution
+        self._store: ProvenanceStoreProtocol = execution.store
+        self._index = index
+
+    # -- subject matching ------------------------------------------------------
+
+    def match_sources(self, pattern: TreePattern | str) -> list[SubjectMatch]:
+        """Match *pattern* against every source's items, in oid order."""
+        tree_pattern = as_pattern(pattern)
+        topology = self._topology()
+        matches = []
+        for oid in sorted(topology):
+            if not self._store.is_source(oid):
+                continue
+            ids = self._match_source(tree_pattern, oid)
+            matches.append(SubjectMatch(oid, self._store.source_name(oid), ids))
+        return matches
+
+    def _match_source(self, pattern: TreePattern, oid: int) -> tuple[int, ...]:
+        index = self._index
+        if index is not None:
+            terms = [
+                term for term in sorted(required_terms(pattern))
+                if len(term) <= MAX_TERM_LEN
+            ]
+            if terms:
+                candidates: set[int] | None = None
+                for term in terms:
+                    ids = {
+                        item_id
+                        for source_oid, item_id in index.candidates(term)
+                        if source_oid == oid
+                    }
+                    candidates = ids if candidates is None else candidates & ids
+                    if not candidates:
+                        # TERMS is complete for in-cap terms: no postings
+                        # proves no source item can satisfy the pattern.
+                        return ()
+                confirmed = []
+                for item_id in sorted(candidates):
+                    item = self._candidate_item(oid, item_id)
+                    if match_item(pattern, item) is not None:
+                        confirmed.append(item_id)
+                return tuple(confirmed)
+        items = self._store.source_items(oid)
+        return tuple(
+            item_id
+            for item_id in sorted(items)
+            if match_item(pattern, items[item_id]) is not None
+        )
+
+    def _candidate_item(self, oid: int, item_id: int) -> DataItem:
+        """One source item, through the ITEMS byte range when available."""
+        store = self._store
+        if self._index is not None and isinstance(store, LazyProvenanceStore):
+            item = self._index.source_item(
+                store.run_dir_path, store.manifest, oid, item_id
+            )
+            if item is not None:
+                return item
+        return store.source_item(oid, item_id)
+
+    # -- the forward closure ---------------------------------------------------
+
+    def closure(self, seed_ids: Iterable[int]) -> set[int]:
+        """Every provenance id reachable forward from *seed_ids* (inclusive).
+
+        With an index, operators none of whose recorded inputs are on the
+        frontier are skipped without decoding; without one, every operator
+        decodes once in forward topological order.  Both paths compute the
+        same set: the INPUTS map is complete by construction, and by the
+        time an operator is visited all its predecessors have settled.
+        """
+        topology = self._topology()
+        order = _forward_order(topology)
+        reached: set[int] = set(seed_ids)
+        decoded = 0
+        skipped = 0
+        store = self._store
+        if self._index is not None:
+            pending: dict[int, set[int]] = {}
+
+            def feed(ids: Iterable[int]) -> None:
+                for item_id in ids:
+                    for oid in self._index.consumers(item_id):
+                        pending.setdefault(oid, set()).add(item_id)
+
+            feed(reached)
+            for oid in order:
+                if store.is_source(oid):
+                    continue
+                frontier = pending.get(oid)
+                if not frontier:
+                    skipped += 1
+                    continue
+                outputs = _emit(store.get(oid), frontier)
+                decoded += 1
+                fresh = outputs - reached
+                reached |= fresh
+                feed(fresh)
+        else:
+            for oid in order:
+                if store.is_source(oid):
+                    continue
+                reached |= _emit(store.get(oid), reached)
+                decoded += 1
+        self._last_stats = {
+            "index_used": self._index is not None,
+            "operators_decoded": decoded,
+            "operators_skipped": skipped,
+        }
+        return reached
+
+    def trace(self, pattern: TreePattern | str) -> ForwardResult:
+        """Match subjects and trace them to the sink's derived output rows."""
+        tree_pattern = as_pattern(pattern)
+        with get_tracer().span(
+            "forward-trace", "audit", pattern=tree_pattern.render()
+        ) as span:
+            sources = self.match_sources(tree_pattern)
+            seeds = [item_id for source in sources for item_id in source.ids]
+            reached = self.closure(seeds)
+            rows = self._execution.rows()
+            outputs = [
+                (pid, item) for pid, item in rows if pid is not None and pid in reached
+            ]
+            span.set(inputs=len(seeds), outputs=len(outputs))
+        return ForwardResult(
+            getattr(self._store, "run_id", None),
+            tree_pattern.render(),
+            sources,
+            frozenset(reached),
+            tuple(sorted(pid for pid, _ in outputs)),
+            outputs,
+            dict(self._last_stats),
+        )
+
+    def derived_output_ids(self, seed_ids: Iterable[int]) -> tuple[int, ...]:
+        """Sink output ids derived from raw *seed_ids* (the oracle hook)."""
+        reached = self.closure(seed_ids)
+        return tuple(
+            sorted(
+                pid
+                for pid, _ in self._execution.rows()
+                if pid is not None and pid in reached
+            )
+        )
+
+    # -- plumbing --------------------------------------------------------------
+
+    _last_stats: dict[str, Any] = {
+        "index_used": False,
+        "operators_decoded": 0,
+        "operators_skipped": 0,
+    }
+
+    def _topology(self) -> dict[int, tuple[int, ...]]:
+        store = self._store
+        if isinstance(store, LazyProvenanceStore):
+            return store.footer_topology()
+        return {
+            provenance.oid: tuple(
+                ref.predecessor
+                for ref in provenance.inputs
+                if ref.predecessor is not None
+            )
+            for provenance in store.operators()
+        }
+
+
+def _forward_order(topology: dict[int, tuple[int, ...]]) -> list[int]:
+    """Kahn's algorithm, sources first, deterministic (ascending-oid ties)."""
+    remaining = {
+        oid: sum(1 for pred in preds if pred in topology)
+        for oid, preds in topology.items()
+    }
+    successors: dict[int, list[int]] = {oid: [] for oid in topology}
+    for oid, preds in topology.items():
+        for pred in preds:
+            if pred in topology:
+                successors[pred].append(oid)
+    ready = sorted((oid for oid, count in remaining.items() if count == 0), reverse=True)
+    order: list[int] = []
+    while ready:
+        ready.sort(reverse=True)
+        oid = ready.pop()
+        order.append(oid)
+        for succ in successors[oid]:
+            remaining[succ] -= 1
+            if remaining[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(topology):
+        raise AuditError("captured operator graph contains a cycle")
+    return order
+
+
+def _emit(provenance: OperatorProvenance, frontier: set[int]) -> set[int]:
+    """Output ids one operator derives from frontier input ids."""
+    associations = provenance.associations
+    outputs: set[int] = set()
+    if isinstance(associations, ReadAssociations):
+        return outputs
+    if isinstance(associations, UnaryAssociations):
+        for id_in, id_out in associations.records:
+            if id_in in frontier:
+                outputs.add(id_out)
+    elif isinstance(associations, FlattenAssociations):
+        for id_in, _pos, id_out in associations.records:
+            if id_in in frontier:
+                outputs.add(id_out)
+    elif isinstance(associations, BinaryAssociations):
+        for id_in1, id_in2, id_out in associations.records:
+            if (id_in1 is not None and id_in1 in frontier) or (
+                id_in2 is not None and id_in2 in frontier
+            ):
+                outputs.add(id_out)
+    elif isinstance(associations, AggregationAssociations):
+        for members, id_out in associations.records:
+            if any(member in frontier for member in members):
+                outputs.add(id_out)
+    else:  # pragma: no cover -- new association kinds must be handled here
+        raise AuditError(
+            f"cannot trace forward through {type(associations).__name__}"
+        )
+    return outputs
+
+
+def load_execution(
+    warehouse: Any,
+    run_id: str | None = None,
+    method: str = "lazy",
+    num_partitions: int | None = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+) -> tuple[Any, ExecutionResult]:
+    """Restore ``(record, execution)`` with the lazy or eager strategy.
+
+    ``eager`` widens the segment cache to the whole run and decodes every
+    operator and source-item block up front -- the paper's eager query
+    evaluation, so audits over it never touch disk.
+    """
+    if method not in AUDIT_METHODS:
+        raise AuditError(
+            f"unknown audit method {method!r}; expected one of {AUDIT_METHODS}"
+        )
+    record = warehouse.resolve(run_id)
+    if method == "eager":
+        cache_size = max(cache_size, record.operator_count)
+    execution = warehouse.load(
+        record.run_id, num_partitions=num_partitions, cache_size=cache_size
+    )
+    if method == "eager":
+        store = execution.store
+        assert isinstance(store, LazyProvenanceStore)
+        for oid in sorted(store.size_report().per_operator):
+            store.get(oid)
+            if store.is_source(oid):
+                store.source_items(oid)
+    return record, execution
+
+
+def trace_forward(
+    warehouse: Any,
+    pattern: TreePattern | str,
+    run_id: str | None = None,
+    method: str = "lazy",
+    use_index: bool = True,
+    num_partitions: int | None = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+) -> ForwardResult:
+    """One warehouse-level forward trace (load, index, trace, log)."""
+    record, execution = load_execution(
+        warehouse,
+        run_id,
+        method=method,
+        num_partitions=num_partitions,
+        cache_size=cache_size,
+    )
+    index = warehouse.load_index(record.run_id) if use_index else None
+    tracer = ForwardTracer(execution, index)
+    result = tracer.trace(pattern)
+    get_logger(record.run_id).event(
+        "forward-trace",
+        pattern=result.pattern,
+        method=method,
+        matched_inputs=result.matched_input_count,
+        outputs=len(result.output_ids),
+        **result.stats,
+    )
+    return result

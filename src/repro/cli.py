@@ -20,6 +20,12 @@ Usage (also via ``python -m repro``)::
     python -m repro bench serve --url http://127.0.0.1:9410
     python -m repro stats --remote http://127.0.0.1:9410
 
+    python -m repro index build --root /tmp/wh         # backfill audit index
+    python -m repro trace-forward --root /tmp/wh --pattern 'root{//id_str="lp"}'
+    python -m repro audit sar u1 u2 --root /tmp/wh     # subject-access request
+    python -m repro audit erasure u1 --root /tmp/wh    # erasure receipt
+    python -m repro bench audit --subjects 2000        # indexed vs scan sweep
+
 Most execution commands accept ``--trace PATH`` to write a Chrome
 trace-event JSON of the run (loadable in Perfetto / ``chrome://tracing``).
 """
@@ -69,9 +75,14 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Pebble reproduction: structural provenance for nested data",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -116,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "figure",
         choices=[
-            "fig6", "fig7", "fig8", "fig9", "titian", "operators", "ablation", "serve",
+            "fig6", "fig7", "fig8", "fig9", "titian", "operators", "ablation",
+            "serve", "audit",
         ],
     )
     bench.add_argument("--scale", type=float, default=1.0)
@@ -141,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--report", default=None, metavar="PATH",
                              help="write the latency report JSON (+ .txt) here "
                                   "(default: benchmarks/results/serve_bench.json)")
+    audit_bench = bench.add_argument_group("audit", "options for `bench audit`")
+    audit_bench.add_argument("--scenarios", default="T1,D1",
+                             help="comma-separated scenario names to record and sweep")
+    audit_bench.add_argument("--subjects", type=int, default=2000,
+                             help="subject probes per scenario (cycled over the pool)")
+    audit_bench.add_argument("--subject-pool", type=int, default=500,
+                             help="distinct subjects harvested from source items")
 
     heatmap = commands.add_parser("heatmap", help="Fig. 10 usage heatmap over D1-D5")
     heatmap.add_argument("--scale", type=float, default=0.5)
@@ -160,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     wh_record.add_argument("--partitions", type=int, default=None,
                            help="partition count (default: engine default)")
     wh_record.add_argument("--run-name", default=None, help="catalog name (default: scenario)")
+    wh_record.add_argument("--no-index", action="store_true",
+                           help="skip building the forward/audit index at record time "
+                           "(backfill later with `repro index build`)")
     wh_record.add_argument("--trace", default=None, metavar="PATH",
                            help="write a Chrome trace-event JSON of the run + record")
 
@@ -186,6 +208,82 @@ def build_parser() -> argparse.ArgumentParser:
     wh_query.add_argument("--cache-size", type=int, default=64)
     wh_query.add_argument("--trace", default=None, metavar="PATH",
                           help="write a Chrome trace-event JSON of the query")
+
+    index = commands.add_parser(
+        "index", help="manage the persisted per-run forward/audit indexes"
+    )
+    index_commands = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_commands.add_parser(
+        "build", help="build (or rebuild) the index of a stored run"
+    )
+    index_build.add_argument("run", nargs="?", default=None,
+                             help="run id or name (default: newest run)")
+    index_build.add_argument("--root", required=True, help="warehouse root directory")
+    index_build.add_argument("--force", action="store_true",
+                             help="rebuild even if an index already exists")
+    index_info = index_commands.add_parser(
+        "info", help="show whether a run is indexed and the index sections"
+    )
+    index_info.add_argument("run", nargs="?", default=None,
+                            help="run id or name (default: newest run)")
+    index_info.add_argument("--root", required=True, help="warehouse root directory")
+
+    forward = commands.add_parser(
+        "trace-forward",
+        help="forward provenance: which outputs derive from matching inputs",
+    )
+    forward.add_argument("run", nargs="?", default=None,
+                         help="run id or name (default: newest run)")
+    forward.add_argument("--pattern", required=True,
+                         help="tree pattern over the source items, "
+                         "e.g. 'root{//id_str=\"lp\"}'")
+    forward.add_argument("--root", required=True, help="warehouse root directory")
+    forward.add_argument("--method", choices=["lazy", "eager"], default="lazy")
+    forward.add_argument("--no-index", action="store_true",
+                         help="ignore any persisted index (full scan)")
+    forward.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the JSON answer instead of the text rendering")
+    forward.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a Chrome trace-event JSON of the trace")
+
+    audit = commands.add_parser(
+        "audit", help="GDPR workflows: subject-access requests, erasure checks"
+    )
+    audit_commands = audit.add_subparsers(dest="audit_command", required=True)
+
+    def _audit_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("subjects", nargs="*",
+                         help="subject identifiers (or use --subjects-file)")
+        sub.add_argument("--subjects-file", default=None, metavar="PATH",
+                         help="file with one subject identifier per line")
+        sub.add_argument("--root", required=True, help="warehouse root directory")
+        sub.add_argument("--run", action="append", default=None, dest="runs",
+                         help="restrict to this run id or name (repeatable; "
+                         "default: every catalogued run)")
+        sub.add_argument("--template", default=None,
+                         help="pattern template with a {subject} placeholder "
+                         "(default: any string leaf equals the subject)")
+        sub.add_argument("--method", choices=["lazy", "eager"], default="lazy")
+        sub.add_argument("--no-index", action="store_true",
+                         help="ignore persisted indexes (full scan)")
+        sub.add_argument("--report", default=None, metavar="PATH",
+                         help="also write the JSON report here")
+
+    audit_sar = audit_commands.add_parser(
+        "sar", help="bulk subject-access request over stored runs"
+    )
+    _audit_common(audit_sar)
+    audit_sar.add_argument("--page", type=int, default=1)
+    audit_sar.add_argument("--page-size", type=int, default=100)
+    audit_sar.add_argument("--include-items", action="store_true",
+                           help="embed the derived output items in the report")
+
+    audit_erasure = audit_commands.add_parser(
+        "erasure",
+        help="verify nothing derives from the subjects any more "
+        "(exit 0 clean, 1 residuals found)",
+    )
+    _audit_common(audit_erasure)
 
     stats = commands.add_parser(
         "stats", help="print the metrics registry describing a stored run"
@@ -428,11 +526,16 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
             pipeline = spec.build(session, load_workload(spec.kind, args.scale))
         with _trace_to(args.trace):
             execution = pipeline.execute(capture=True)
-            record = warehouse.record(execution, name=args.run_name or args.name)
+            record = warehouse.record(
+                execution,
+                name=args.run_name or args.name,
+                index=not args.no_index,
+            )
         print(f"recorded {record.run_id} ({record.name})")
         print(f"  operators: {record.operator_count}")
         print(f"  rows:      {record.row_count}")
         print(f"  bytes:     {record.total_bytes}")
+        print(f"  indexed:   {'yes' if record.indexed else 'no'}")
         return 0
 
     if args.warehouse_command == "ls":
@@ -502,6 +605,137 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.warehouse import RunIndex, Warehouse
+    from repro.warehouse.reader import load_manifest
+
+    warehouse = Warehouse.open(args.root)
+    record = warehouse.resolve(args.run)
+
+    if args.index_command == "build":
+        entry = warehouse.build_index(record.run_id, force=args.force)
+        print(f"indexed {record.run_id}: "
+              f"{entry['inputs']} input ids, {entry['terms']} terms, "
+              f"{entry['items']} item ranges, {entry['paths']} paths "
+              f"({entry['segment_bytes']} bytes)")
+        return 0
+
+    if args.index_command == "info":
+        manifest = load_manifest(warehouse.run_dir(record.run_id))
+        index = RunIndex.load(warehouse.run_dir(record.run_id), manifest)
+        if index is None:
+            print(f"{record.run_id}: not indexed "
+                  f"(forward/audit queries fall back to a full scan)")
+            return 0
+        print(f"{record.run_id}: {json.dumps(index.summary())}")
+        return 0
+
+    raise AssertionError(
+        f"unhandled index command {args.index_command!r}"
+    )  # pragma: no cover
+
+
+def _cmd_trace_forward(args: argparse.Namespace) -> int:
+    from repro.warehouse import Warehouse
+
+    warehouse = Warehouse.open(args.root)
+    with _trace_to(args.trace):
+        result = warehouse.forward(
+            args.run,
+            args.pattern,
+            method=args.method,
+            use_index=not args.no_index,
+        )
+    if args.as_json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        stats = result.stats
+        print(f"\nindex: {'used' if stats['index_used'] else 'absent (full scan)'}  "
+              f"operators decoded: {stats['operators_decoded']}  "
+              f"skipped: {stats['operators_skipped']}")
+    return 0
+
+
+def _audit_subjects(args: argparse.Namespace) -> list[str]:
+    subjects = list(args.subjects)
+    if args.subjects_file:
+        with open(args.subjects_file, "r", encoding="utf-8") as handle:
+            subjects.extend(
+                line.strip() for line in handle if line.strip()
+            )
+    if not subjects:
+        raise SystemExit("audit: no subjects given (arguments or --subjects-file)")
+    return subjects
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import (
+        DEFAULT_SUBJECT_TEMPLATE,
+        subject_access_request,
+        verify_erasure,
+    )
+    from repro.warehouse import Warehouse
+
+    warehouse = Warehouse.open(args.root)
+    subjects = _audit_subjects(args)
+    template = args.template or DEFAULT_SUBJECT_TEMPLATE
+
+    if args.audit_command == "sar":
+        report = subject_access_request(
+            warehouse,
+            subjects,
+            runs=args.runs,
+            template=template,
+            method=args.method,
+            page=args.page,
+            page_size=args.page_size,
+            use_index=not args.no_index,
+            include_items=args.include_items,
+        )
+        print(f"subject-access request: page {report['page']}/{report['pages']}, "
+              f"{report['total_subjects']} subject(s)")
+        for entry in report["subjects"]:
+            print(f"  {entry['subject']}: {entry['total_outputs']} derived output(s) "
+                  f"across {entry['run_count']} run(s)")
+            for run in entry["runs"]:
+                print(f"    {run['run_id']}: {run['matched_inputs']} input item(s) "
+                      f"-> {run['output_count']} output(s)")
+        if args.report:
+            _write_json(args.report, report)
+        return 0
+
+    if args.audit_command == "erasure":
+        report = verify_erasure(
+            warehouse,
+            subjects,
+            runs=args.runs,
+            template=template,
+            method=args.method,
+            use_index=not args.no_index,
+        )
+        verdict = "CLEAN" if report["clean"] else "RESIDUALS FOUND"
+        print(f"erasure verification: {verdict} "
+              f"({report['subject_count']} subject(s), "
+              f"{len(report['runs_checked'])} run(s))")
+        for finding in report["subjects"]:
+            if finding["clean"]:
+                print(f"  {finding['subject']}: clean")
+            else:
+                for residual in finding["residuals"]:
+                    print(f"  {finding['subject']}: {residual['matched_inputs']} "
+                          f"input item(s) still feed {len(residual['output_ids'])} "
+                          f"output(s) in {residual['run_id']}")
+        print(f"digest: sha256:{report['digest']}")
+        if args.report:
+            _write_json(args.report, report)
+        return 0 if report["clean"] else 1
+
+    raise AssertionError(
+        f"unhandled audit command {args.audit_command!r}"
+    )  # pragma: no cover
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     if args.remote and args.root:
         print("stats: use either --root or --remote, not both", file=sys.stderr)
@@ -556,14 +790,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving warehouse {service.warehouse.root} at {server.url}")
         print(f"  workers: {config.workers}  queue limit: {config.queue_limit}  "
               f"deadline: {config.deadline or 'none'}s")
-        print("  endpoints: /healthz /runs /runs/<id> /stats /metrics POST /query")
+        print("  endpoints: /healthz /runs /runs/<id> /stats /metrics "
+              "POST /query /forward /audit/sar")
         # Supervisors read the banner through a pipe; don't sit in the buffer.
         sys.stdout.flush()
+        server.install_signal_handlers()
         try:
             server.serve_forever()
         except KeyboardInterrupt:
-            print("\nshutting down")
+            pass  # direct ^C before the handler was armed: same clean path
         finally:
+            if server.signalled is not None:
+                print("\nshutting down (signal), draining queries")
+            else:
+                print("\nshutting down")
+            sys.stdout.flush()
             server.close()
     return 0
 
@@ -587,6 +828,39 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if report.completed else 1
 
 
+def _cmd_bench_audit(args: argparse.Namespace) -> int:
+    from repro.audit.bench import render_audit_report, run_audit_bench, write_audit_report
+
+    scenarios = tuple(
+        name.strip() for name in args.scenarios.split(",") if name.strip()
+    )
+    for name in scenarios:
+        if name not in SCENARIOS:
+            print(f"bench audit: unknown scenario {name!r}", file=sys.stderr)
+            return 2
+    report = run_audit_bench(
+        scenarios=scenarios,
+        scale=args.scale,
+        subjects=args.subjects,
+        subject_pool=args.subject_pool,
+    )
+    print(render_audit_report(report))
+    json_path, text_path = write_audit_report(
+        report, args.report or "benchmarks/results/audit_bench.json"
+    )
+    print(f"wrote {json_path} and {text_path}")
+    slower = [
+        entry["scenario"]
+        for entry in report["scenarios"]
+        if entry["indexed"]["wall_seconds"] >= entry["scan"]["wall_seconds"]
+    ]
+    if slower:
+        print(f"bench audit: index no faster than scan on {', '.join(slower)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -603,12 +877,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "bench":
         if args.figure == "serve":
             return _cmd_bench_serve(args)
+        if args.figure == "audit":
+            return _cmd_bench_audit(args)
         with _trace_to(args.trace):
             return _cmd_bench(args.figure, args.scale, args.repeats, args.metrics_json)
     if args.command == "heatmap":
         return _cmd_heatmap(args.scale, args.items)
     if args.command == "warehouse":
         return _cmd_warehouse(args)
+    if args.command == "index":
+        return _cmd_index(args)
+    if args.command == "trace-forward":
+        return _cmd_trace_forward(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "serve":

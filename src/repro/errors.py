@@ -100,6 +100,10 @@ class BacktraceError(ProvenanceError):
     """Backtracing could not complete (missing operator provenance, ...)."""
 
 
+class AuditError(ProvenanceError):
+    """An audit operation (forward trace, SAR, erasure check) failed."""
+
+
 class TreePatternError(ReproError):
     """A tree pattern is invalid."""
 

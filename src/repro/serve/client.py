@@ -94,6 +94,42 @@ class ServeClient:
         body, _ = self._request("POST", "/query", payload)
         return json.loads(body)
 
+    def forward(
+        self,
+        pattern: str,
+        run_id: str | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        """Forward-trace *pattern*: matched source items -> derived outputs."""
+        payload: dict[str, Any] = {"pattern": pattern, "method": method}
+        if run_id:
+            payload["run"] = run_id
+        body, _ = self._request("POST", "/forward", payload)
+        return json.loads(body)
+
+    def sar(
+        self,
+        subjects: list[str],
+        template: str | None = None,
+        run_id: str | None = None,
+        method: str = "lazy",
+        page: int = 1,
+        page_size: int = 100,
+    ) -> dict[str, Any]:
+        """One bulk subject-access request (page *page* of the report)."""
+        payload: dict[str, Any] = {
+            "subjects": subjects,
+            "method": method,
+            "page": page,
+            "page_size": page_size,
+        }
+        if template is not None:
+            payload["template"] = template
+        if run_id:
+            payload["run"] = run_id
+        body, _ = self._request("POST", "/audit/sar", payload)
+        return json.loads(body)
+
     def metrics_text(self) -> str:
         body, _ = self._request("GET", "/metrics")
         return body.decode("utf-8")

@@ -8,6 +8,11 @@ Endpoints (all JSON unless noted)::
     GET  /stats[?run=ID][&format=prometheus]
                                   the per-run registry `repro stats` renders
     POST /query                   {"pattern": ..., "run": ..., "method": ...}
+    POST /forward                 {"pattern": ..., "run": ..., "method": ...}
+                                  forward trace: matched inputs -> outputs
+    POST /audit/sar               {"subjects": [...], "template": ...,
+                                   "run": ..., "method": ...,
+                                   "page": ..., "page_size": ...}
     GET  /metrics                 Prometheus text exposition (whole process)
 
 Error mapping (one JSON body ``{"error": ..., "kind": ...}``):
@@ -37,6 +42,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
     AdmissionError,
+    AuditError,
     ProvenanceError,
     ServeError,
     TaskTimeoutError,
@@ -58,7 +64,7 @@ def error_status(exc: BaseException) -> int:
         return 429
     if isinstance(exc, TaskTimeoutError):
         return 504
-    if isinstance(exc, (ServeError, TreePatternError)):
+    if isinstance(exc, (ServeError, TreePatternError, AuditError)):
         return 400
     if isinstance(exc, ProvenanceError):
         return 404
@@ -167,6 +173,10 @@ class _Handler(BaseHTTPRequestHandler):
             return "/metrics", lambda: self._metrics()
         if verb == "POST" and segments == ["query"]:
             return "/query", lambda: self._query()
+        if verb == "POST" and segments == ["forward"]:
+            return "/forward", lambda: self._forward()
+        if verb == "POST" and segments == ["audit", "sar"]:
+            return "/audit/sar", lambda: self._sar()
         raise ProvenanceError(f"no such route: {verb} {'/' + '/'.join(segments)}")
 
     # -- endpoint bodies (each returns the response status) --------------------
@@ -202,6 +212,38 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, payload)
         return 200
 
+    def _forward(self) -> int:
+        body = self._read_body()
+        pattern = body.get("pattern")
+        if not isinstance(pattern, str):
+            raise ServeError("forward query needs a 'pattern' string")
+        payload = self.server.service.forward(
+            pattern,
+            run_id=body.get("run"),
+            method=body.get("method", "lazy"),
+        )
+        self._send_json(200, payload)
+        return 200
+
+    def _sar(self) -> int:
+        body = self._read_body()
+        subjects = body.get("subjects")
+        if not isinstance(subjects, list):
+            raise ServeError("sar needs a 'subjects' list")
+        kwargs: dict[str, Any] = {}
+        if "template" in body:
+            kwargs["template"] = body["template"]
+        payload = self.server.service.sar(
+            subjects,
+            run_id=body.get("run"),
+            method=body.get("method", "lazy"),
+            page=int(body.get("page", 1)),
+            page_size=int(body.get("page_size", 100)),
+            **kwargs,
+        )
+        self._send_json(200, payload)
+        return 200
+
 
 class ProvenanceServer:
     """The long-running server: binds, serves, and shuts down cleanly.
@@ -223,6 +265,7 @@ class ProvenanceServer:
         port = port if port is not None else service.config.port
         self._httpd = _ServeHTTPServer((host, port), service)
         self._thread: threading.Thread | None = None
+        self._signalled: int | None = None
 
     @property
     def host(self) -> str:
@@ -253,7 +296,38 @@ class ProvenanceServer:
         """Serve on the calling thread until interrupted or shut down."""
         self._httpd.serve_forever(poll_interval=0.1)
 
+    def install_signal_handlers(self) -> None:
+        """Make SIGINT/SIGTERM end :meth:`serve_forever` gracefully.
+
+        The handler may not call ``shutdown()`` directly -- it would
+        deadlock: ``shutdown`` blocks until the ``serve_forever`` loop (the
+        very frame the signal interrupted) acknowledges.  A short-lived
+        thread issues it instead, ``serve_forever`` returns, and the CLI's
+        ``finally: server.close()`` runs the ordinary drain-and-flush path.
+        Only callable from the main thread (CPython delivers signals there).
+        """
+        import signal
+
+        def _handle(signum: int, _frame: Any) -> None:
+            if self._signalled is not None:
+                return  # second signal while draining: already on our way out
+            self._signalled = signum
+            get_logger("serve").event("serve-signal", signal=signal.Signals(signum).name)
+            threading.Thread(
+                target=self._httpd.shutdown, name="repro-serve-shutdown", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGINT, _handle)
+        signal.signal(signal.SIGTERM, _handle)
+
+    @property
+    def signalled(self) -> int | None:
+        """The signal number that triggered shutdown, if any."""
+        return self._signalled
+
     def close(self) -> None:
+        # shutdown() is safe to repeat: after a signal already stopped the
+        # serve loop, the stop-event remains set and this returns at once.
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5)

@@ -36,11 +36,13 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.audit.forward import ForwardTracer
+from repro.audit.sar import DEFAULT_SUBJECT_TEMPLATE, sar_over_tracers
 from repro.core.backtrace.result import ProvenanceResult
 from repro.engine.executor import ExecutionResult
 from repro.errors import ServeError
 from repro.obs.log import get_logger
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import Counter, MetricsRegistry, get_registry
 from repro.obs.tracer import get_tracer
 from repro.pebble.query import query_provenance
 from repro.serve.cache import PatternResultCache
@@ -79,6 +81,13 @@ class ServeConfig:
         return self.deadline if self.deadline else None
 
 
+def _suffix(labels: tuple[tuple[str, str], ...]) -> str:
+    """A flat ``{k=v,...}`` rendering for shutdown-event counter names."""
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{key}={value}" for key, value in labels) + "}"
+
+
 def result_to_json(result: ProvenanceResult) -> dict[str, Any]:
     """A deterministic JSON view of a provenance query answer.
 
@@ -114,12 +123,20 @@ def result_to_json(result: ProvenanceResult) -> dict[str, Any]:
 class _ResidentRun:
     """One loaded (run, method) pair shared across request threads."""
 
-    __slots__ = ("execution", "method", "loaded_at")
+    __slots__ = ("execution", "method", "loaded_at", "index")
 
-    def __init__(self, execution: ExecutionResult, method: str):
+    def __init__(self, execution: ExecutionResult, method: str, index: Any = None):
         self.execution = execution
         self.method = method
         self.loaded_at = time.time()
+        #: The run's persisted :class:`~repro.warehouse.index.RunIndex`, or
+        #: ``None`` when the run was recorded unindexed (forward traces then
+        #: fall back to a full scan; answers are identical either way).
+        self.index = index
+
+    def forward_tracer(self) -> ForwardTracer:
+        """A fresh tracer per request: per-trace stats stay un-shared."""
+        return ForwardTracer(self.execution, self.index)
 
     @property
     def store(self) -> LazyProvenanceStore:
@@ -150,6 +167,7 @@ class QueryService:
         self._load_lock = threading.Lock()
         self._catalog_sig = self._catalog_signature()
         self._started = time.time()
+        self._closed = False
         #: Test instrumentation: called on the worker thread before each
         #: query executes (lets tests hold workers busy deterministically).
         self.query_hook: Callable[[], None] | None = None
@@ -215,8 +233,19 @@ class QueryService:
         return summary
 
     def run_stats(self, run_id: str | None = None) -> MetricsRegistry:
-        """The per-run registry ``repro stats`` renders, served remotely."""
-        return self.warehouse.stats(run_id, registry=MetricsRegistry())
+        """The per-run registry ``repro stats`` renders, served remotely.
+
+        Serve-side counters (queries, forward traces, SARs, requests) are
+        folded in after the warehouse figures, so ``repro stats --remote``
+        shows what this server has answered, not just what is stored.
+        """
+        registry = self.warehouse.stats(run_id, registry=MetricsRegistry())
+        for metric in self.registry.metrics():
+            if isinstance(metric, Counter) and metric.name.startswith("repro_serve_"):
+                copy = registry.counter(metric.name, **dict(metric.labels))
+                if metric.value:
+                    copy.inc(metric.value)
+        return registry
 
     # -- the query path --------------------------------------------------------
 
@@ -281,6 +310,159 @@ class QueryService:
             "query_seconds": seconds,
         }
 
+    # -- the audit path --------------------------------------------------------
+
+    def forward(
+        self,
+        pattern: str,
+        run_id: str | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        """Answer one forward provenance query (inputs -> derived outputs).
+
+        Same machinery as :meth:`query` -- admission control, deadline,
+        pattern-result cache -- with a direction-prefixed cache key so a
+        forward and a backward query over the same pattern never collide.
+        """
+        if method not in QUERY_METHODS:
+            raise ServeError(
+                f"unknown query method {method!r}; expected one of {QUERY_METHODS}"
+            )
+        if not isinstance(pattern, str) or not pattern.strip():
+            raise ServeError("forward query needs a non-empty 'pattern' string")
+        record = self.warehouse.resolve(run_id)
+        key = ("forward", record.run_id, pattern, method)
+        started = time.perf_counter()
+        deadline = self.config.effective_deadline()
+        payload, was_hit = self.cache.get_or_compute(
+            key,
+            lambda: self.pool.run(
+                lambda: self._execute_forward(record.run_id, pattern, method),
+                deadline,
+            ),
+            wait_timeout=deadline,
+        )
+        elapsed = time.perf_counter() - started
+        self.registry.counter(
+            "repro_serve_forward_queries_total", method=method
+        ).inc()
+        return dict(payload, server={"cached": was_hit, "seconds": elapsed})
+
+    def _execute_forward(self, run_id: str, pattern: str, method: str) -> dict[str, Any]:
+        if self.query_hook is not None:
+            self.query_hook()
+        with get_tracer().span(
+            "serve-forward", "serve", run_id=run_id, pattern=pattern, method=method
+        ) as span:
+            resident = self._resident(run_id, method)
+            started = time.perf_counter()
+            result = resident.forward_tracer().trace(pattern)
+            seconds = time.perf_counter() - started
+            span.set(outputs=len(result.output_ids), **result.stats)
+        get_logger(run_id).event(
+            "serve-forward",
+            pattern=pattern,
+            method=method,
+            matched_inputs=result.matched_input_count,
+            outputs=len(result.output_ids),
+            seconds=seconds,
+            **result.stats,
+        )
+        return {
+            "run_id": run_id,
+            "pattern": pattern,
+            "method": method,
+            "result": result.to_json(),
+            "query_seconds": seconds,
+        }
+
+    def sar(
+        self,
+        subjects: list[str],
+        template: str = DEFAULT_SUBJECT_TEMPLATE,
+        run_id: str | None = None,
+        method: str = "lazy",
+        page: int = 1,
+        page_size: int = 100,
+    ) -> dict[str, Any]:
+        """One bulk subject-access request over the resident warehouse.
+
+        ``run_id=None`` spans every catalogued run.  The whole report is one
+        pooled task (one admission slot, one deadline) and one cache entry
+        keyed by the full request shape, so repeating a page is free until
+        the catalog changes.
+        """
+        if method not in QUERY_METHODS:
+            raise ServeError(
+                f"unknown query method {method!r}; expected one of {QUERY_METHODS}"
+            )
+        if not isinstance(subjects, list) or not subjects or not all(
+            isinstance(subject, str) and subject for subject in subjects
+        ):
+            raise ServeError("sar needs a non-empty 'subjects' list of strings")
+        if run_id is None:
+            run_ids = tuple(record.run_id for record in self.warehouse.runs())
+        else:
+            run_ids = (self.warehouse.resolve(run_id).run_id,)
+        key = (
+            "sar",
+            run_ids,
+            tuple(sorted(set(subjects))),
+            template,
+            method,
+            page,
+            page_size,
+        )
+        started = time.perf_counter()
+        deadline = self.config.effective_deadline()
+        payload, was_hit = self.cache.get_or_compute(
+            key,
+            lambda: self.pool.run(
+                lambda: self._execute_sar(
+                    run_ids, subjects, template, method, page, page_size
+                ),
+                deadline,
+            ),
+            wait_timeout=deadline,
+        )
+        elapsed = time.perf_counter() - started
+        self.registry.counter("repro_serve_sar_requests_total").inc()
+        return dict(payload, server={"cached": was_hit, "seconds": elapsed})
+
+    def _execute_sar(
+        self,
+        run_ids: tuple[str, ...],
+        subjects: list[str],
+        template: str,
+        method: str,
+        page: int,
+        page_size: int,
+    ) -> dict[str, Any]:
+        if self.query_hook is not None:
+            self.query_hook()
+        with get_tracer().span(
+            "serve-sar", "serve", runs=len(run_ids), subjects=len(subjects)
+        ) as span:
+            tracers = [
+                (run_id, self._resident(run_id, method).forward_tracer())
+                for run_id in run_ids
+            ]
+            started = time.perf_counter()
+            report = sar_over_tracers(
+                tracers, subjects, template=template, page=page, page_size=page_size
+            )
+            seconds = time.perf_counter() - started
+            span.set(page=page, total_subjects=report["total_subjects"])
+        get_logger("serve").event(
+            "serve-sar",
+            runs=len(run_ids),
+            subjects=report["total_subjects"],
+            page=page,
+            method=method,
+            seconds=seconds,
+        )
+        return {"method": method, "report": report, "query_seconds": seconds}
+
     def _resident(self, run_id: str, method: str) -> _ResidentRun:
         """The shared execution for ``(run_id, method)``, loading on first use."""
         key = (run_id, method)
@@ -304,7 +486,8 @@ class QueryService:
                     num_partitions=self.config.num_partitions,
                     cache_size=cache_size,
                 )
-                resident = _ResidentRun(execution, method)
+                index = self.warehouse.load_index(run_id)
+                resident = _ResidentRun(execution, method, index)
                 if method == "eager":
                     self._materialise(resident.store)
             self._residents[key] = resident
@@ -357,7 +540,30 @@ class QueryService:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
+        """Drain the pool and flush final counters; safe to call twice.
+
+        Part of graceful shutdown: in-flight queries finish (the pool closes
+        with ``wait=True``), then a last ``serve-shutdown`` event carrying
+        the final ``/metrics`` counter values lands in the structured run
+        log -- the numbers a scraper would have seen on its next pass.
+        """
+        with self._load_lock:
+            if self._closed:
+                return
+            self._closed = True
         self.pool.close()
+        self.publish_gauges()
+        counters = {
+            metric.name + _suffix(metric.labels): metric.value
+            for metric in self.registry.metrics()
+            if isinstance(metric, Counter) and metric.name.startswith("repro_serve_")
+        }
+        get_logger("serve").event(
+            "serve-shutdown",
+            uptime_seconds=time.time() - self._started,
+            resident_runs=len(self._residents),
+            counters=counters,
+        )
 
     def __enter__(self) -> "QueryService":
         return self

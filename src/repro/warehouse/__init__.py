@@ -15,12 +15,16 @@ Modules:
 * :mod:`~repro.warehouse.catalog` -- the JSON run registry,
 * :mod:`~repro.warehouse.reader` -- :class:`LazyProvenanceStore` with an
   LRU segment cache and hit/miss metrics,
+* :mod:`~repro.warehouse.index` -- the persisted per-run query index
+  (inverted input ids, source-item terms and byte ranges, A/M paths)
+  backing forward tracing and the ``repro.audit`` subsystem,
 * :mod:`~repro.warehouse.service` -- the :class:`Warehouse` facade used by
   the Pebble API and the CLI.
 """
 
 from repro.warehouse.catalog import Catalog, RunRecord
+from repro.warehouse.index import RunIndex, ensure_index
 from repro.warehouse.reader import LazyProvenanceStore
 from repro.warehouse.service import Warehouse
 
-__all__ = ["Warehouse", "Catalog", "RunRecord", "LazyProvenanceStore"]
+__all__ = ["Warehouse", "Catalog", "RunRecord", "LazyProvenanceStore", "RunIndex", "ensure_index"]

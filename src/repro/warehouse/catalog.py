@@ -32,6 +32,7 @@ class RunRecord:
         "operator_count",
         "row_count",
         "total_bytes",
+        "indexed",
     )
 
     def __init__(
@@ -43,6 +44,7 @@ class RunRecord:
         operator_count: int,
         row_count: int,
         total_bytes: int,
+        indexed: bool = False,
     ):
         self.run_id = run_id
         self.name = name
@@ -53,6 +55,9 @@ class RunRecord:
         self.row_count = row_count
         #: Bytes of all segments on disk (operators + rows).
         self.total_bytes = total_bytes
+        #: Whether the run carries a persisted ``index.seg`` (forward/audit
+        #: queries fall back to a full scan when false).
+        self.indexed = indexed
 
     def created_iso(self) -> str:
         return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.created))
@@ -66,6 +71,7 @@ class RunRecord:
             "operator_count": self.operator_count,
             "row_count": self.row_count,
             "total_bytes": self.total_bytes,
+            "indexed": self.indexed,
         }
 
     @classmethod
@@ -78,6 +84,9 @@ class RunRecord:
             obj["operator_count"],
             obj["row_count"],
             obj["total_bytes"],
+            # Pre-1.3 catalogs have no flag; such runs may still be indexed
+            # on disk (RunIndex.load checks the manifest, the ground truth).
+            obj.get("indexed", False),
         )
 
     def __repr__(self) -> str:

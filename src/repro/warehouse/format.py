@@ -50,6 +50,7 @@ __all__ = [
     "FORMAT_VERSION",
     "SEGMENT_OPERATOR",
     "SEGMENT_ROWS",
+    "SEGMENT_INDEX",
     "NONE_ID",
     "Cursor",
     "kind_name",
@@ -70,6 +71,7 @@ FORMAT_VERSION = 2  # version 1 was the whole-document JSON format
 
 SEGMENT_OPERATOR = 1
 SEGMENT_ROWS = 2
+SEGMENT_INDEX = 3
 
 #: Sentinel for an absent optional identifier (union/outer-join sides).  A
 #: real id of 0 is legitimate, so absence needs its own code point.

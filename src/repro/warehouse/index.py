@@ -1,0 +1,363 @@
+"""Persisted warehouse indexes: the query-side acceleration structures.
+
+Backtracing reads a run from the sink downwards, so the footer index
+(``manifest.json``) is enough to make it sublinear: only reachable
+operators decode.  The *forward* direction ("which outputs derive from
+these input items?", the GDPR audit question) starts at the sources, and
+without extra structure every operator segment and every source-item block
+must be scanned.  This module persists, per run, one extra segment file
+(``index.seg``, kind :data:`~repro.warehouse.format.SEGMENT_INDEX`) holding
+four sections:
+
+``INPUTS``
+    The inverted ``input id -> consuming operator oids`` map.  Identifiers
+    are unique across a whole run (one executor counter), so the forward
+    closure can jump from a frontier id straight to the operators that
+    consume it and skip (never decode) everything else.
+
+``TERMS``
+    ``string leaf value -> sorted (source oid, item id) postings`` over the
+    source items.  Every string leaf of length <= :data:`MAX_TERM_LEN` is
+    indexed, which makes the index **complete** for such terms: a probe for
+    an indexable term that has no postings proves zero candidates.  Probing
+    a longer term must fall back to a scan.
+
+``ITEMS``
+    Per source oid, the absolute byte range of each item record inside its
+    segment file -- a subject lookup decodes candidate items only, not the
+    whole block.
+
+``PATHS``
+    The A/M records inverted: ``path -> accessing oids`` and ``path ->
+    manipulating oids`` (the usage-analysis questions, answered with zero
+    operator decodes).
+
+The index is *derived* data built by re-reading the already-written
+segments (:func:`RunIndex.build`), so record-time indexing and
+``repro index build`` backfill share one code path and produce identical
+bytes.  ``manifest.json`` gains an ``"index"`` entry pointing at the
+segment; a run without that entry (or whose segment file is missing) loads
+as ``None`` and every reader falls back to the full scan.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FsPath
+from typing import Any, Iterator
+
+from repro.core.operator_provenance import (
+    AggregationAssociations,
+    BinaryAssociations,
+    FlattenAssociations,
+    ReadAssociations,
+    UnaryAssociations,
+)
+from repro.errors import ProvenanceError
+from repro.nested.values import DataItem
+import repro.warehouse.format as wf
+from repro.warehouse.writer import MANIFEST_NAME, OPS_DIR
+
+__all__ = [
+    "INDEX_SEGMENT",
+    "INDEX_VERSION",
+    "MAX_TERM_LEN",
+    "RunIndex",
+    "ensure_index",
+    "walk_string_leaves",
+]
+
+INDEX_SEGMENT = "index.seg"
+INDEX_VERSION = 1
+
+#: Longest string leaf the TERMS section indexes.  Tweet texts and names
+#: fit; probing anything longer falls back to the scan path (the index is
+#: complete only for terms within the cap).
+MAX_TERM_LEN = 120
+
+
+def walk_string_leaves(value: Any) -> Iterator[str]:
+    """Yield every string leaf of a JSON-shaped value (dicts/lists/scalars)."""
+    if isinstance(value, str):
+        yield value
+    elif isinstance(value, dict):
+        for child in value.values():
+            yield from walk_string_leaves(child)
+    elif isinstance(value, (list, tuple)):
+        for child in value:
+            yield from walk_string_leaves(child)
+
+
+def _consumed_ids(associations: Any) -> Iterator[int]:
+    """The input-side identifiers one operator's associations reference."""
+    if isinstance(associations, ReadAssociations):
+        return
+    if isinstance(associations, UnaryAssociations):
+        for id_in, _ in associations.records:
+            yield id_in
+    elif isinstance(associations, FlattenAssociations):
+        for id_in, _, _ in associations.records:
+            yield id_in
+    elif isinstance(associations, BinaryAssociations):
+        for id_in1, id_in2, _ in associations.records:
+            if id_in1 is not None:
+                yield id_in1
+            if id_in2 is not None:
+                yield id_in2
+    elif isinstance(associations, AggregationAssociations):
+        for ids_in, _ in associations.records:
+            yield from ids_in
+    else:  # pragma: no cover -- new association kinds must be handled here
+        raise ProvenanceError(
+            f"cannot index associations {type(associations).__name__}"
+        )
+
+
+class RunIndex:
+    """The decoded persisted index of one stored run."""
+
+    __slots__ = ("inputs", "terms", "items", "accessed", "manipulated")
+
+    def __init__(
+        self,
+        inputs: dict[int, tuple[int, ...]],
+        terms: dict[str, tuple[tuple[int, int], ...]],
+        items: dict[int, dict[int, tuple[int, int]]],
+        accessed: dict[str, tuple[int, ...]],
+        manipulated: dict[str, tuple[int, ...]],
+    ):
+        #: input id -> sorted oids of the operators consuming it.
+        self.inputs = inputs
+        #: string leaf -> sorted (source oid, item id) postings.
+        self.terms = terms
+        #: source oid -> item id -> (absolute offset, length) in its segment.
+        self.items = items
+        #: path text -> sorted oids with the path in an A record.
+        self.accessed = accessed
+        #: input path text -> sorted oids with the path in an M record.
+        self.manipulated = manipulated
+
+    # -- lookups ---------------------------------------------------------------
+
+    def consumers(self, item_id: int) -> tuple[int, ...]:
+        return self.inputs.get(item_id, ())
+
+    def candidates(self, term: str) -> tuple[tuple[int, int], ...]:
+        """Postings for an indexable term; raises beyond :data:`MAX_TERM_LEN`.
+
+        The TERMS section is complete for terms within the cap, so an empty
+        result is a proof of absence -- callers must not silently probe
+        over-cap terms (that would turn "not indexed" into "no candidates").
+        """
+        if len(term) > MAX_TERM_LEN:
+            raise ProvenanceError(
+                f"term of length {len(term)} exceeds the index cap {MAX_TERM_LEN}"
+            )
+        return self.terms.get(term, ())
+
+    def item_range(self, oid: int, item_id: int) -> tuple[int, int] | None:
+        return self.items.get(oid, {}).get(item_id)
+
+    def operators_touching(self, path: str) -> dict[str, tuple[int, ...]]:
+        """A/M operators of one path (the PATHS section, both directions)."""
+        return {
+            "accessed": self.accessed.get(path, ()),
+            "manipulated": self.manipulated.get(path, ()),
+        }
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "version": INDEX_VERSION,
+            "inputs": len(self.inputs),
+            "terms": len(self.terms),
+            "items": sum(len(ranges) for ranges in self.items.values()),
+            "paths": len(self.accessed) + len(self.manipulated),
+        }
+
+    # -- building --------------------------------------------------------------
+
+    @classmethod
+    def build(cls, run_dir: FsPath, manifest: dict[str, Any]) -> "RunIndex":
+        """Derive the index by re-reading a written run's segments.
+
+        Works identically at ``record`` time and for backfill: the stored
+        segments are the single source of truth, so both paths produce
+        byte-identical index segments.
+        """
+        run_dir = FsPath(run_dir)
+        inputs: dict[int, set[int]] = {}
+        terms: dict[str, set[tuple[int, int]]] = {}
+        items: dict[int, dict[int, tuple[int, int]]] = {}
+        accessed: dict[str, set[int]] = {}
+        manipulated: dict[str, set[int]] = {}
+        for oid_text, entry in manifest["operators"].items():
+            oid = int(oid_text)
+            path = run_dir / OPS_DIR / entry["segment"]
+            with open(path, "rb") as handle:
+                handle.seek(entry["offset"])
+                record = handle.read(entry["record_length"])
+                provenance = wf.decode_operator(wf.Cursor(record))
+                for item_id in _consumed_ids(provenance.associations):
+                    inputs.setdefault(item_id, set()).add(oid)
+                for input_ref in provenance.inputs:
+                    for acc in input_ref.accessed_or_empty():
+                        accessed.setdefault(str(acc), set()).add(oid)
+                for path_in, _path_out in provenance.manipulations_or_empty():
+                    manipulated.setdefault(str(path_in), set()).add(oid)
+                if "items_offset" not in entry:
+                    continue
+                handle.seek(entry["items_offset"])
+                block = handle.read(entry["items_length"])
+            cursor = wf.Cursor(block)
+            cursor.string()  # source name
+            count = cursor.u64()
+            ranges: dict[int, tuple[int, int]] = {}
+            for _ in range(count):
+                start = cursor.offset
+                item_id = cursor.u64()
+                payload = cursor.string()
+                ranges[item_id] = (entry["items_offset"] + start, cursor.offset - start)
+                for leaf in walk_string_leaves(json.loads(payload)):
+                    if len(leaf) <= MAX_TERM_LEN:
+                        terms.setdefault(leaf, set()).add((oid, item_id))
+            items[oid] = ranges
+        return cls(
+            {item_id: tuple(sorted(oids)) for item_id, oids in inputs.items()},
+            {term: tuple(sorted(postings)) for term, postings in terms.items()},
+            items,
+            {text: tuple(sorted(oids)) for text, oids in accessed.items()},
+            {text: tuple(sorted(oids)) for text, oids in manipulated.items()},
+        )
+
+    # -- codec -----------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        parts = [wf._u8(INDEX_VERSION)]
+        parts.append(wf._u64(len(self.inputs)))
+        for item_id in sorted(self.inputs):
+            oids = self.inputs[item_id]
+            parts.append(wf._u64(item_id) + wf._u32(len(oids)))
+            parts.extend(wf._u32(oid) for oid in oids)
+        parts.append(wf._u64(len(self.terms)))
+        for term in sorted(self.terms):
+            postings = self.terms[term]
+            parts.append(wf._string(term) + wf._u32(len(postings)))
+            for oid, item_id in postings:
+                parts.append(wf._u32(oid) + wf._u64(item_id))
+        parts.append(wf._u32(len(self.items)))
+        for oid in sorted(self.items):
+            ranges = self.items[oid]
+            parts.append(wf._u32(oid) + wf._u64(len(ranges)))
+            for item_id in sorted(ranges):
+                offset, length = ranges[item_id]
+                parts.append(wf._u64(item_id) + wf._u64(offset) + wf._u32(length))
+        for section in (self.accessed, self.manipulated):
+            parts.append(wf._u64(len(section)))
+            for text in sorted(section):
+                oids = section[text]
+                parts.append(wf._string(text) + wf._u32(len(oids)))
+                parts.extend(wf._u32(oid) for oid in oids)
+        return wf.encode_segment(wf.SEGMENT_INDEX, b"".join(parts))
+
+    @classmethod
+    def decode(cls, buffer: bytes) -> "RunIndex":
+        cursor = wf.open_segment(buffer, wf.SEGMENT_INDEX)
+        version = cursor.u8()
+        if version != INDEX_VERSION:
+            raise ProvenanceError(f"unsupported run index version {version}")
+        inputs = {}
+        for _ in range(cursor.u64()):
+            item_id = cursor.u64()
+            inputs[item_id] = tuple(cursor.u32() for _ in range(cursor.u32()))
+        terms = {}
+        for _ in range(cursor.u64()):
+            term = cursor.string()
+            terms[term] = tuple(
+                (cursor.u32(), cursor.u64()) for _ in range(cursor.u32())
+            )
+        items: dict[int, dict[int, tuple[int, int]]] = {}
+        for _ in range(cursor.u32()):
+            oid = cursor.u32()
+            ranges = {}
+            for _ in range(cursor.u64()):
+                item_id = cursor.u64()
+                ranges[item_id] = (cursor.u64(), cursor.u32())
+            items[oid] = ranges
+        sections = []
+        for _ in range(2):
+            section = {}
+            for _ in range(cursor.u64()):
+                text = cursor.string()
+                section[text] = tuple(cursor.u32() for _ in range(cursor.u32()))
+            sections.append(section)
+        return cls(inputs, terms, items, sections[0], sections[1])
+
+    # -- persistence -----------------------------------------------------------
+
+    def write(self, run_dir: FsPath) -> dict[str, Any]:
+        """Write ``index.seg`` under *run_dir*; returns the manifest entry."""
+        encoded = self.encode()
+        (FsPath(run_dir) / INDEX_SEGMENT).write_bytes(encoded)
+        return dict(
+            self.summary(), segment=INDEX_SEGMENT, segment_bytes=len(encoded)
+        )
+
+    @classmethod
+    def load(cls, run_dir: FsPath, manifest: dict[str, Any]) -> "RunIndex | None":
+        """The run's persisted index, or ``None`` when absent (scan fallback)."""
+        entry = manifest.get("index")
+        if not entry:
+            return None
+        path = FsPath(run_dir) / entry["segment"]
+        if not path.exists():
+            return None
+        return cls.decode(path.read_bytes())
+
+    def source_item(
+        self, run_dir: FsPath, manifest: dict[str, Any], oid: int, item_id: int
+    ) -> DataItem | None:
+        """Decode one source item through its ITEMS byte range, if indexed."""
+        byte_range = self.item_range(oid, item_id)
+        if byte_range is None:
+            return None
+        entry = manifest["operators"][str(oid)]
+        offset, length = byte_range
+        with open(FsPath(run_dir) / OPS_DIR / entry["segment"], "rb") as handle:
+            handle.seek(offset)
+            raw = handle.read(length)
+        cursor = wf.Cursor(raw)
+        decoded_id = cursor.u64()
+        if decoded_id != item_id:
+            raise ProvenanceError(
+                f"index range for item {item_id} decoded id {decoded_id}"
+            )
+        return DataItem(json.loads(cursor.string()))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunIndex({len(self.inputs)} input ids, {len(self.terms)} terms, "
+            f"{sum(len(r) for r in self.items.values())} item ranges)"
+        )
+
+
+def ensure_index(
+    run_dir: FsPath, manifest: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Build and persist the index of one run; returns its manifest entry.
+
+    Rewrites ``manifest.json`` (write-then-rename) with the ``"index"``
+    entry, so record-time indexing and ``repro index build`` backfill both
+    leave the run in the same state.  Idempotent: an already-indexed run is
+    re-derived and rewritten to the same bytes.
+    """
+    run_dir = FsPath(run_dir)
+    if manifest is None:
+        with open(run_dir / MANIFEST_NAME, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    entry = RunIndex.build(run_dir, manifest).write(run_dir)
+    manifest["index"] = entry
+    tmp = run_dir / (MANIFEST_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    tmp.replace(run_dir / MANIFEST_NAME)
+    return entry

@@ -154,6 +154,26 @@ class LazyProvenanceStore:
     def run_id(self) -> str:
         return self._manifest["run_id"]
 
+    @property
+    def run_dir_path(self) -> FsPath:
+        return self._run_dir
+
+    @property
+    def manifest(self) -> dict[str, Any]:
+        """The footer index (shared, not copied -- treat as read-only)."""
+        return self._manifest
+
+    def footer_topology(self) -> dict[int, tuple[int, ...]]:
+        """``oid -> predecessor oids`` for every operator, with zero decodes.
+
+        The forward tracer orders its walk from this map alone; only the
+        operators its frontier actually reaches ever decode.
+        """
+        return {
+            oid: tuple(entry.get("predecessors", ()))
+            for oid, entry in self._index.items()
+        }
+
     def _entry(self, oid: int) -> dict[str, Any]:
         entry = self._index.get(oid)
         if entry is None:

@@ -37,6 +37,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import get_tracer
 from repro.warehouse.catalog import Catalog, RunRecord
+from repro.warehouse.index import RunIndex, ensure_index
 from repro.warehouse.reader import (
     DEFAULT_CACHE_SIZE,
     LazyProvenanceStore,
@@ -72,8 +73,15 @@ class Warehouse:
 
     # -- recording -------------------------------------------------------------
 
-    def record(self, execution: ExecutionResult, name: str = "run") -> RunRecord:
-        """Persist one capture-enabled execution; returns its catalog record."""
+    def record(
+        self, execution: ExecutionResult, name: str = "run", index: bool = True
+    ) -> RunRecord:
+        """Persist one capture-enabled execution; returns its catalog record.
+
+        By default the run's query-side index (``index.seg``) is built in
+        the same step; pass ``index=False`` to skip it (``repro index
+        build`` backfills later, producing identical bytes).
+        """
         if execution.store is None:
             raise ProvenanceError("only capture-enabled executions can be recorded")
         created = time.time()
@@ -85,6 +93,8 @@ class Warehouse:
             # ``repro stats`` can rebuild a registry for the stored run.
             with open(run_dir / METRICS_NAME, "w", encoding="utf-8") as handle:
                 json.dump(execution.metrics.to_json(), handle, indent=2)
+            if index:
+                ensure_index(run_dir, manifest)
         record = RunRecord(
             run_id,
             name,
@@ -93,6 +103,7 @@ class Warehouse:
             len(manifest["operators"]),
             manifest["rows"]["count"],
             manifest["total_bytes"],
+            indexed=index,
         )
         self._catalog.add(record)
         self._catalog.save()
@@ -102,8 +113,59 @@ class Warehouse:
             operators=record.operator_count,
             rows=record.row_count,
             bytes=record.total_bytes,
+            indexed=index,
         )
         return record
+
+    def build_index(self, run_id: str | None = None, force: bool = False) -> dict[str, Any]:
+        """Backfill (or rebuild with ``force``) one run's persisted index.
+
+        Returns the manifest's ``"index"`` entry.  The catalog record's
+        ``indexed`` flag is updated and saved, so listings reflect it.
+        """
+        record = self.resolve(run_id)
+        run_dir = self.root / RUNS_DIR / record.run_id
+        manifest = load_manifest(run_dir)
+        entry = manifest.get("index")
+        if entry is None or force or not (run_dir / entry["segment"]).exists():
+            entry = ensure_index(run_dir, manifest)
+        if not record.indexed:
+            record.indexed = True
+            self._catalog.save()
+        get_logger(record.run_id).event("index-built", **{
+            key: entry[key] for key in ("inputs", "terms", "items", "paths")
+        })
+        return entry
+
+    def load_index(self, run_id: str | None = None) -> "RunIndex | None":
+        """The persisted index of a run, or ``None`` (callers fall back to scan)."""
+        record = self.resolve(run_id)
+        run_dir = self.root / RUNS_DIR / record.run_id
+        return RunIndex.load(run_dir, load_manifest(run_dir))
+
+    def forward(
+        self,
+        run_id: str | None,
+        pattern: TreePattern | str,
+        method: str = "lazy",
+        use_index: bool = True,
+        num_partitions: int | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "ForwardResult":
+        """Trace forward: which outputs of a stored run derive from the
+        input items matching *pattern*?  The association-level dual of
+        :meth:`backtrace` (see :mod:`repro.audit.forward`)."""
+        from repro.audit.forward import trace_forward
+
+        return trace_forward(
+            self,
+            pattern,
+            run_id=run_id,
+            method=method,
+            use_index=use_index,
+            num_partitions=num_partitions,
+            cache_size=cache_size,
+        )
 
     def refresh(self) -> bool:
         """Reload the catalog from disk; ``True`` if the run set changed.

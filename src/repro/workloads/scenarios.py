@@ -445,6 +445,20 @@ SCENARIOS: dict[str, Scenario] = {
         _build_d5,
         'root{/p_key="conf/pebble/2015"}',
     ),
+    # The GDPR audit scenario sits outside the paper's T/D evaluation tables
+    # (the "G" prefix keeps it out of TWITTER_SCENARIOS/DBLP_SCENARIOS): its
+    # pattern runs over the *source items* via `repro trace-forward`, asking
+    # which outputs derive from one data subject's tweets and mentions.  The
+    # //text leg makes the same pattern meaningful backwards too (it seeds
+    # the collected-tweet paths, not just the group key).
+    "G1": Scenario(
+        "G1",
+        "twitter",
+        "GDPR audit: every output derived from data subject u1's tweets "
+        "and mentions (forward trace / SAR workload)",
+        _build_t1,
+        'root{//*="u1", //text}',
+    ),
 }
 
 TWITTER_SCENARIOS = tuple(name for name in SCENARIOS if name.startswith("T"))

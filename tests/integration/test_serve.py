@@ -108,11 +108,25 @@ class TestEndpoints:
         assert "repro_serve_pattern_cache_hits" in text
         assert "repro_serve_segment_cache_misses" in text
 
-    def test_stats_matches_local_registry(self, served, client, recorded):
+    def test_stats_matches_local_registry_plus_serve_counters(
+        self, served, client, recorded
+    ):
         root, run_id = recorded
         local = Warehouse.open(root).stats(run_id, registry=MetricsRegistry())
-        assert client.run_stats(run_id) == local.to_json()
-        assert client.run_stats(run_id, prometheus=True) == local.render_prometheus()
+        remote = client.run_stats(run_id)
+        # Every warehouse metric appears verbatim; the remote registry may
+        # additionally fold in this server's repro_serve_* counters.
+        extras = [
+            metric
+            for metric in remote["metrics"]
+            if metric not in local.to_json()["metrics"]
+        ]
+        assert all(metric["name"].startswith("repro_serve_") for metric in extras)
+        client.query(RUNNING_EXAMPLE_PATTERN)
+        text = client.run_stats(run_id, prometheus=True)
+        for line in local.render_prometheus().splitlines():
+            assert line in text
+        assert 'repro_serve_queries_total{method="lazy"}' in text
 
 
 class TestQueryEquivalence:
@@ -263,6 +277,181 @@ class TestCacheInvalidation:
         assert third["run_id"] != first["run_id"]  # newest-run resolution moved
         assert len(client.runs()) == 2
         assert service.cache.stats.invalidations == 1
+
+
+class TestForwardEndpoint:
+    PATTERN = 'root{//id_str="lp"}'
+
+    def test_forward_matches_library_answer(self, served, client, recorded):
+        from repro.audit import trace_forward
+
+        root, run_id = recorded
+        payload = client.forward(self.PATTERN)
+        direct = trace_forward(Warehouse.open(root), self.PATTERN)
+        assert payload["result"] == direct.to_json()
+        assert payload["run_id"] == run_id
+        assert payload["server"]["cached"] is False
+        again = client.forward(self.PATTERN)
+        assert again["server"]["cached"] is True
+        assert again["result"] == payload["result"]
+
+    def test_cache_keys_are_direction_scoped(self, client):
+        """A backward /query must never answer a /forward of the same pattern."""
+        client.query(RUNNING_EXAMPLE_PATTERN)
+        payload = client.forward(RUNNING_EXAMPLE_PATTERN)
+        assert payload["server"]["cached"] is False
+
+    def test_eager_forward_equals_lazy(self, client):
+        lazy = client.forward(self.PATTERN, method="lazy")
+        eager = client.forward(self.PATTERN, method="eager")
+        assert lazy["result"] == eager["result"]
+
+    def test_bad_forward_inputs_are_400(self, client):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError) as info:
+            client.forward("root{")
+        assert "HTTP 400" in str(info.value)
+        with pytest.raises(ServeError):
+            client.forward(self.PATTERN, method="psychic")
+
+    def test_forward_admission_and_deadline(self, recorded):
+        root, _ = recorded
+        service = QueryService.open(
+            ServeConfig(root=str(root), port=0, workers=1, queue_limit=0, deadline=None),
+            registry=MetricsRegistry(),
+        )
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hold():
+            entered.set()
+            release.wait(10)
+
+        service.query_hook = hold
+        with ProvenanceServer(service, port=0) as server:
+            client = ServeClient(server.url, policy=RetryPolicy(max_retries=0))
+            blocker = threading.Thread(
+                target=lambda: client.forward(self.PATTERN)
+            )
+            blocker.start()
+            try:
+                assert entered.wait(5)
+                with pytest.raises(AdmissionError):
+                    client.forward('root{//name="vx"}')
+            finally:
+                release.set()
+                blocker.join()
+            text = client.metrics_text()
+            assert 'repro_serve_requests_total{endpoint="/forward",status="429"}' in text
+
+
+class TestSarEndpoint:
+    SUBJECTS = ["lp", "nobody-xyz"]
+
+    def test_sar_matches_library_answer(self, served, client, recorded):
+        from repro.audit import subject_access_request
+
+        root, _ = recorded
+        payload = client.sar(self.SUBJECTS)
+        direct = subject_access_request(Warehouse.open(root), self.SUBJECTS)
+        assert payload["report"] == direct
+        assert payload["server"]["cached"] is False
+        assert client.sar(self.SUBJECTS)["server"]["cached"] is True
+        # Subject order must not fragment the cache: the key sorts them.
+        flipped = client.sar(list(reversed(self.SUBJECTS)))
+        assert flipped["server"]["cached"] is True
+
+    def test_sar_deadline_overrun_is_504(self, recorded):
+        root, _ = recorded
+        service = QueryService.open(
+            ServeConfig(root=str(root), port=0, workers=2, deadline=0.1),
+            registry=MetricsRegistry(),
+        )
+        service.query_hook = lambda: threading.Event().wait(2)
+        with ProvenanceServer(service, port=0) as server:
+            client = ServeClient(server.url, policy=RetryPolicy(max_retries=0))
+            with pytest.raises(TaskTimeoutError):
+                client.sar(self.SUBJECTS)
+            text = client.metrics_text()
+            assert 'endpoint="/audit/sar",status="504"' in text
+
+    def test_bad_sar_inputs_are_400(self, client):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError) as info:
+            client.sar([])
+        assert "HTTP 400" in str(info.value)
+        with pytest.raises(ServeError) as info:
+            client.sar(["lp"], page=7)  # out of range
+        assert "HTTP 400" in str(info.value)
+        with pytest.raises(ServeError):
+            client.sar(["lp"], template="root{//no-placeholder}")
+
+    def test_audit_counters_reach_metrics_and_remote_stats(
+        self, client, recorded
+    ):
+        _, run_id = recorded
+        client.forward('root{//id_str="lp"}')
+        client.sar(self.SUBJECTS)
+        text = client.metrics_text()
+        assert 'repro_serve_forward_queries_total{method="lazy"}' in text
+        assert "repro_serve_sar_requests_total" in text
+        names = {metric["name"] for metric in client.run_stats(run_id)["metrics"]}
+        assert "repro_serve_forward_queries_total" in names
+        assert "repro_serve_sar_requests_total" in names
+
+
+class TestGracefulShutdown:
+    def test_close_drains_flushes_and_repeats(self, served, client, caplog):
+        import logging
+
+        from repro.obs.log import LOGGER_NAME
+
+        _, service, _ = served
+        client.query(RUNNING_EXAMPLE_PATTERN)
+        client.forward('root{//id_str="lp"}')
+        with caplog.at_level(logging.INFO, logger=LOGGER_NAME):
+            service.close()
+            service.close()  # idempotent: the second call is a no-op
+        events = [
+            record.structured
+            for record in caplog.records
+            if getattr(record, "structured", {}).get("event") == "serve-shutdown"
+        ]
+        assert len(events) == 1
+        counters = events[0]["counters"]
+        assert counters["repro_serve_queries_total{method=lazy}"] == 1
+        assert counters["repro_serve_forward_queries_total{method=lazy}"] == 1
+        assert events[0]["resident_runs"] == 1
+
+    def test_signal_stops_serve_forever(self, recorded):
+        """SIGTERM must end a blocking serve_forever() without deadlocking."""
+        import os
+        import signal
+
+        root, _ = recorded
+        service = QueryService.open(
+            ServeConfig(root=str(root), port=0), registry=MetricsRegistry()
+        )
+        server = ProvenanceServer(service, port=0)
+        server.install_signal_handlers()
+        finished = threading.Event()
+
+        def serve():
+            server.serve_forever()
+            finished.set()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        client = ServeClient(server.url, policy=NO_BACKOFF)
+        assert client.healthz()["status"] == "ok"
+        os.kill(os.getpid(), signal.SIGTERM)
+        assert finished.wait(5), "serve_forever did not return after SIGTERM"
+        assert server.signalled == signal.SIGTERM
+        server.close()  # repeat shutdown stays safe after the signal path
+        service.close()
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
 
 class TestCliIntegration:

@@ -1,0 +1,154 @@
+"""Warehouse readers racing a concurrent writer.
+
+``record`` writes the run directory (segments, metrics, index) *before*
+the catalog entry that makes it visible, so a reader that refreshes while
+a write is in flight must either not see the new run yet or see it fully
+loadable and queryable -- never a partially written directory.  These
+tests drive that window hard: reader threads loop ``refresh()`` /
+``resolve()`` / ``load()`` / query while a writer keeps recording into
+the same root, and every answer must match the single-threaded baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.pebble.query import query_provenance
+from repro.serve.service import result_to_json
+from repro.warehouse import Warehouse
+from repro.workloads.scenarios import RUNNING_EXAMPLE_PATTERN
+
+FORWARD_PATTERN = 'root{//id_str="lp"}'
+
+
+@pytest.fixture
+def seeded_root(captured_example, tmp_path):
+    root = tmp_path / "wh"
+    Warehouse.open(root).record(captured_example, name="seed")
+    return root
+
+
+class TestRefreshRace:
+    def test_refresh_never_serves_a_partial_run(self, captured_example, seeded_root):
+        baseline_wh = Warehouse.open(seeded_root)
+        baseline = json.dumps(
+            result_to_json(
+                query_provenance(baseline_wh.load(), RUNNING_EXAMPLE_PATTERN)
+            ),
+            sort_keys=True,
+        )
+        forward_baseline = baseline_wh.forward(
+            None, FORWARD_PATTERN
+        ).output_ids
+
+        extra_runs = 6
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def writer():
+            try:
+                for i in range(extra_runs):
+                    Warehouse.open(seeded_root).record(
+                        captured_example, name=f"race-{i}"
+                    )
+            except BaseException as exc:  # noqa: BLE001 -- collected for assert
+                with lock:
+                    errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            warehouse = Warehouse.open(seeded_root)
+            try:
+                while True:
+                    final = stop.is_set()
+                    warehouse.refresh()
+                    for record in warehouse.runs():
+                        execution = warehouse.load(record.run_id)
+                        report = execution.store.size_report()
+                        if len(report.per_operator) != record.operator_count:
+                            raise AssertionError(
+                                f"{record.run_id}: partial run served: "
+                                f"{len(report.per_operator)} of "
+                                f"{record.operator_count} operators"
+                            )
+                        answer = json.dumps(
+                            result_to_json(
+                                query_provenance(execution, RUNNING_EXAMPLE_PATTERN)
+                            ),
+                            sort_keys=True,
+                        )
+                        if answer != baseline:
+                            raise AssertionError(
+                                f"{record.run_id}: divergent backtrace answer"
+                            )
+                        forward = warehouse.forward(record.run_id, FORWARD_PATTERN)
+                        if forward.output_ids != forward_baseline:
+                            raise AssertionError(
+                                f"{record.run_id}: divergent forward answer"
+                            )
+                    if final:
+                        break  # one full sweep after the writer finished
+            except BaseException as exc:  # noqa: BLE001 -- collected for assert
+                with lock:
+                    errors.append(exc)
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in reader_threads:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join()
+        for thread in reader_threads:
+            thread.join()
+
+        assert errors == []
+        fresh = Warehouse.open(seeded_root)
+        assert len(fresh.runs()) == 1 + extra_runs
+        assert all(record.indexed for record in fresh.runs())
+
+    def test_resolve_newest_moves_monotonically(self, captured_example, seeded_root):
+        """resolve(None) under refresh never goes backwards in creation order."""
+        warehouse = Warehouse.open(seeded_root)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer():
+            try:
+                for i in range(5):
+                    Warehouse.open(seeded_root).record(
+                        captured_example, name=f"mono-{i}"
+                    )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        seen: list[str] = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    warehouse.refresh()
+                    newest = warehouse.resolve()
+                    if not seen or seen[-1] != newest.run_id:
+                        seen.append(newest.run_id)
+                    # The newest run must always be fully loadable.
+                    warehouse.load(newest.run_id)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        writer_thread = threading.Thread(target=writer)
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        writer_thread.start()
+        writer_thread.join()
+        reader_thread.join()
+
+        assert errors == []
+        # Run ids are numbered in creation order; visibility is append-only.
+        assert seen == sorted(seen)

@@ -1,0 +1,135 @@
+"""Subject-access requests and erasure receipts: templates, pages, digests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.audit.forward import ForwardTracer
+from repro.audit.sar import (
+    DEFAULT_SUBJECT_TEMPLATE,
+    _paginate,
+    report_digest,
+    sar_over_tracers,
+    subject_access_request,
+    subject_pattern,
+    verify_erasure,
+)
+from repro.core.treepattern.parser import parse_pattern
+from repro.errors import AuditError
+from repro.warehouse import Warehouse
+
+
+class TestSubjectPattern:
+    def test_default_template(self):
+        assert subject_pattern("lp") == 'root{//*="lp"}'
+
+    def test_quotes_and_backslashes_are_escaped(self):
+        pattern = subject_pattern('o"hara\\smith')
+        node = parse_pattern(pattern).children[0]
+        assert node.equals == 'o"hara\\smith'
+
+    def test_custom_template(self):
+        pattern = subject_pattern("u1", 'root{//user{/id_str="{subject}"}}')
+        assert pattern == 'root{//user{/id_str="u1"}}'
+
+    def test_template_without_placeholder_raises(self):
+        with pytest.raises(AuditError, match="placeholder"):
+            subject_pattern("u1", "root{//id_str}")
+
+
+class TestPagination:
+    def test_dedupes_sorts_and_slices(self):
+        page, total, pages = _paginate(["b", "a", "c", "a"], page=1, page_size=2)
+        assert (page, total, pages) == (["a", "b"], 3, 2)
+        page, _, _ = _paginate(["b", "a", "c"], page=2, page_size=2)
+        assert page == ["c"]
+
+    def test_empty_subject_list_is_one_empty_page(self):
+        assert _paginate([], page=1, page_size=10) == ([], 0, 1)
+
+    def test_out_of_range_pages_raise(self):
+        with pytest.raises(AuditError, match="start at 1"):
+            _paginate(["a"], page=0, page_size=1)
+        with pytest.raises(AuditError, match="out of range"):
+            _paginate(["a", "b"], page=3, page_size=1)
+        with pytest.raises(AuditError, match="page size"):
+            _paginate(["a"], page=1, page_size=0)
+
+
+class TestSarReport:
+    @pytest.fixture
+    def tracers(self, captured_example):
+        return [("run-1", ForwardTracer(captured_example))]
+
+    def test_report_shape(self, tracers):
+        report = sar_over_tracers(tracers, ["lp", "nobody-xyz"])
+        assert report["report"] == "subject-access-request"
+        assert report["template"] == DEFAULT_SUBJECT_TEMPLATE
+        assert report["total_subjects"] == 2
+        assert [entry["subject"] for entry in report["subjects"]] == [
+            "lp",
+            "nobody-xyz",
+        ]
+        hit, miss = report["subjects"]
+        assert hit["run_count"] == 1 and hit["total_outputs"] > 0
+        assert hit["runs"][0]["run_id"] == "run-1"
+        assert hit["runs"][0]["output_ids"] == sorted(hit["runs"][0]["output_ids"])
+        # Runs without exposure are omitted entirely, not listed as zeros.
+        assert miss["runs"] == [] and miss["total_outputs"] == 0
+
+    def test_include_items_attaches_outputs(self, tracers):
+        report = sar_over_tracers(tracers, ["lp"], include_items=True)
+        outputs = report["subjects"][0]["runs"][0]["outputs"]
+        assert outputs and all("id" in o and "item" in o for o in outputs)
+        json.dumps(report)  # items must be JSON-shaped
+
+    def test_report_is_timing_free_and_reproducible(self, tracers):
+        first = sar_over_tracers(tracers, ["lp", "Lisa Paul"])
+        second = sar_over_tracers(tracers, ["Lisa Paul", "lp"])
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+class TestWarehouseSar:
+    @pytest.fixture
+    def warehouse(self, captured_example, tmp_path):
+        warehouse = Warehouse.open(tmp_path / "wh")
+        warehouse.record(captured_example, name="example")
+        return warehouse
+
+    def test_indexed_equals_scan(self, warehouse):
+        subjects = ["lp", "Lisa Paul", "nobody-xyz"]
+        indexed = subject_access_request(warehouse, subjects, use_index=True)
+        scanned = subject_access_request(warehouse, subjects, use_index=False)
+        assert json.dumps(indexed, sort_keys=True) == json.dumps(
+            scanned, sort_keys=True
+        )
+
+    def test_pages_partition_the_subjects(self, warehouse):
+        subjects = ["a", "b", "c", "d", "e"]
+        seen = []
+        for page in (1, 2, 3):
+            report = subject_access_request(
+                warehouse, subjects, page=page, page_size=2
+            )
+            assert report["pages"] == 3
+            seen.extend(entry["subject"] for entry in report["subjects"])
+        assert seen == sorted(subjects)
+
+    def test_erasure_dirty_then_clean(self, warehouse):
+        dirty = verify_erasure(warehouse, ["lp"])
+        assert dirty["clean"] is False
+        assert dirty["subjects"][0]["residuals"][0]["output_ids"]
+        clean = verify_erasure(warehouse, ["nobody-xyz"])
+        assert clean["clean"] is True
+        assert clean["subjects"][0]["residuals"] == []
+
+    def test_erasure_digest_is_a_receipt(self, warehouse):
+        first = verify_erasure(warehouse, ["lp", "nobody-xyz"])
+        second = verify_erasure(warehouse, ["nobody-xyz", "lp"])
+        assert first["digest"] == second["digest"]
+        body = {key: value for key, value in first.items() if key != "digest"}
+        assert first["digest"] == report_digest(body)
+        # Any body change changes the receipt.
+        assert report_digest(dict(body, clean=True)) != first["digest"]

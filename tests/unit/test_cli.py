@@ -19,6 +19,23 @@ class TestParser:
         assert args.figure == "fig8"
         assert args.scale == 0.5
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as info:
+            build_parser().parse_args(["--version"])
+        assert info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_version_through_main(self, capsys):
+        """`python -m repro --version` routes through main() the same way."""
+        import repro
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
 
 class TestCommands:
     def test_list(self, capsys):

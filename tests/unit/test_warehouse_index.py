@@ -1,0 +1,196 @@
+"""The persisted per-run index: build, round-trip, manifest wiring, probes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.warehouse import RunIndex, Warehouse, ensure_index
+from repro.warehouse.index import INDEX_SEGMENT, MAX_TERM_LEN, walk_string_leaves
+from repro.warehouse.reader import load_manifest
+
+
+@pytest.fixture
+def recorded(captured_example, tmp_path):
+    """The running example recorded (indexed); returns (warehouse, record)."""
+    warehouse = Warehouse.open(tmp_path / "wh")
+    record = warehouse.record(captured_example, name="example")
+    return warehouse, record
+
+
+class TestBuildAndRoundTrip:
+    def test_record_builds_and_catalogues_the_index(self, recorded):
+        warehouse, record = recorded
+        assert record.indexed
+        run_dir = warehouse.run_dir(record.run_id)
+        assert (run_dir / INDEX_SEGMENT).exists()
+        manifest = load_manifest(run_dir)
+        entry = manifest["index"]
+        assert entry["segment"] == INDEX_SEGMENT
+        assert entry["inputs"] > 0 and entry["terms"] > 0 and entry["items"] > 0
+
+    def test_encode_decode_round_trip(self, recorded):
+        warehouse, record = recorded
+        run_dir = warehouse.run_dir(record.run_id)
+        index = RunIndex.load(run_dir, load_manifest(run_dir))
+        clone = RunIndex.decode(index.encode())
+        assert clone.inputs == index.inputs
+        assert clone.terms == index.terms
+        assert clone.items == index.items
+        assert clone.accessed == index.accessed
+        assert clone.manipulated == index.manipulated
+
+    def test_backfill_produces_identical_bytes(self, captured_example, tmp_path):
+        """`repro index build` after the fact == index built at record time."""
+        warehouse = Warehouse.open(tmp_path / "wh")
+        at_record = warehouse.record(captured_example, name="indexed", index=True)
+        backfilled = warehouse.record(captured_example, name="plain", index=False)
+        assert not backfilled.indexed
+        warehouse.build_index(backfilled.run_id)
+        assert warehouse.resolve(backfilled.run_id).indexed
+        first = (warehouse.run_dir(at_record.run_id) / INDEX_SEGMENT).read_bytes()
+        second = (warehouse.run_dir(backfilled.run_id) / INDEX_SEGMENT).read_bytes()
+        assert first == second
+
+    def test_load_returns_none_when_unindexed(self, captured_example, tmp_path):
+        warehouse = Warehouse.open(tmp_path / "wh")
+        record = warehouse.record(captured_example, name="plain", index=False)
+        run_dir = warehouse.run_dir(record.run_id)
+        assert RunIndex.load(run_dir, load_manifest(run_dir)) is None
+        assert warehouse.load_index(record.run_id) is None
+
+    def test_build_index_is_idempotent(self, recorded):
+        warehouse, record = recorded
+        run_dir = warehouse.run_dir(record.run_id)
+        before = (run_dir / INDEX_SEGMENT).read_bytes()
+        warehouse.build_index(record.run_id)
+        assert (run_dir / INDEX_SEGMENT).read_bytes() == before
+
+
+class TestProbes:
+    @pytest.fixture
+    def loaded(self, recorded):
+        warehouse, record = recorded
+        run_dir = warehouse.run_dir(record.run_id)
+        manifest = load_manifest(run_dir)
+        store = warehouse.load(record.run_id).store
+        return RunIndex.load(run_dir, manifest), store, run_dir, manifest
+
+    def test_inputs_cover_every_consumed_id(self, loaded):
+        """Every id an operator's associations consume maps back to it."""
+        index, store, _, _ = loaded
+        for provenance in store.operators():
+            oid = provenance.oid
+            if store.is_source(oid):
+                continue
+            for ids in _input_sides(provenance):
+                for item_id in ids:
+                    assert oid in index.consumers(item_id)
+
+    def test_term_postings_locate_the_item(self, loaded):
+        index, store, _, _ = loaded
+        postings = index.candidates("lp")
+        assert postings, "sentinel id_str 'lp' must be indexed"
+        for oid, item_id in postings:
+            item = store.source_item(oid, item_id)
+            from repro.nested.json_io import _jsonable
+
+            assert "lp" in set(walk_string_leaves(_jsonable(item)))
+
+    def test_over_cap_term_probe_raises(self, loaded):
+        index, _, _, _ = loaded
+        with pytest.raises(ProvenanceError):
+            index.candidates("x" * (MAX_TERM_LEN + 1))
+
+    def test_item_ranges_decode_the_exact_item(self, loaded):
+        """The ITEMS byte ranges decode one item without touching the block."""
+        index, store, run_dir, manifest = loaded
+        checked = 0
+        for oid, ranges in index.items.items():
+            for item_id in ranges:
+                direct = RunIndex.load(run_dir, manifest).source_item(
+                    run_dir, manifest, oid, item_id
+                )
+                assert repr(direct) == repr(store.source_item(oid, item_id))
+                checked += 1
+        assert checked > 0
+
+    def test_paths_index_lists_accessed_operators(self, loaded):
+        index, store, _, _ = loaded
+        for path, oids in index.accessed.items():
+            for oid in oids:
+                provenance = store.get(oid)
+                accessed = {
+                    str(p)
+                    for ref in provenance.inputs
+                    for p in ref.accessed_or_empty()
+                }
+                assert path in accessed
+
+    def test_unknown_probes_are_empty(self, loaded):
+        index, _, _, _ = loaded
+        assert index.consumers(10**12) == ()
+        assert index.candidates("no-such-term-anywhere") == ()
+        assert index.operators_touching("no.such.path") == {
+            "accessed": (),
+            "manipulated": (),
+        }
+
+
+class TestManifestWiring:
+    def test_ensure_index_rewrites_manifest_atomically(
+        self, captured_example, tmp_path
+    ):
+        warehouse = Warehouse.open(tmp_path / "wh")
+        record = warehouse.record(captured_example, name="plain", index=False)
+        run_dir = warehouse.run_dir(record.run_id)
+        assert "index" not in load_manifest(run_dir)
+        entry = ensure_index(run_dir)
+        manifest = load_manifest(run_dir)
+        assert manifest["index"] == entry
+        # The rewritten manifest still loads the run.
+        assert warehouse.load(record.run_id).store is not None
+
+    def test_catalog_round_trips_indexed_flag(self, recorded):
+        warehouse, record = recorded
+        reopened = Warehouse.open(warehouse.root)
+        assert reopened.resolve(record.run_id).indexed
+
+    def test_pre_index_catalogs_still_load(self, recorded):
+        """Catalogs written before 1.3 carry no 'indexed' key."""
+        warehouse, record = recorded
+        path = warehouse.root / "catalog.json"
+        document = json.loads(path.read_text())
+        for entry in document["runs"]:
+            del entry["indexed"]
+        path.write_text(json.dumps(document))
+        reopened = Warehouse.open(warehouse.root)
+        assert reopened.resolve(record.run_id).indexed is False
+        # The index itself is still discovered via the manifest.
+        assert reopened.load_index(record.run_id) is not None
+
+
+def _input_sides(provenance):
+    """Consumed-id groups per association record, mirroring the index build."""
+    from repro.core.operator_provenance import (
+        AggregationAssociations,
+        BinaryAssociations,
+        FlattenAssociations,
+        UnaryAssociations,
+    )
+
+    associations = provenance.associations
+    if isinstance(associations, UnaryAssociations):
+        return [[id_in] for id_in, _ in associations.records]
+    if isinstance(associations, FlattenAssociations):
+        return [[id_in] for id_in, _, _ in associations.records]
+    if isinstance(associations, BinaryAssociations):
+        return [
+            [side for side in (id_in1, id_in2) if side is not None]
+            for id_in1, id_in2, _ in associations.records
+        ]
+    if isinstance(associations, AggregationAssociations):
+        return [list(members) for members, _ in associations.records]
+    return []
