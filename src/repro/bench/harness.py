@@ -432,14 +432,33 @@ def measure_titian_comparison(
 #: ``prune+fuse`` isolate what concurrent stage execution buys (or costs) --
 #: threads are GIL-bound on capture's pure-Python work, processes scale the
 #: capture phase with cores at the price of pickling partitions across the
-#: pool boundary.
+#: pool boundary.  The ``+cols`` rungs repeat the rewrite/scheduler rungs
+#: under the columnar partition layout (batch kernels, raw-buffer pickling);
+#: each ``+cols`` rung against its rows twin isolates what the layout buys
+#: per backend.  Every rung pins its layout explicitly so the ladder is
+#: insensitive to the engine default and ``REPRO_LAYOUT``.
 ABLATION_CONFIGS: tuple[tuple[str, EngineConfig], ...] = (
-    ("no-opt", EngineConfig(optimize=False)),
-    ("prune", EngineConfig(rules=("prune",))),
-    ("prune+fuse", EngineConfig(rules=("prune", "fuse"))),
-    ("prune+fuse+trace", EngineConfig(rules=("prune", "fuse"))),
-    ("prune+fuse+threads", EngineConfig(rules=("prune", "fuse"), scheduler="threads")),
-    ("prune+fuse+procs", EngineConfig(rules=("prune", "fuse"), scheduler="processes")),
+    ("no-opt", EngineConfig(optimize=False, layout="rows")),
+    ("prune", EngineConfig(rules=("prune",), layout="rows")),
+    ("prune+fuse", EngineConfig(rules=("prune", "fuse"), layout="rows")),
+    ("prune+fuse+trace", EngineConfig(rules=("prune", "fuse"), layout="rows")),
+    (
+        "prune+fuse+threads",
+        EngineConfig(rules=("prune", "fuse"), scheduler="threads", layout="rows"),
+    ),
+    (
+        "prune+fuse+procs",
+        EngineConfig(rules=("prune", "fuse"), scheduler="processes", layout="rows"),
+    ),
+    ("prune+fuse+cols", EngineConfig(rules=("prune", "fuse"), layout="columnar")),
+    (
+        "prune+fuse+threads+cols",
+        EngineConfig(rules=("prune", "fuse"), scheduler="threads", layout="columnar"),
+    ),
+    (
+        "prune+fuse+procs+cols",
+        EngineConfig(rules=("prune", "fuse"), scheduler="processes", layout="columnar"),
+    ),
 )
 
 

@@ -1,0 +1,1017 @@
+"""Columnar partition layout: offset-encoded nested bags (ROADMAP item 1).
+
+The row layout processes a partition as ``list[DataItem]`` -- a forest of
+small immutable objects.  That representation is what makes capture
+GIL-bound and the process pool expensive: every handoff pickles (and every
+worker unpickles) the whole object forest, and every operator walks it one
+Python object at a time.
+
+This module stores the same partition **by column**: one flat, typed store
+per value kind plus ``array('q')`` offset/length arrays per nesting level.
+Concretely a :class:`VariantColumn` holds, for N values,
+
+* ``tags`` -- one byte per value naming its kind (missing / null / bool /
+  int / float / str / struct / bag / set / fallback object),
+* ``pos`` -- the value's index inside its kind's dense store,
+* dense stores: ``array('q')`` ints, ``array('d')`` floats, a single
+  string blob with an ``array('q')`` offset table, a nested
+  :class:`StructColumn` for struct values, and a :class:`ListStore`
+  (offset-encoded: ``offsets[i] .. offsets[i+1]`` delimit list *i*'s
+  elements inside one flattened element column) for bags and sets.
+
+A :class:`StructColumn` dictionary-encodes the attribute *shapes* (ordered
+attribute-name tuples) and keeps one full-length :class:`VariantColumn` per
+attribute name, so projections, prunes, and flatten kernels are column
+surgery instead of per-item rebuilds.  Decoding reconstructs byte-identical
+model values (``DataItem``/``Bag``/``NestedSet`` are rebuilt through their
+``__new__`` fast path -- the values inside a column are already coerced).
+
+Everything in a :class:`ColumnarPartition` pickles as a handful of array
+buffers and strings, which is what removes the process-pool serialization
+tax: a ``StageTask`` ships column buffers, not object graphs.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.nested.types import (
+    BOOLEAN,
+    DOUBLE,
+    INT,
+    NULL,
+    STRING,
+    BagType,
+    DataType,
+    SetType,
+    StructType,
+    infer_type,
+    unify,
+)
+from repro.nested.values import Bag, DataItem, NestedSet, coerce_value
+
+__all__ = [
+    "ColumnarPartition",
+    "ColumnarRows",
+    "VariantColumn",
+    "StructColumn",
+    "ListStore",
+    "StrStore",
+    "evaluate_batch",
+    "column_for_values",
+    "null_column",
+    "candidate_indices",
+    "match_columnar",
+    "struct_type_over",
+    "TAG_MISSING",
+    "TAG_NONE",
+    "TAG_FALSE",
+    "TAG_TRUE",
+    "TAG_INT",
+    "TAG_FLOAT",
+    "TAG_STR",
+    "TAG_ITEM",
+    "TAG_BAG",
+    "TAG_SET",
+    "TAG_OBJ",
+]
+
+# Value-kind tags (one byte per value in VariantColumn.tags).
+TAG_MISSING = 0  # attribute absent from this row's item
+TAG_NONE = 1
+TAG_FALSE = 2
+TAG_TRUE = 3
+TAG_INT = 4
+TAG_FLOAT = 5
+TAG_STR = 6
+TAG_ITEM = 7
+TAG_BAG = 8
+TAG_SET = 9
+TAG_OBJ = 10  # fallback store (e.g. ints beyond 64 bits)
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+#: Marker object distinguishing "attribute missing" from an explicit None.
+MISSING = object()
+
+
+def _new_item(pairs: tuple[tuple[str, Any], ...]) -> DataItem:
+    """Rebuild a DataItem from already-coerced pairs (no validation pass)."""
+    item = DataItem.__new__(DataItem)
+    item._pairs = pairs
+    item._index = {name: position for position, (name, _) in enumerate(pairs)}
+    item._hash = None
+    return item
+
+
+def _new_collection(cls: type, elements: tuple[Any, ...]):
+    """Rebuild a Bag/NestedSet from already-coerced elements."""
+    collection = cls.__new__(cls)
+    collection._items = elements
+    collection._hash = None
+    return collection
+
+
+class StrStore:
+    """Flat string storage: one blob plus an offset table.
+
+    Strings concatenate into a single ``str`` so pickling moves one buffer;
+    ``offsets`` has length ``count + 1`` and string *i* is
+    ``blob[offsets[i]:offsets[i+1]]``.
+    """
+
+    __slots__ = ("_parts", "blob", "offsets")
+
+    def __init__(self) -> None:
+        self._parts: list[str] | None = []
+        self.blob = ""
+        self.offsets = array("q", [0])
+
+    def append(self, value: str) -> None:
+        assert self._parts is not None
+        self._parts.append(value)
+        self.offsets.append(self.offsets[-1] + len(value))
+
+    def seal(self) -> None:
+        """Join the staged parts into the final blob (encode epilogue)."""
+        if self._parts is not None:
+            self.blob = "".join(self._parts)
+            self._parts = None
+
+    def get(self, index: int) -> str:
+        if self._parts is not None:
+            return self._parts[index]
+        return self.blob[self.offsets[index] : self.offsets[index + 1]]
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def nbytes(self) -> int:
+        return len(self.blob) + len(self.offsets) * 8
+
+    def __getstate__(self):
+        self.seal()
+        return (self.blob, self.offsets)
+
+    def __setstate__(self, state) -> None:
+        self.blob, self.offsets = state
+        self._parts = None
+
+
+class ListStore:
+    """Offset-encoded nested collections: one flattened element column.
+
+    Collection *i* (a bag or set, by ``kinds[i]``) holds the elements
+    ``elements[offsets[i] : offsets[i+1]]`` -- the paper-style nested bag
+    laid out as one value column per nesting level.
+    """
+
+    __slots__ = ("offsets", "kinds", "elements")
+
+    def __init__(self) -> None:
+        #: offsets[i]..offsets[i+1] delimit collection i in ``elements``.
+        self.offsets = array("q", [0])
+        #: 0 = Bag, 1 = NestedSet, per collection.
+        self.kinds = array("b")
+        self.elements = VariantColumn()
+
+    def append(self, value: Bag | NestedSet) -> None:
+        for element in value.items():
+            self.elements.append(element)
+        self.offsets.append(len(self.elements))
+        self.kinds.append(1 if isinstance(value, NestedSet) else 0)
+
+    def get(self, index: int) -> Bag | NestedSet:
+        start, stop = self.offsets[index], self.offsets[index + 1]
+        elements = tuple(self.elements.get(i) for i in range(start, stop))
+        return _new_collection(NestedSet if self.kinds[index] else Bag, elements)
+
+    def length_of(self, index: int) -> int:
+        return self.offsets[index + 1] - self.offsets[index]
+
+    def element_range(self, index: int) -> range:
+        return range(self.offsets[index], self.offsets[index + 1])
+
+    def take(self, indices: Sequence[int]) -> "ListStore":
+        out = ListStore()
+        element_indices: list[int] = []
+        total = 0
+        for index in indices:
+            start, stop = self.offsets[index], self.offsets[index + 1]
+            element_indices.extend(range(start, stop))
+            total += stop - start
+            out.offsets.append(total)
+            out.kinds.append(self.kinds[index])
+        out.elements = self.elements.take(element_indices)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def nbytes(self) -> int:
+        return len(self.offsets) * 8 + len(self.kinds) + self.elements.nbytes()
+
+    def seal(self) -> None:
+        self.elements.seal()
+
+
+class VariantColumn:
+    """N values of mixed kinds: a tag byte + dense per-kind stores."""
+
+    __slots__ = ("tags", "pos", "ints", "floats", "strs", "items", "lists", "objs")
+
+    def __init__(self) -> None:
+        self.tags = array("b")
+        #: Index of each value inside its kind's dense store (0 for kinds
+        #: without a store: missing / null / booleans).
+        self.pos = array("q")
+        self.ints = array("q")
+        self.floats = array("d")
+        self.strs = StrStore()
+        self.items: StructColumn | None = None
+        self.lists: ListStore | None = None
+        self.objs: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    # -- encode -------------------------------------------------------------
+
+    def append(self, value: Any) -> None:
+        if value is MISSING:
+            self.tags.append(TAG_MISSING)
+            self.pos.append(0)
+        elif value is None:
+            self.tags.append(TAG_NONE)
+            self.pos.append(0)
+        elif value is True:
+            self.tags.append(TAG_TRUE)
+            self.pos.append(0)
+        elif value is False:
+            self.tags.append(TAG_FALSE)
+            self.pos.append(0)
+        elif type(value) is int:
+            if _INT64_MIN <= value <= _INT64_MAX:
+                self.tags.append(TAG_INT)
+                self.pos.append(len(self.ints))
+                self.ints.append(value)
+            else:
+                self.tags.append(TAG_OBJ)
+                self.pos.append(len(self.objs))
+                self.objs.append(value)
+        elif type(value) is float:
+            self.tags.append(TAG_FLOAT)
+            self.pos.append(len(self.floats))
+            self.floats.append(value)
+        elif type(value) is str:
+            self.tags.append(TAG_STR)
+            self.pos.append(len(self.strs))
+            self.strs.append(value)
+        elif isinstance(value, DataItem):
+            if self.items is None:
+                self.items = StructColumn()
+            self.tags.append(TAG_ITEM)
+            self.pos.append(len(self.items))
+            self.items.append(value)
+        elif isinstance(value, (Bag, NestedSet)):
+            if self.lists is None:
+                self.lists = ListStore()
+            self.tags.append(TAG_BAG if isinstance(value, Bag) else TAG_SET)
+            self.pos.append(len(self.lists))
+            self.lists.append(value)
+        elif isinstance(value, bool):  # bool subclass guard (rare)
+            self.tags.append(TAG_TRUE if value else TAG_FALSE)
+            self.pos.append(0)
+        elif isinstance(value, int):  # int subclasses
+            self.tags.append(TAG_OBJ)
+            self.pos.append(len(self.objs))
+            self.objs.append(value)
+        elif isinstance(value, float):
+            self.tags.append(TAG_FLOAT)
+            self.pos.append(len(self.floats))
+            self.floats.append(value)
+        elif isinstance(value, str):
+            self.tags.append(TAG_STR)
+            self.pos.append(len(self.strs))
+            self.strs.append(value)
+        else:
+            self.tags.append(TAG_OBJ)
+            self.pos.append(len(self.objs))
+            self.objs.append(value)
+
+    # -- decode -------------------------------------------------------------
+
+    def get(self, index: int) -> Any:
+        """Decode value *index* back into the nested data model.
+
+        Raises ``LookupError`` for a MISSING slot (callers use
+        :meth:`get_or_missing` when absence is expected).
+        """
+        value = self.get_or_missing(index)
+        if value is MISSING:
+            raise LookupError(f"value {index} is missing")
+        return value
+
+    def get_or_missing(self, index: int) -> Any:
+        tag = self.tags[index]
+        if tag == TAG_MISSING:
+            return MISSING
+        if tag == TAG_NONE:
+            return None
+        if tag == TAG_TRUE:
+            return True
+        if tag == TAG_FALSE:
+            return False
+        pos = self.pos[index]
+        if tag == TAG_INT:
+            return self.ints[pos]
+        if tag == TAG_FLOAT:
+            return self.floats[pos]
+        if tag == TAG_STR:
+            return self.strs.get(pos)
+        if tag == TAG_ITEM:
+            assert self.items is not None
+            return self.items.get(pos)
+        if tag == TAG_BAG or tag == TAG_SET:
+            assert self.lists is not None
+            return self.lists.get(pos)
+        return self.objs[pos]
+
+    # -- column surgery ------------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "VariantColumn":
+        """Gather rows *indices* (with repetition) into a new column.
+
+        A negative index encodes an explicit null in the output -- the
+        flatten kernel uses it for ``outer`` rows whose collection is empty.
+        """
+        out = VariantColumn()
+        item_rows: list[int] = []
+        list_rows: list[int] = []
+        tags = self.tags
+        pos = self.pos
+        for index in indices:
+            if index < 0:
+                out.tags.append(TAG_NONE)
+                out.pos.append(0)
+                continue
+            tag = tags[index]
+            out.tags.append(tag)
+            if tag <= TAG_TRUE:  # missing/null/bool: no store
+                out.pos.append(0)
+            elif tag == TAG_INT:
+                out.pos.append(len(out.ints))
+                out.ints.append(self.ints[pos[index]])
+            elif tag == TAG_FLOAT:
+                out.pos.append(len(out.floats))
+                out.floats.append(self.floats[pos[index]])
+            elif tag == TAG_STR:
+                out.pos.append(len(out.strs))
+                out.strs.append(self.strs.get(pos[index]))
+            elif tag == TAG_ITEM:
+                out.pos.append(len(item_rows))
+                item_rows.append(pos[index])
+            elif tag == TAG_BAG or tag == TAG_SET:
+                out.pos.append(len(list_rows))
+                list_rows.append(pos[index])
+            else:
+                out.pos.append(len(out.objs))
+                out.objs.append(self.objs[pos[index]])
+        if item_rows:
+            assert self.items is not None
+            out.items = self.items.take(item_rows)
+        if list_rows:
+            assert self.lists is not None
+            out.lists = self.lists.take(list_rows)
+        return out
+
+    def take_shared(self, indices: Sequence[int]) -> "VariantColumn":
+        """Gather rows *indices* sharing the dense stores by reference.
+
+        Only ``tags``/``pos`` are materialised; ints, floats, strings, nested
+        structs and collections stay references to this column's (sealed,
+        immutable) stores.  That makes an expanding gather -- the flatten
+        kernel repeats each input row once per collection element -- O(rows)
+        integer work with zero value copying, at the price of retaining the
+        full input stores.  Negative indices encode explicit nulls, as in
+        :meth:`take`.
+        """
+        tags = self.tags
+        pos = self.pos
+        out = VariantColumn()
+        out_tags = out.tags
+        out_pos = out.pos
+        for index in indices:
+            if index < 0:
+                out_tags.append(TAG_NONE)
+                out_pos.append(0)
+            else:
+                out_tags.append(tags[index])
+                out_pos.append(pos[index])
+        out.ints = self.ints
+        out.floats = self.floats
+        out.strs = self.strs
+        out.items = self.items
+        out.lists = self.lists
+        out.objs = self.objs
+        return out
+
+    def raw_values(self) -> list[Any]:
+        """Decode every value (MISSING slots decode to ``MISSING``)."""
+        return [self.get_or_missing(index) for index in range(len(self.tags))]
+
+    def without_missing(self) -> "VariantColumn":
+        """A view with MISSING slots read as explicit nulls (shares stores).
+
+        Projection semantics: ``col("absent")`` evaluates to ``None``, so a
+        column lifted out of a struct into a select/with_column output must
+        surface its holes as nulls.
+        """
+        if TAG_MISSING not in self.tags:
+            return self
+        out = VariantColumn()
+        out.tags = array(
+            "b", (TAG_NONE if tag == TAG_MISSING else tag for tag in self.tags)
+        )
+        out.pos = self.pos
+        out.ints = self.ints
+        out.floats = self.floats
+        out.strs = self.strs
+        out.items = self.items
+        out.lists = self.lists
+        out.objs = self.objs
+        return out
+
+    def nbytes(self) -> int:
+        total = len(self.tags) + len(self.pos) * 8 + len(self.ints) * 8
+        total += len(self.floats) * 8 + self.strs.nbytes()
+        if self.items is not None:
+            total += self.items.nbytes()
+        if self.lists is not None:
+            total += self.lists.nbytes()
+        total += 64 * len(self.objs)  # rough fallback estimate
+        return total
+
+    def seal(self) -> None:
+        self.strs.seal()
+        if self.items is not None:
+            self.items.seal()
+        if self.lists is not None:
+            self.lists.seal()
+
+
+class StructColumn:
+    """N struct values: dictionary-encoded shapes + one column per attribute.
+
+    ``shapes`` holds the distinct ordered attribute-name tuples; ``shape_ids``
+    names each row's shape (attribute *order* matters for item equality).
+    ``columns[name]`` is a full-length :class:`VariantColumn` whose rows
+    outside the attribute's shapes are tagged MISSING.
+    """
+
+    __slots__ = ("shapes", "shape_ids", "columns", "_shape_index")
+
+    def __init__(self) -> None:
+        self.shapes: list[tuple[str, ...]] = []
+        self.shape_ids = array("q")
+        self.columns: dict[str, VariantColumn] = {}
+        self._shape_index: dict[tuple[str, ...], int] | None = {}
+
+    def __len__(self) -> int:
+        return len(self.shape_ids)
+
+    def append(self, item: DataItem) -> None:
+        if self._shape_index is None:  # after unpickle: rebuild lazily
+            self._shape_index = {shape: sid for sid, shape in enumerate(self.shapes)}
+        row = len(self.shape_ids)
+        pairs = item.pairs()
+        shape = tuple(name for name, _ in pairs)
+        shape_id = self._shape_index.get(shape)
+        if shape_id is None:
+            shape_id = len(self.shapes)
+            self.shapes.append(shape)
+            self._shape_index[shape] = shape_id
+        self.shape_ids.append(shape_id)
+        for name, value in pairs:
+            column = self.columns.get(name)
+            if column is None:
+                column = VariantColumn()
+                for _ in range(row):  # backfill rows before first occurrence
+                    column.tags.append(TAG_MISSING)
+                    column.pos.append(0)
+                self.columns[name] = column
+            column.append(value)
+        for name, column in self.columns.items():
+            if len(column) == row:  # attribute absent from this item
+                column.tags.append(TAG_MISSING)
+                column.pos.append(0)
+
+    def get(self, index: int) -> DataItem:
+        shape = self.shapes[self.shape_ids[index]]
+        columns = self.columns
+        return _new_item(tuple((name, columns[name].get(index)) for name in shape))
+
+    def take(self, indices: Sequence[int]) -> "StructColumn":
+        out = StructColumn()
+        out.shapes = list(self.shapes)
+        out._shape_index = None
+        shape_ids = self.shape_ids
+        out.shape_ids = array("q", (shape_ids[index] for index in indices))
+        out.columns = {
+            name: column.take(indices) for name, column in self.columns.items()
+        }
+        return out
+
+    def take_shared(self, indices: Sequence[int]) -> "StructColumn":
+        """Gather struct rows sharing every attribute's dense stores.
+
+        The flatten kernel's row expansion repeats whole items; per-value
+        copies there dominated serial columnar runtime, so the gather only
+        materialises ``shape_ids`` and each column's tag/pos arrays (see
+        :meth:`VariantColumn.take_shared`).
+        """
+        out = StructColumn()
+        out.shapes = list(self.shapes)
+        out._shape_index = None
+        shape_ids = self.shape_ids
+        out.shape_ids = array("q", (shape_ids[index] for index in indices))
+        out.columns = {
+            name: column.take_shared(indices)
+            for name, column in self.columns.items()
+        }
+        return out
+
+    # -- kernel surgery ------------------------------------------------------
+
+    def attribute(self, name: str) -> VariantColumn | None:
+        return self.columns.get(name)
+
+    def project(self, names: tuple[str, ...]) -> "StructColumn":
+        """Keep only *names* (in shape order), like ``DataItem.project``...
+
+        except attributes listed but absent from a row stay absent (callers
+        guarantee presence; PruneOp keeps surviving attributes only).
+        """
+        out = StructColumn()
+        out.columns = {
+            name: self.columns[name] for name in names if name in self.columns
+        }
+        remap: dict[int, int] = {}
+        shape_index: dict[tuple[str, ...], int] = {}
+        kept = set(out.columns)
+        for sid, shape in enumerate(self.shapes):
+            new_shape = tuple(name for name in shape if name in kept)
+            new_sid = shape_index.get(new_shape)
+            if new_sid is None:
+                new_sid = len(out.shapes)
+                out.shapes.append(new_shape)
+                shape_index[new_shape] = new_sid
+            remap[sid] = new_sid
+        out._shape_index = shape_index
+        out.shape_ids = array("q", (remap[sid] for sid in self.shape_ids))
+        return out
+
+    @classmethod
+    def uniform(cls, names: tuple[str, ...], columns: Sequence[VariantColumn]) -> "StructColumn":
+        """Build a struct where every row has the same shape (select output)."""
+        out = cls()
+        count = len(columns[0]) if columns else 0
+        out.shapes = [tuple(names)]
+        out._shape_index = {tuple(names): 0}
+        out.shape_ids = array("q", bytes(8 * count))  # all zeros
+        out.columns = dict(zip(names, columns))
+        return out
+
+    def with_attribute(self, name: str, column: VariantColumn) -> "StructColumn":
+        """Replace-or-append attribute *name* (``DataItem.replace`` semantics):
+
+        rows already carrying the attribute keep its position; rows without
+        it append the attribute at the end of their shape.  *column* must be
+        full-length with no MISSING rows.
+        """
+        out = StructColumn()
+        out.columns = dict(self.columns)
+        out.columns[name] = column
+        remap: dict[int, int] = {}
+        shape_index: dict[tuple[str, ...], int] = {}
+        for sid, shape in enumerate(self.shapes):
+            new_shape = shape if name in shape else shape + (name,)
+            new_sid = shape_index.get(new_shape)
+            if new_sid is None:
+                new_sid = len(out.shapes)
+                out.shapes.append(new_shape)
+                shape_index[new_shape] = new_sid
+            remap[sid] = new_sid
+        out._shape_index = shape_index
+        out.shape_ids = array("q", (remap[sid] for sid in self.shape_ids))
+        return out
+
+    def nbytes(self) -> int:
+        total = len(self.shape_ids) * 8
+        total += sum(column.nbytes() for column in self.columns.values())
+        total += sum(len(name) for name in self.columns)
+        return total
+
+    def seal(self) -> None:
+        for column in self.columns.values():
+            column.seal()
+
+    def __getstate__(self):
+        self.seal()
+        return (self.shapes, self.shape_ids, self.columns)
+
+    def __setstate__(self, state) -> None:
+        self.shapes, self.shape_ids, self.columns = state
+        self._shape_index = None
+
+
+def _variant_type_over(column: VariantColumn, indices: Sequence[int]) -> DataType:
+    """Unified nested type of the given value rows, computed column-wise.
+
+    Equivalent to ``unify_all(infer_type(column.get(i)) for i in indices)``
+    (with MISSING rows contributing ``Null``) but without materialising any
+    model value: one pass groups the rows by kind, nested structs and
+    collections recurse over index lists into their dense stores.  ``unify``
+    is associative and commutative for every successful fold -- only struct
+    *field order* is order-sensitive, and struct rows form a single group
+    folded in row order -- so grouping by kind preserves the row-fold result.
+    """
+    tags = column.tags
+    pos = column.pos
+    order: list[int] = []
+    seen = 0  # bitmask of kind groups already ordered
+    item_rows: list[int] = []
+    bag_rows: list[int] = []
+    set_rows: list[int] = []
+    obj_rows: list[int] = []
+    for index in indices:
+        tag = tags[index]
+        if tag == TAG_MISSING or tag == TAG_NONE:
+            continue
+        if tag == TAG_FALSE:
+            tag = TAG_TRUE  # booleans are one group
+        elif tag == TAG_ITEM:
+            item_rows.append(pos[index])
+        elif tag == TAG_BAG:
+            bag_rows.append(pos[index])
+        elif tag == TAG_SET:
+            set_rows.append(pos[index])
+        elif tag == TAG_OBJ:
+            obj_rows.append(pos[index])
+        bit = 1 << tag
+        if not seen & bit:
+            seen |= bit
+            order.append(tag)
+    result: DataType = NULL
+    for tag in order:
+        if tag == TAG_TRUE:
+            group: DataType = BOOLEAN
+        elif tag == TAG_INT:
+            group = INT
+        elif tag == TAG_FLOAT:
+            group = DOUBLE
+        elif tag == TAG_STR:
+            group = STRING
+        elif tag == TAG_ITEM:
+            assert column.items is not None
+            group = struct_type_over(column.items, item_rows)
+        elif tag == TAG_BAG or tag == TAG_SET:
+            lists = column.lists
+            assert lists is not None
+            rows = bag_rows if tag == TAG_BAG else set_rows
+            elements: list[int] = []
+            for row in rows:
+                elements.extend(lists.element_range(row))
+            element_type = _variant_type_over(lists.elements, elements)
+            group = BagType(element_type) if tag == TAG_BAG else SetType(element_type)
+        else:  # TAG_OBJ: fall back to per-value inference
+            group = NULL
+            for row in obj_rows:
+                group = unify(group, infer_type(column.objs[row]))
+        result = unify(result, group)
+    return result
+
+
+def struct_type_over(struct: StructColumn, indices: Sequence[int]) -> StructType:
+    """Unified :class:`StructType` of the given struct rows, column-wise.
+
+    Matches ``unify_all(infer_type(struct.get(i)) for i in indices)`` exactly
+    for successful folds: field-name order merges the rows' shapes in row
+    order (first appearance wins, as struct unification does), and each
+    field's type unifies over its full column -- rows whose shape lacks the
+    field are MISSING there and contribute the neutral ``Null``.
+    """
+    names: list[str] = []
+    known: set[str] = set()
+    seen_shapes: set[int] = set()
+    shape_ids = struct.shape_ids
+    for index in indices:
+        sid = shape_ids[index]
+        if sid in seen_shapes:
+            continue
+        seen_shapes.add(sid)
+        for name in struct.shapes[sid]:
+            if name not in known:
+                known.add(name)
+                names.append(name)
+    return StructType(
+        (name, _variant_type_over(struct.columns[name], indices)) for name in names
+    )
+
+
+class ColumnarPartition:
+    """One partition of top-level data items in columnar layout."""
+
+    __slots__ = ("struct",)
+
+    def __init__(self, struct: StructColumn | None = None):
+        self.struct = struct if struct is not None else StructColumn()
+
+    @classmethod
+    def from_items(cls, items: Iterable[DataItem]) -> "ColumnarPartition":
+        struct = StructColumn()
+        for item in items:
+            struct.append(item)
+        struct.seal()
+        return cls(struct)
+
+    def to_items(self) -> list[DataItem]:
+        struct = self.struct
+        return [struct.get(index) for index in range(len(struct))]
+
+    def iter_items(self) -> Iterator[DataItem]:
+        struct = self.struct
+        for index in range(len(struct)):
+            yield struct.get(index)
+
+    def head_items(self, n: int) -> list[DataItem]:
+        struct = self.struct
+        return [struct.get(index) for index in range(min(n, len(struct)))]
+
+    def get(self, index: int) -> DataItem:
+        return self.struct.get(index)
+
+    def take(self, indices: Sequence[int]) -> "ColumnarPartition":
+        return ColumnarPartition(self.struct.take(indices))
+
+    def slice(self, n: int) -> "ColumnarPartition":
+        if n >= len(self):
+            return self
+        return self.take(range(n))
+
+    def __len__(self) -> int:
+        return len(self.struct)
+
+    def __eq__(self, other: object) -> bool:
+        # Value equality over the decoded rows: pickle round-trips and
+        # re-encodings compare equal even if the physical buffers differ.
+        if not isinstance(other, ColumnarPartition):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return self.to_items() == other.to_items()
+
+    def nbytes(self) -> int:
+        """Estimated resident bytes of the column buffers."""
+        return self.struct.nbytes()
+
+    def __repr__(self) -> str:
+        return f"ColumnarPartition({len(self)} rows, ~{self.nbytes()} bytes)"
+
+
+class ColumnarRows:
+    """Driver-side partition state: provenance ids + columnar data.
+
+    The executor's partition map stores either plain ``list[(pid, item)]``
+    rows or one of these; ``rows()`` decodes on demand (wide stages, final
+    results), while fused stages and the pattern matcher consume the columns
+    directly.
+    """
+
+    __slots__ = ("pids", "data")
+
+    def __init__(self, pids: list | None, data: ColumnarPartition):
+        self.pids = pids
+        self.data = data
+
+    def rows(self) -> list[tuple[Any, DataItem]]:
+        items = self.data.to_items()
+        if self.pids is None:
+            return [(None, item) for item in items]
+        return list(zip(self.pids, items))
+
+    def iter_rows(self) -> Iterator[tuple[Any, DataItem]]:
+        if self.pids is None:
+            for item in self.data.iter_items():
+                yield (None, item)
+        else:
+            yield from zip(self.pids, self.data.iter_items())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        captured = "ids" if self.pids is not None else "plain"
+        return f"ColumnarRows({len(self)} rows, {captured})"
+
+
+# ---------------------------------------------------------------------------
+# Batch expression evaluation
+# ---------------------------------------------------------------------------
+#
+# Kernels evaluate engine expressions against whole columns.  The scalar
+# semantics are reused verbatim -- the same operand functions run per value --
+# but no DataItem is ever materialised for rows whose accessed attributes are
+# constants, which is where the row layout burns its time.
+
+
+def _column_values(part: ColumnarPartition, steps: tuple) -> list[Any] | None:
+    """Raw values of a positionless attribute path, or None when unsupported.
+
+    Mirrors ``ColumnExpr.evaluate`` exactly: a missing attribute, a ``None``
+    along the way, and navigation into a non-struct value all yield ``None``
+    (``resolves_in`` swallows the :class:`PathEvaluationError`).  Only
+    positional steps are unsupported -- the caller falls back to rows.
+    """
+    struct: StructColumn | None = part.struct
+    count = len(part)
+    rows: list[int] | None = None  # None = identity mapping
+    out: list[Any] = [None] * count
+    pending = list(range(count))
+    for depth, step in enumerate(steps):
+        if step.pos is not None:
+            return None  # positional access: row fallback
+        if struct is None:
+            return out
+        column = struct.attribute(step.name)
+        if column is None:
+            return out  # attribute nowhere present: all None
+        last = depth == len(steps) - 1
+        if last:
+            for out_index in pending:
+                row = out_index if rows is None else rows[out_index]
+                value = column.get_or_missing(row)
+                out[out_index] = None if value is MISSING else value
+            return out
+        # Descend: only rows whose value here is a struct continue; every
+        # other kind (missing, null, constant, collection) evaluates to None.
+        tags = column.tags
+        pos = column.pos
+        next_pending: list[int] = []
+        next_rows: list[int] = []
+        for out_index in pending:
+            row = out_index if rows is None else rows[out_index]
+            if tags[row] == TAG_ITEM:
+                next_pending.append(out_index)
+                next_rows.append(pos[row])
+        struct = column.items
+        pending = next_pending
+        rows = next_rows
+    return out
+
+
+def evaluate_batch(expression: Any, part: ColumnarPartition) -> list[Any] | None:
+    """Evaluate *expression* over every row of *part*.
+
+    Returns the value list, or ``None`` when the expression reaches outside
+    the supported subset (positional paths, struct constructors, UDFs) --
+    the caller then decodes and evaluates row-at-a-time.
+    """
+    # Imported lazily: expressions.py must not depend on the columnar layout.
+    from repro.engine.expressions import (
+        AliasedExpr,
+        BinaryExpr,
+        ColumnExpr,
+        FunctionExpr,
+        LiteralExpr,
+        UnaryExpr,
+    )
+
+    if isinstance(expression, AliasedExpr):
+        return evaluate_batch(expression.inner, part)
+    if isinstance(expression, LiteralExpr):
+        return [expression.value] * len(part)
+    if isinstance(expression, ColumnExpr):
+        return _column_values(part, tuple(expression.path.steps))
+    if isinstance(expression, UnaryExpr):
+        operand = evaluate_batch(expression.operand, part)
+        if operand is None:
+            return None
+        fn = expression.fn
+        return [fn(value) for value in operand]
+    if isinstance(expression, BinaryExpr):
+        left = evaluate_batch(expression.left, part)
+        if left is None:
+            return None
+        right = evaluate_batch(expression.right, part)
+        if right is None:
+            return None
+        fn = expression.fn
+        return [fn(a, b) for a, b in zip(left, right)]
+    if isinstance(expression, FunctionExpr):
+        operands = [evaluate_batch(operand, part) for operand in expression.operands]
+        if any(operand is None for operand in operands):
+            return None
+        fn = expression.fn
+        return [fn(*values) for values in zip(*operands)] if operands else None
+    return None
+
+
+def column_for_values(values: Sequence[Any]) -> VariantColumn:
+    """Build a full-length column from expression results.
+
+    Values are coerced into the model first, matching what ``DataItem``'s
+    constructor does to projection results in the row layout (model values
+    and constants pass through untouched).
+    """
+    column = VariantColumn()
+    for value in values:
+        column.append(coerce_value(value))
+    return column
+
+
+def null_column(count: int) -> VariantColumn:
+    """A column of *count* explicit nulls (outer-flatten over no collections)."""
+    column = VariantColumn()
+    column.tags = array("b", bytes([TAG_NONE])) * count
+    column.pos = array("q", bytes(8)) * count
+    return column
+
+
+# ---------------------------------------------------------------------------
+# Tree-pattern candidate pre-filtering
+# ---------------------------------------------------------------------------
+
+
+def candidate_indices(pattern: Any, part: ColumnarPartition) -> list[int] | None:
+    """Rows of *part* that can possibly match *pattern* (a superset).
+
+    Vectorized pre-filter for the tree-pattern matcher: only surviving rows
+    are decoded into items and matched individually.  The filter is
+    conservative -- it never drops a row the full matcher would accept:
+
+    * A root-level **parent-child** node requires its attribute present at
+      the item's top level (``_direct_candidates`` over a struct yields only
+      the named attribute), so MISSING-tagged rows are out.  Nodes whose
+      count constraint has ``low == 0`` impose no presence requirement
+      (``[0,h]`` is an upper bound; ``[0,0]`` is negation) and are skipped.
+    * An **equality** constraint additionally rejects rows whose top-level
+      value is a *constant* of a different value: constants have no elements
+      to expand and no deeper candidates, so the sole candidate fails.
+      Struct/collection/fallback values always survive to the full matcher.
+
+    Returns ``None`` when no pattern node is usable for filtering (match
+    everything), or the surviving row indices otherwise.
+    """
+    from repro.core.treepattern.pattern import Edge, NO_EQUALS
+
+    alive: list[int] | None = None
+    for node in pattern.children:
+        if node.edge != Edge.CHILD or node.name == "*":
+            continue  # descendant/wildcard nodes: no cheap column test
+        if node.count is not None and node.count[0] == 0:
+            continue
+        column = part.struct.attribute(node.name)
+        if column is None:
+            return []  # the attribute exists nowhere: nothing matches
+        tags = column.tags
+        check_equals = node.equals is not NO_EQUALS
+        kept: list[int] = []
+        for row in range(len(part)) if alive is None else alive:
+            tag = tags[row]
+            if tag == TAG_MISSING:
+                continue
+            if check_equals and TAG_NONE <= tag <= TAG_STR:
+                if column.get_or_missing(row) != node.equals:
+                    continue
+            kept.append(row)
+        if not kept:
+            return []
+        alive = kept
+    return alive
+
+
+def match_columnar(pattern: Any, partition: ColumnarRows) -> list:
+    """Tree-pattern match one columnar partition (vectorized pre-filter).
+
+    Candidate rows are narrowed with :func:`candidate_indices` over the raw
+    columns; only survivors are decoded into items and run through the full
+    per-item matcher.  Candidates come back in ascending row order, so the
+    match list is identical to the row layout's ``match_rows``.
+    """
+    from repro.core.treepattern.matcher import PatternMatch, match_item
+
+    part = partition.data
+    candidates = candidate_indices(pattern, part)
+    indices: Sequence[int] = range(len(part)) if candidates is None else candidates
+    pids = partition.pids
+    matches = []
+    for index in indices:
+        item = part.get(index)
+        paths = match_item(pattern, item)
+        if paths is not None:
+            item_id = pids[index] if pids is not None else None
+            matches.append(PatternMatch(item_id, item, paths))
+    return matches

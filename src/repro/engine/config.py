@@ -11,7 +11,8 @@ The config is immutable and **keyword-only**; derive variants with
 :meth:`replace` / :meth:`with_partitions`.  :meth:`from_env` builds the
 process-wide default and honours environment overrides (``REPRO_SCHEDULER``,
 ``REPRO_OPTIMIZE``, ``REPRO_MAX_WORKERS``, ``REPRO_TASK_TIMEOUT``,
-``REPRO_MAX_RETRIES``, ``REPRO_RETRY_BACKOFF``, ``REPRO_FAULTS``) so an
+``REPRO_MAX_RETRIES``, ``REPRO_RETRY_BACKOFF``, ``REPRO_FAULTS``,
+``REPRO_LAYOUT``) so an
 entire test suite or benchmark run can be switched to, say, the process-pool
 scheduler without touching call sites.  Environment variables are overrides;
 every knob is equally settable in code:
@@ -47,6 +48,10 @@ ALL_RULES: tuple[str, ...] = ("pushdown", "prune", "fuse")
 
 _SCHEDULERS = ("serial", "threads", "processes")
 
+#: Partition representations: per-record nested objects vs the offset-encoded
+#: columnar layout of :mod:`repro.engine.columnar`.
+_LAYOUTS = ("rows", "columnar")
+
 
 @dataclass(frozen=True, kw_only=True)
 class EngineConfig:
@@ -72,6 +77,11 @@ class EngineConfig:
     retry_backoff: float = 0.05
     #: Fault-injection spec (see :mod:`repro.engine.faults`); ``None`` off.
     faults: str | None = None
+    #: Partition representation: ``"columnar"`` (offset-encoded columns with
+    #: batch operator kernels, the default) or ``"rows"`` (per-record nested
+    #: objects, the seed layout).  The layouts are result- and
+    #: provenance-equivalent; ``REPRO_LAYOUT=rows`` restores the seed path.
+    layout: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -79,6 +89,10 @@ class EngineConfig:
         if self.scheduler not in _SCHEDULERS:
             raise ExecutionError(
                 f"unknown scheduler {self.scheduler!r}; pick one of {_SCHEDULERS}"
+            )
+        if self.layout not in _LAYOUTS:
+            raise ExecutionError(
+                f"unknown layout {self.layout!r}; pick one of {_LAYOUTS}"
             )
         unknown = set(self.rules) - set(ALL_RULES)
         if unknown:
@@ -147,6 +161,9 @@ class EngineConfig:
         faults = os.environ.get("REPRO_FAULTS")
         if faults:
             values["faults"] = faults
+        layout = os.environ.get("REPRO_LAYOUT")
+        if layout:
+            values["layout"] = layout.strip().lower()
         values.update(overrides)
         return cls(**values)  # type: ignore[arg-type]
 

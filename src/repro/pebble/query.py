@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from repro.core.backtrace.algorithms import Backtracer
 from repro.core.backtrace.result import ProvenanceResult
-from repro.core.treepattern.matcher import match_partitions, seed_structure
+from repro.core.treepattern.matcher import PatternMatch, match_rows, seed_structure
 from repro.core.treepattern.parser import parse_pattern
 from repro.core.treepattern.pattern import TreePattern
+from repro.engine.columnar import ColumnarRows, match_columnar
 from repro.engine.executor import ExecutionResult
 from repro.errors import CaptureDisabledError
 from repro.obs.tracer import get_tracer
@@ -46,7 +47,15 @@ def query_provenance(
     tracer = get_tracer()
     tree_pattern = as_pattern(pattern)
     with tracer.span("pattern-match", "query", pattern=str(pattern)) as span:
-        matches = match_partitions(tree_pattern, execution.partitions)
+        # Columnar partitions match through the vectorized candidate
+        # pre-filter without decoding non-candidates; row partitions take
+        # the per-item path.  Both produce the same match list.
+        matches: list[PatternMatch] = []
+        for partition in execution.raw_partitions:
+            if isinstance(partition, ColumnarRows):
+                matches.extend(match_columnar(tree_pattern, partition))
+            else:
+                matches.extend(match_rows(tree_pattern, partition))
         seeds = seed_structure(matches)
         span.set(matched=len(matches))
     backtracer = Backtracer(execution.store)

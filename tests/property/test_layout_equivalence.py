@@ -1,0 +1,112 @@
+"""Layout-equivalence properties of the columnar capture core.
+
+For random plan shapes, executing under ``layout="columnar"`` -- whole-column
+batch kernels, offset-encoded partitions, raw-buffer pickling -- must be
+indistinguishable from the row layout: byte-identical result rows, serialized
+provenance stores, backtrace answers, and forward traces, across every
+scheduler backend.  The row layout under the serial scheduler is the seed
+execution path, so these properties pin the columnar engine to the seed
+semantics exactly as the optimizer/chaos matrices pin the other axes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.config import EngineConfig
+from repro.pebble.query import query_provenance
+
+from tests.property.test_optimizer_equivalence import (
+    SHAPES,
+    _run,
+    _store_fingerprint,
+)
+
+#: The seed execution path; every columnar configuration must match it.
+BASELINE = ("rows serial", EngineConfig(layout="rows"))
+COLUMNAR_VARIANTS = (
+    ("columnar serial", EngineConfig(layout="columnar")),
+    ("columnar threads", EngineConfig(layout="columnar", scheduler="threads")),
+)
+#: The process pool re-pickles every task; exercised on fewer examples.
+COLUMNAR_PROCS = ("columnar procs", EngineConfig(layout="columnar", scheduler="processes"))
+
+#: Shapes whose fused chains hit every kernel (filter/select/flatten/
+#: with_column/prune) plus wide stages -- the subset worth a process pool.
+_PROCS_SHAPES = ("filter-flatten", "flatten-agg", "with-column", "union")
+
+
+@given(st.sampled_from(sorted(SHAPES)), st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_columnar_rows_and_stores_byte_identical(shape, k):
+    baseline = _run(shape, k, BASELINE[1], capture=True)
+    expected_rows = baseline.rows()
+    expected_blob = baseline.store.serialize()
+    for name, config in COLUMNAR_VARIANTS:
+        execution = _run(shape, k, config, capture=True)
+        assert execution.rows() == expected_rows, name
+        assert execution.store.serialize() == expected_blob, name
+        assert _store_fingerprint(execution.store) == _store_fingerprint(baseline.store), name
+
+
+@given(st.sampled_from(sorted(SHAPES)), st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_columnar_plain_results_identical(shape, k):
+    baseline = _run(shape, k, BASELINE[1], capture=False)
+    for name, config in COLUMNAR_VARIANTS:
+        execution = _run(shape, k, config, capture=False)
+        assert execution.items() == baseline.items(), name
+        if baseline.items():
+            assert execution.schema == baseline.schema, name
+        assert execution.store is None, name
+
+
+@given(st.sampled_from(sorted(SHAPES)), st.integers(min_value=0, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_columnar_backtraces_identical(shape, k):
+    pattern = SHAPES[shape]
+    baseline = _run(shape, k, BASELINE[1], capture=True)
+    expected = query_provenance(baseline, pattern)
+    for name, config in COLUMNAR_VARIANTS:
+        execution = _run(shape, k, config, capture=True)
+        answer = query_provenance(execution, pattern)
+        assert answer.matched_output_ids == expected.matched_output_ids, name
+        assert answer.all_ids() == expected.all_ids(), name
+        assert answer.render() == expected.render(), name
+
+
+@given(st.sampled_from(_PROCS_SHAPES), st.integers(min_value=0, max_value=2))
+@settings(max_examples=6, deadline=None)
+def test_columnar_process_pool_identical(shape, k):
+    baseline = _run(shape, k, BASELINE[1], capture=True)
+    execution = _run(shape, k, COLUMNAR_PROCS[1], capture=True)
+    assert execution.rows() == baseline.rows()
+    assert execution.store.serialize() == baseline.store.serialize()
+    pattern = SHAPES[shape]
+    assert (
+        query_provenance(execution, pattern).render()
+        == query_provenance(baseline, pattern).render()
+    )
+
+
+def test_columnar_forward_traces_identical(tmp_path):
+    """Recorded runs agree end-to-end: warehouse bytes, backtraces from the
+    stored run, and forward traces are identical whichever layout executed
+    (the columnar writer streams rows instead of materialising them)."""
+    from repro.warehouse import Warehouse
+
+    subject = "root{/text}"
+    for shape in ("filter-flatten", "flatten-agg", "union"):
+        results = {}
+        for name, config in (BASELINE, COLUMNAR_VARIANTS[0], COLUMNAR_VARIANTS[1]):
+            execution = _run(shape, 1, config, capture=True)
+            warehouse = Warehouse.open(tmp_path / name.replace(" ", "-") / shape)
+            record = warehouse.record(execution, name=shape)
+            forward = warehouse.forward(record.run_id, subject)
+            back, _ = warehouse.backtrace(record.run_id, SHAPES[shape])
+            results[name] = (
+                sorted(forward.output_ids),
+                forward.matched_input_count,
+                back.render(),
+            )
+        baseline = results[BASELINE[0]]
+        for name, _ in COLUMNAR_VARIANTS:
+            assert results[name] == baseline, (shape, name)

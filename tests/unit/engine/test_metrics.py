@@ -51,7 +51,19 @@ class TestExecutionMetricsJson:
 
     def test_top_level_shape_is_stable(self):
         payload = ExecutionMetrics().to_json()
-        assert set(payload) == {"total_seconds", "scheduler", "operators", "stages"}
+        assert set(payload) == {
+            "total_seconds",
+            "scheduler",
+            "layout",
+            "operators",
+            "stages",
+        }
+        assert set(payload["layout"]) == {
+            "name",
+            "partition_bytes",
+            "kernel_ops",
+            "fallback_ops",
+        }
         assert set(payload["scheduler"]) == {
             "backend",
             "task_attempts",
