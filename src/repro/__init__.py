@@ -48,7 +48,7 @@ from repro.pebble import CapturedExecution, PebbleSession, query_provenance
 from repro.serve.client import ServeClient
 from repro.warehouse import Warehouse
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # primary API

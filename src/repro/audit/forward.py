@@ -39,6 +39,7 @@ byte-identical -- the index is an accelerator, never an oracle.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Iterable
 
 from repro.core.operator_provenance import (
@@ -55,7 +56,9 @@ from repro.engine.executor import ExecutionResult
 from repro.errors import AuditError
 from repro.nested.json_io import _jsonable
 from repro.nested.values import DataItem
+from repro.obs.breakdown import QueryBreakdown, activate, get_breakdown
 from repro.obs.log import get_logger
+from repro.obs.slowlog import observe_query, slow_threshold_seconds
 from repro.obs.tracer import get_tracer
 from repro.pebble.query import as_pattern
 from repro.core.treepattern.matcher import match_item
@@ -215,13 +218,14 @@ class ForwardTracer:
     def match_sources(self, pattern: TreePattern | str) -> list[SubjectMatch]:
         """Match *pattern* against every source's items, in oid order."""
         tree_pattern = as_pattern(pattern)
-        topology = self._topology()
-        matches = []
-        for oid in sorted(topology):
-            if not self._store.is_source(oid):
-                continue
-            ids = self._match_source(tree_pattern, oid)
-            matches.append(SubjectMatch(oid, self._store.source_name(oid), ids))
+        with get_breakdown().phase("pattern_match"):
+            topology = self._topology()
+            matches = []
+            for oid in sorted(topology):
+                if not self._store.is_source(oid):
+                    continue
+                ids = self._match_source(tree_pattern, oid)
+                matches.append(SubjectMatch(oid, self._store.source_name(oid), ids))
         return matches
 
     def _match_source(self, pattern: TreePattern, oid: int) -> tuple[int, ...]:
@@ -232,18 +236,21 @@ class ForwardTracer:
                 if len(term) <= MAX_TERM_LEN
             ]
             if terms:
-                candidates: set[int] | None = None
-                for term in terms:
-                    ids = {
-                        item_id
-                        for source_oid, item_id in index.candidates(term)
-                        if source_oid == oid
-                    }
-                    candidates = ids if candidates is None else candidates & ids
-                    if not candidates:
-                        # TERMS is complete for in-cap terms: no postings
-                        # proves no source item can satisfy the pattern.
-                        return ()
+                with get_breakdown().phase("index_probe"):
+                    candidates: set[int] | None = None
+                    for term in terms:
+                        ids = {
+                            item_id
+                            for source_oid, item_id in index.candidates(term)
+                            if source_oid == oid
+                        }
+                        candidates = ids if candidates is None else candidates & ids
+                        if not candidates:
+                            break
+                if not candidates:
+                    # TERMS is complete for in-cap terms: no postings
+                    # proves no source item can satisfy the pattern.
+                    return ()
                 confirmed = []
                 for item_id in sorted(candidates):
                     item = self._candidate_item(oid, item_id)
@@ -261,9 +268,10 @@ class ForwardTracer:
         """One source item, through the ITEMS byte range when available."""
         store = self._store
         if self._index is not None and isinstance(store, LazyProvenanceStore):
-            item = self._index.source_item(
-                store.run_dir_path, store.manifest, oid, item_id
-            )
+            with get_breakdown().phase("index_probe"):
+                item = self._index.source_item(
+                    store.run_dir_path, store.manifest, oid, item_id
+                )
             if item is not None:
                 return item
         return store.source_item(oid, item_id)
@@ -279,44 +287,47 @@ class ForwardTracer:
         same set: the INPUTS map is complete by construction, and by the
         time an operator is visited all its predecessors have settled.
         """
-        topology = self._topology()
-        order = _forward_order(topology)
-        reached: set[int] = set(seed_ids)
-        decoded = 0
-        skipped = 0
-        store = self._store
-        if self._index is not None:
-            pending: dict[int, set[int]] = {}
+        breakdown = get_breakdown()
+        with breakdown.phase("closure"):
+            topology = self._topology()
+            order = _forward_order(topology)
+            reached: set[int] = set(seed_ids)
+            decoded = 0
+            skipped = 0
+            store = self._store
+            if self._index is not None:
+                pending: dict[int, set[int]] = {}
 
-            def feed(ids: Iterable[int]) -> None:
-                for item_id in ids:
-                    for oid in self._index.consumers(item_id):
-                        pending.setdefault(oid, set()).add(item_id)
+                def feed(ids: Iterable[int]) -> None:
+                    for item_id in ids:
+                        for oid in self._index.consumers(item_id):
+                            pending.setdefault(oid, set()).add(item_id)
 
-            feed(reached)
-            for oid in order:
-                if store.is_source(oid):
-                    continue
-                frontier = pending.get(oid)
-                if not frontier:
-                    skipped += 1
-                    continue
-                outputs = _emit(store.get(oid), frontier)
-                decoded += 1
-                fresh = outputs - reached
-                reached |= fresh
-                feed(fresh)
-        else:
-            for oid in order:
-                if store.is_source(oid):
-                    continue
-                reached |= _emit(store.get(oid), reached)
-                decoded += 1
+                feed(reached)
+                for oid in order:
+                    if store.is_source(oid):
+                        continue
+                    frontier = pending.get(oid)
+                    if not frontier:
+                        skipped += 1
+                        continue
+                    outputs = _emit(store.get(oid), frontier)
+                    decoded += 1
+                    fresh = outputs - reached
+                    reached |= fresh
+                    feed(fresh)
+            else:
+                for oid in order:
+                    if store.is_source(oid):
+                        continue
+                    reached |= _emit(store.get(oid), reached)
+                    decoded += 1
         self._last_stats = {
             "index_used": self._index is not None,
             "operators_decoded": decoded,
             "operators_skipped": skipped,
         }
+        breakdown.count(**self._last_stats)
         return reached
 
     def trace(self, pattern: TreePattern | str) -> ForwardResult:
@@ -333,6 +344,7 @@ class ForwardTracer:
                 (pid, item) for pid, item in rows if pid is not None and pid in reached
             ]
             span.set(inputs=len(seeds), outputs=len(outputs))
+            get_breakdown().count(matched_inputs=len(seeds), outputs=len(outputs))
         return ForwardResult(
             getattr(self._store, "run_id", None),
             tree_pattern.render(),
@@ -474,18 +486,51 @@ def trace_forward(
     use_index: bool = True,
     num_partitions: int | None = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    breakdown: QueryBreakdown | None = None,
 ) -> ForwardResult:
-    """One warehouse-level forward trace (load, index, trace, log)."""
-    record, execution = load_execution(
-        warehouse,
-        run_id,
-        method=method,
-        num_partitions=num_partitions,
-        cache_size=cache_size,
-    )
-    index = warehouse.load_index(record.run_id) if use_index else None
-    tracer = ForwardTracer(execution, index)
-    result = tracer.trace(pattern)
+    """One warehouse-level forward trace (load, index, trace, log).
+
+    Pass a :class:`QueryBreakdown` to collect explain-analyze timings; when
+    ``REPRO_SLOW_QUERY_MS`` is set, one is built regardless so over-budget
+    traces land in the slow log with their breakdown attached.
+    """
+    threshold = slow_threshold_seconds()
+    if breakdown is None and threshold is not None:
+        breakdown = QueryBreakdown()
+    if breakdown is not None:
+        breakdown.start()
+    with activate(breakdown) if breakdown is not None else nullcontext():
+        with get_breakdown().phase("load") if breakdown is not None else nullcontext():
+            record, execution = load_execution(
+                warehouse,
+                run_id,
+                method=method,
+                num_partitions=num_partitions,
+                cache_size=cache_size,
+            )
+            index = warehouse.load_index(record.run_id) if use_index else None
+        tracer = ForwardTracer(execution, index)
+        result = tracer.trace(pattern)
+    if breakdown is not None:
+        store = execution.store
+        if isinstance(store, LazyProvenanceStore):
+            breakdown.count(
+                segments_decoded=store.metrics.misses,
+                cache_hits=store.metrics.hits,
+                cache_misses=store.metrics.misses,
+                bytes_read=store.metrics.bytes_read,
+            )
+        breakdown.count(method=method)
+        breakdown.finish()
+        observe_query(
+            "forward",
+            record.run_id,
+            result.pattern,
+            breakdown.total_seconds,
+            method=method,
+            breakdown=breakdown.to_json(),
+            threshold=threshold,
+        )
     get_logger(record.run_id).event(
         "forward-trace",
         pattern=result.pattern,

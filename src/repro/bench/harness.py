@@ -459,6 +459,18 @@ ABLATION_CONFIGS: tuple[tuple[str, EngineConfig], ...] = (
         "prune+fuse+procs+cols",
         EngineConfig(rules=("prune", "fuse"), scheduler="processes", layout="columnar"),
     ),
+    # The profiler pair mirrors the +trace rung for the sampling profiler:
+    # prof-off is byte-identical config with profile explicitly False, so
+    # its delta against the profile rung is the whole sampling tax -- and
+    # its delta against prune+fuse+cols pins "profiler off costs nothing".
+    (
+        "prune+fuse+cols+prof-off",
+        EngineConfig(rules=("prune", "fuse"), layout="columnar", profile=False),
+    ),
+    (
+        "prune+fuse+cols+profile",
+        EngineConfig(rules=("prune", "fuse"), layout="columnar", profile=True),
+    ),
 )
 
 

@@ -1,0 +1,230 @@
+"""Bench history: append-only JSONL of measurements + regression detection.
+
+Every ``repro bench`` run appends one record per measurement to
+``benchmarks/history/history.jsonl`` (git sha, figure, scale, and the
+measurement's own fields), so the repository accumulates a timeline of its
+own performance.  ``tools/bench_regress.py`` reads that timeline and fails
+when the latest measurement of any (figure, scenario, config) series is
+more than ``threshold`` slower than the rolling baseline -- the median of
+the previous ``window`` observations, which one noisy run cannot drag.
+
+The file format is deliberately dumb: one JSON object per line, unknown
+fields preserved, corrupt lines skipped on read.  ``REPRO_BENCH_HISTORY``
+overrides the path (``off`` disables appending entirely, which keeps test
+runs from touching the checked-in history).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "HISTORY_ENV",
+    "append_history",
+    "read_history",
+    "detect_regressions",
+    "render_regressions",
+    "record_key",
+    "metric_field",
+    "git_sha",
+]
+
+DEFAULT_HISTORY_PATH = "benchmarks/history/history.jsonl"
+HISTORY_ENV = "REPRO_BENCH_HISTORY"
+
+#: Timing-like fields, in preference order; the first one a record carries
+#: is the series' regression metric.  Bytes last: fig8 records no timings,
+#: but a provenance-size blow-up is exactly as much of a regression.
+METRIC_FIELDS = (
+    "seconds",
+    "capture_seconds",
+    "lazy_seconds",
+    "pebble_seconds",
+    "warehouse_seconds",
+    "structural_bytes",
+)
+
+#: Bookkeeping fields that never identify a series.
+_META_FIELDS = ("ts", "ts_iso", "git_sha")
+
+
+def git_sha() -> str:
+    """The current commit's short sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5.0, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def resolve_history_path(path: str | None = None) -> str | None:
+    """Pick the history file: explicit arg > environment > default.
+
+    Returns ``None`` when ``REPRO_BENCH_HISTORY`` is set to ``off`` / ``0``
+    / ``none`` (history disabled).
+    """
+    if path:
+        return path
+    env = os.environ.get(HISTORY_ENV, "").strip()
+    if env.lower() in ("off", "0", "none", "false"):
+        return None
+    return env or DEFAULT_HISTORY_PATH
+
+
+def append_history(
+    figure: str,
+    scale: float,
+    measurements: list[dict[str, Any]],
+    path: str | None = None,
+    sha: str | None = None,
+) -> str | None:
+    """Append one JSONL record per measurement; returns the path written.
+
+    Returns ``None`` without writing when history is disabled via the
+    environment.  The directory is created on first use.
+    """
+    target = resolve_history_path(path)
+    if target is None or not measurements:
+        return target
+    now = time.time()
+    stamp = datetime.fromtimestamp(now, tz=timezone.utc).isoformat()
+    sha = sha if sha is not None else git_sha()
+    destination = Path(target)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with open(destination, "a", encoding="utf-8") as handle:
+        for measurement in measurements:
+            record = {
+                "ts": now,
+                "ts_iso": stamp,
+                "git_sha": sha,
+                "figure": figure,
+                "scale": scale,
+            }
+            record.update(measurement)
+            handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+    return str(destination)
+
+
+def read_history(path: str) -> list[dict[str, Any]]:
+    """Load the history records oldest-first; corrupt lines are skipped."""
+    records: list[dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    parsed = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(parsed, dict):
+                    records.append(parsed)
+    except FileNotFoundError:
+        return []
+    return records
+
+
+def record_key(record: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    """The series identity of a record: its stable, non-metric fields.
+
+    Figure, scale, and every string-valued field (scenario, config_name,
+    operator, ...) identify a series; timings and counters vary per run and
+    do not.
+    """
+    parts: list[tuple[str, str]] = []
+    for field in sorted(record):
+        if field in _META_FIELDS or field in METRIC_FIELDS:
+            continue
+        value = record[field]
+        if field in ("figure", "scale") or isinstance(value, str):
+            parts.append((field, str(value)))
+    return tuple(parts)
+
+
+def metric_field(record: dict[str, Any]) -> str | None:
+    """The field this record's series is judged on (first timing present)."""
+    for field in METRIC_FIELDS:
+        value = record.get(field)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return field
+    return None
+
+
+def detect_regressions(
+    records: list[dict[str, Any]],
+    threshold: float = 0.2,
+    window: int = 5,
+) -> list[dict[str, Any]]:
+    """Compare each series' newest record against its rolling baseline.
+
+    The baseline is the median of up to *window* observations preceding the
+    newest one; a series with a single observation has nothing to compare.
+    Returns one finding per series whose latest metric exceeds
+    ``baseline * (1 + threshold)``.
+    """
+    series: dict[tuple, list[dict[str, Any]]] = {}
+    for record in records:
+        series.setdefault(record_key(record), []).append(record)
+    findings: list[dict[str, Any]] = []
+    for key, group in series.items():
+        latest = group[-1]
+        field = metric_field(latest)
+        if field is None or len(group) < 2:
+            continue
+        previous = [
+            rec[field]
+            for rec in group[-(window + 1):-1]
+            if isinstance(rec.get(field), (int, float))
+            and not isinstance(rec.get(field), bool)
+        ]
+        if not previous:
+            continue
+        baseline = statistics.median(previous)
+        current = latest[field]
+        if baseline <= 0:
+            continue
+        ratio = current / baseline
+        if ratio > 1.0 + threshold:
+            findings.append({
+                "series": dict(key),
+                "metric": field,
+                "baseline": baseline,
+                "latest": current,
+                "ratio": ratio,
+                "samples": len(previous),
+                "git_sha": latest.get("git_sha", "unknown"),
+            })
+    findings.sort(key=lambda f: f["ratio"], reverse=True)
+    return findings
+
+
+def render_regressions(findings: list[dict[str, Any]]) -> str:
+    """Human-readable report, one line per regressed series."""
+    if not findings:
+        return "bench history: no regressions"
+    lines = [f"bench history: {len(findings)} regression(s)"]
+    for finding in findings:
+        series = finding["series"]
+        label = " ".join(
+            f"{name}={value}" for name, value in sorted(series.items())
+        )
+        lines.append(
+            f"  {label}: {finding['metric']} "
+            f"{finding['latest']:.6g} vs baseline {finding['baseline']:.6g} "
+            f"({(finding['ratio'] - 1) * 100:+.1f}%, "
+            f"n={finding['samples']}, at {finding['git_sha']})"
+        )
+    return "\n".join(lines)

@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the raw measurements as JSON")
     bench.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Chrome trace-event JSON of the benchmark runs")
+    bench.add_argument("--history", default=None, metavar="PATH",
+                       help="bench history JSONL to append to "
+                            "(default: benchmarks/history/history.jsonl, "
+                            "or REPRO_BENCH_HISTORY)")
+    bench.add_argument("--no-history", action="store_true",
+                       help="skip appending this run to the bench history")
     serve_bench = bench.add_argument_group("serve", "options for `bench serve`")
     serve_bench.add_argument("--url", default="http://127.0.0.1:9410",
                              help="base URL of a running `repro serve`")
@@ -206,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
     wh_query.add_argument("--partitions", type=int, default=None,
                           help="partition count (default: engine default)")
     wh_query.add_argument("--cache-size", type=int, default=64)
+    wh_query.add_argument("--analyze", action="store_true",
+                          help="print an explain-analyze breakdown: per-phase "
+                               "wall time, segments touched, cache hits")
     wh_query.add_argument("--trace", default=None, metavar="PATH",
                           help="write a Chrome trace-event JSON of the query")
 
@@ -243,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ignore any persisted index (full scan)")
     forward.add_argument("--json", action="store_true", dest="as_json",
                          help="emit the JSON answer instead of the text rendering")
+    forward.add_argument("--analyze", action="store_true",
+                         help="print an explain-analyze breakdown: per-phase "
+                              "wall time, index probes vs scan, rows visited")
     forward.add_argument("--trace", default=None, metavar="PATH",
                          help="write a Chrome trace-event JSON of the trace")
 
@@ -299,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(local --root only)")
     stats.add_argument("--json", action="store_true", dest="as_json",
                        help="emit JSON instead of Prometheus text exposition")
+    stats.add_argument("--slow", action="store_true",
+                       help="print the slow-query ring instead of the registry "
+                            "(this process's, or the server's with --remote)")
 
     serve = commands.add_parser(
         "serve", help="serve provenance queries over a warehouse via HTTP"
@@ -451,7 +466,14 @@ def _measurement_dict(measurement: object) -> dict:
     }
 
 
-def _cmd_bench(figure: str, scale: float, repeats: int, metrics_json: str | None) -> int:
+def _cmd_bench(
+    figure: str,
+    scale: float,
+    repeats: int,
+    metrics_json: str | None,
+    history: str | None = None,
+    no_history: bool = False,
+) -> int:
     measurements: list = []
     if figure == "fig6":
         measurements = measure_capture_overhead(
@@ -494,6 +516,15 @@ def _cmd_bench(figure: str, scale: float, repeats: int, metrics_json: str | None
             "measurements": [_measurement_dict(entry) for entry in measurements],
         }
         _write_json(metrics_json, payload)
+    if measurements and not no_history:
+        from repro.bench.history import append_history
+
+        path = append_history(
+            figure, scale, [_measurement_dict(entry) for entry in measurements],
+            path=history,
+        )
+        if path is not None:
+            print(f"history: appended {len(measurements)} record(s) to {path}")
     return 0
 
 
@@ -578,12 +609,18 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
         return 0
 
     if args.warehouse_command == "query":
+        breakdown = None
+        if args.analyze:
+            from repro.obs.breakdown import QueryBreakdown
+
+            breakdown = QueryBreakdown()
         with _trace_to(args.trace):
             provenance, metrics = warehouse.backtrace(
                 args.run,
                 args.pattern,
                 num_partitions=args.partitions,
                 cache_size=args.cache_size,
+                breakdown=breakdown,
             )
         print(f"query: {args.pattern}")
         print(f"matched result items: {len(provenance.matched_output_ids)}")
@@ -598,6 +635,11 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
             f"(cache hit rate {metrics.hit_rate:.2f}, {metrics.bytes_read} bytes read)"
         )
         print(f"segment cache: {json.dumps(metrics.to_json())}")
+        if breakdown is not None:
+            from repro.obs.breakdown import render_breakdown
+
+            print()
+            print(render_breakdown(breakdown.to_json()))
         return 0
 
     raise AssertionError(
@@ -638,6 +680,11 @@ def _cmd_index(args: argparse.Namespace) -> int:
 def _cmd_trace_forward(args: argparse.Namespace) -> int:
     from repro.warehouse import Warehouse
 
+    breakdown = None
+    if args.analyze:
+        from repro.obs.breakdown import QueryBreakdown
+
+        breakdown = QueryBreakdown()
     warehouse = Warehouse.open(args.root)
     with _trace_to(args.trace):
         result = warehouse.forward(
@@ -645,15 +692,24 @@ def _cmd_trace_forward(args: argparse.Namespace) -> int:
             args.pattern,
             method=args.method,
             use_index=not args.no_index,
+            breakdown=breakdown,
         )
     if args.as_json:
-        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        payload = result.to_json()
+        if breakdown is not None:
+            payload["analyze"] = breakdown.to_json()
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(result.render())
         stats = result.stats
         print(f"\nindex: {'used' if stats['index_used'] else 'absent (full scan)'}  "
               f"operators decoded: {stats['operators_decoded']}  "
               f"skipped: {stats['operators_skipped']}")
+        if breakdown is not None:
+            from repro.obs.breakdown import render_breakdown
+
+            print()
+            print(render_breakdown(breakdown.to_json()))
     return 0
 
 
@@ -736,6 +792,19 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _local_slow_payload() -> dict:
+    """This process's slow-query ring, shaped like ``GET /debug/slow``."""
+    from repro.obs.slowlog import get_slow_log, slow_threshold_seconds
+
+    threshold = slow_threshold_seconds()
+    ring = get_slow_log()
+    return {
+        "threshold_ms": threshold * 1000.0 if threshold is not None else None,
+        "total": ring.total,
+        "entries": ring.snapshot(),
+    }
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     if args.remote and args.root:
         print("stats: use either --root or --remote, not both", file=sys.stderr)
@@ -747,17 +816,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print("stats: --pattern needs a local --root", file=sys.stderr)
             return 2
         client = ServeClient(args.remote)
+        if args.slow:
+            print(json.dumps(client.debug_slow(), indent=2))
+            return 0
         if args.as_json:
             print(json.dumps(client.run_stats(args.run), indent=2))
         else:
             print(client.run_stats(args.run, prometheus=True), end="")
         return 0
     if not args.root:
+        if args.slow:
+            # No warehouse involved: report whatever this process captured.
+            print(json.dumps(_local_slow_payload(), indent=2))
+            return 0
         print("stats: one of --root or --remote is required", file=sys.stderr)
         return 2
     from repro.warehouse import Warehouse
 
     registry = Warehouse.open(args.root).stats(args.run, pattern=args.pattern)
+    if args.slow:
+        # The --pattern query (if any) just ran in-process, so over-budget
+        # work shows up here exactly like it would on a server's /debug/slow.
+        print(json.dumps(_local_slow_payload(), indent=2))
+        return 0
     if args.as_json:
         print(json.dumps(registry.to_json(), indent=2))
     else:
@@ -784,6 +865,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         num_partitions=args.partitions,
     )
+    from repro.obs.profile import profile_enabled
+
+    profiler = None
+    if profile_enabled():
+        from repro.obs.profile import SamplingProfiler
+
+        # One profiler for the server's lifetime: the sampler sees the
+        # worker threads, so server-side query work is attributed too.
+        profiler = SamplingProfiler(stage="serve").start()
     with _trace_to(args.trace):
         service = QueryService.open(config)
         server = ProvenanceServer(service)
@@ -791,7 +881,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  workers: {config.workers}  queue limit: {config.queue_limit}  "
               f"deadline: {config.deadline or 'none'}s")
         print("  endpoints: /healthz /runs /runs/<id> /stats /metrics "
-              "POST /query /forward /audit/sar")
+              "/debug/slow POST /query /forward /audit/sar")
+        if profiler is not None:
+            print("  profiler: sampling (REPRO_PROFILE=on)")
         # Supervisors read the banner through a pipe; don't sit in the buffer.
         sys.stdout.flush()
         server.install_signal_handlers()
@@ -806,6 +898,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print("\nshutting down")
             sys.stdout.flush()
             server.close()
+            if profiler is not None:
+                from repro.obs.profile import profile_out_path
+
+                profiler.stop()
+                out = profile_out_path() or "serve_profile.folded"
+                lines = profiler.write_folded(out)
+                print(f"wrote {out} ({lines} stacks, "
+                      f"{profiler.sample_count} samples)")
     return 0
 
 
@@ -880,7 +980,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.figure == "audit":
             return _cmd_bench_audit(args)
         with _trace_to(args.trace):
-            return _cmd_bench(args.figure, args.scale, args.repeats, args.metrics_json)
+            return _cmd_bench(
+                args.figure, args.scale, args.repeats, args.metrics_json,
+                history=args.history, no_history=args.no_history,
+            )
     if args.command == "heatmap":
         return _cmd_heatmap(args.scale, args.items)
     if args.command == "warehouse":

@@ -12,7 +12,7 @@ The config is immutable and **keyword-only**; derive variants with
 process-wide default and honours environment overrides (``REPRO_SCHEDULER``,
 ``REPRO_OPTIMIZE``, ``REPRO_MAX_WORKERS``, ``REPRO_TASK_TIMEOUT``,
 ``REPRO_MAX_RETRIES``, ``REPRO_RETRY_BACKOFF``, ``REPRO_FAULTS``,
-``REPRO_LAYOUT``) so an
+``REPRO_LAYOUT``, ``REPRO_PROFILE``) so an
 entire test suite or benchmark run can be switched to, say, the process-pool
 scheduler without touching call sites.  Environment variables are overrides;
 every knob is equally settable in code:
@@ -82,6 +82,10 @@ class EngineConfig:
     #: objects, the seed layout).  The layouts are result- and
     #: provenance-equivalent; ``REPRO_LAYOUT=rows`` restores the seed path.
     layout: str = "columnar"
+    #: Attach the sampling profiler (:mod:`repro.obs.profile`) to execution:
+    #: stacks are sampled per stage and written as folded output.  Off by
+    #: default and zero-cost then; ``REPRO_PROFILE=on`` flips it.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -164,6 +168,9 @@ class EngineConfig:
         layout = os.environ.get("REPRO_LAYOUT")
         if layout:
             values["layout"] = layout.strip().lower()
+        profile = os.environ.get("REPRO_PROFILE")
+        if profile:
+            values["profile"] = profile.strip().lower() in ("on", "1", "true", "yes")
         values.update(overrides)
         return cls(**values)  # type: ignore[arg-type]
 

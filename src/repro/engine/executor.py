@@ -78,6 +78,7 @@ from repro.engine.plan import (
 )
 from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.errors import ExecutionError, PlanError, SchemaMismatchError
+from repro.obs.log import get_logger
 from repro.obs.tracer import get_tracer
 from repro.nested.schema import Schema, infer_schema
 from repro.nested.types import StructType, unify
@@ -236,14 +237,25 @@ class Executor:
             capture=self._capturing,
             stages=len(physical.stages),
         )
+        profiler = None
+        if self._config.profile:
+            from repro.obs.profile import SamplingProfiler
+
+            profiler = SamplingProfiler().start()
         # The context-manager protocol shuts the scheduler's pools down on
         # the error path too (a raising stage must not leak worker threads
         # or processes).
-        with make_scheduler(self._config) as scheduler:
-            with run_span, Stopwatch() as watch:
-                for index, stage in enumerate(physical.stages):
-                    self._execute_stage(index, stage, scheduler)
-            self._metrics.record_scheduler(scheduler.name, scheduler.stats)
+        try:
+            with make_scheduler(self._config) as scheduler:
+                with run_span, Stopwatch() as watch:
+                    for index, stage in enumerate(physical.stages):
+                        if profiler is not None:
+                            profiler.mark_stage(f"stage-{index} {stage.kind}")
+                        self._execute_stage(index, stage, scheduler)
+                self._metrics.record_scheduler(scheduler.name, scheduler.stats)
+        finally:
+            if profiler is not None:
+                self._finish_profile(profiler)
         self._metrics.total_seconds = watch.elapsed
         self._metrics.layout = self._config.layout
         if self._columnar:
@@ -263,6 +275,25 @@ class Executor:
             self._metrics,
             physical=physical,
         )
+
+    @staticmethod
+    def _finish_profile(profiler: "SamplingProfiler") -> None:
+        """Stop the run's profiler; export folded stacks and trace markers."""
+        from repro.obs.profile import profile_out_path
+
+        profiler.stop()
+        out = profile_out_path()
+        if out:
+            lines = profiler.write_folded(out)
+            get_logger("engine").event(
+                "profile-written",
+                path=out,
+                lines=lines,
+                samples=profiler.sample_count,
+            )
+        tracer = get_tracer()
+        if tracer.enabled:
+            profiler.merge_into_tracer(tracer)
 
     # -- stage driver --------------------------------------------------------
 
@@ -290,6 +321,7 @@ class Executor:
             slot.rows_out = node_rows_out
             slot.seconds += share
         stage_metrics = StageMetrics(index, stage.kind, stage.label(), stage.logical_oids())
+        stage_metrics.span_id = getattr(span, "span_id", None)
         stage_metrics.rows_in = rows_in
         stage_metrics.rows_out = rows_out
         stage_metrics.seconds = elapsed

@@ -85,6 +85,7 @@ class StageMetrics:
         "rows_out",
         "seconds",
         "partition_rows",
+        "span_id",
     )
 
     def __init__(self, index: int, kind: str, label: str, operator_oids: tuple[int, ...]):
@@ -98,6 +99,9 @@ class StageMetrics:
         self.seconds = 0.0
         #: Output rows per partition -- the skew observable of a stage.
         self.partition_rows: tuple[int, ...] = ()
+        #: The stage's trace-span id when tracing was on; becomes the
+        #: latency histogram's exemplar at publish time.
+        self.span_id: int | None = None
 
     def to_json(self) -> dict:
         return {
@@ -116,7 +120,9 @@ class StageMetrics:
         from repro.obs.metrics import ROWS_BUCKETS, get_registry
 
         registry = registry if registry is not None else get_registry()
-        registry.histogram("repro_stage_seconds", kind=self.kind).observe(self.seconds)
+        registry.histogram("repro_stage_seconds", kind=self.kind).observe(
+            self.seconds, span_id=self.span_id
+        )
         registry.counter("repro_stage_rows_out_total", kind=self.kind).inc(self.rows_out)
         skew = registry.histogram(
             "repro_stage_partition_rows", buckets=ROWS_BUCKETS, kind=self.kind
@@ -329,9 +335,10 @@ class ExecutionMetrics:
         latency by type, capture overhead, stage latency, and per-partition
         row skew.
         """
-        from repro.obs.metrics import get_registry
+        from repro.obs.metrics import get_registry, set_build_info
 
         registry = registry if registry is not None else get_registry()
+        set_build_info(registry, layout=self.layout)
         registry.counter("repro_runs_total").inc()
         registry.histogram("repro_run_seconds").observe(self.total_seconds)
         if self.scheduler_backend:

@@ -9,8 +9,25 @@ Three pillars, one subsystem:
   and fixed-bucket histograms that per-run accounting publishes into, with
   Prometheus text exposition and a JSON dump.
 * :mod:`repro.obs.log` -- structured JSON logging keyed by run id.
+
+Deep-observability extensions ride on the same pillars:
+
+* :mod:`repro.obs.breakdown` -- per-query explain-analyze phase timings
+  (:class:`QueryBreakdown`), threaded through backtrace and forward traces;
+* :mod:`repro.obs.slowlog` -- the ``REPRO_SLOW_QUERY_MS`` over-budget ring
+  buffer behind ``GET /debug/slow`` and ``repro stats --slow``;
+* :mod:`repro.obs.profile` -- a stdlib sampling profiler emitting folded
+  stacks per executor stage (``REPRO_PROFILE=on``).
 """
 
+from repro.obs.breakdown import (
+    NULL_BREAKDOWN,
+    PHASES,
+    QueryBreakdown,
+    activate as activate_breakdown,
+    get_breakdown,
+    render_breakdown,
+)
 from repro.obs.log import RunLogger, enable as enable_logging, get_logger
 from repro.obs.metrics import (
     BYTES_BUCKETS,
@@ -21,7 +38,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     ROWS_BUCKETS,
     get_registry,
+    set_build_info,
     set_registry,
+)
+from repro.obs.profile import SamplingProfiler, profile_enabled, profile_out_path
+from repro.obs.slowlog import (
+    SlowQueryLog,
+    get_slow_log,
+    observe_query,
+    set_slow_log,
+    slow_threshold_seconds,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -52,7 +78,22 @@ __all__ = [
     "LATENCY_BUCKETS",
     "ROWS_BUCKETS",
     "BYTES_BUCKETS",
+    "set_build_info",
     "RunLogger",
     "get_logger",
     "enable_logging",
+    "QueryBreakdown",
+    "NULL_BREAKDOWN",
+    "PHASES",
+    "get_breakdown",
+    "activate_breakdown",
+    "render_breakdown",
+    "SlowQueryLog",
+    "get_slow_log",
+    "set_slow_log",
+    "slow_threshold_seconds",
+    "observe_query",
+    "SamplingProfiler",
+    "profile_enabled",
+    "profile_out_path",
 ]

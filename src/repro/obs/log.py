@@ -1,7 +1,9 @@
 """Structured logging keyed by run id.
 
-Every log record is one JSON object: ``ts`` (unix seconds), ``run_id``,
-``event``, plus arbitrary fields.  Records flow through the stdlib
+Every log record is one JSON object with a fixed key prefix -- ``ts``
+(unix seconds), ``ts_iso`` (the same instant as ISO-8601 UTC, for humans
+and log pipelines that key on lexicographic time), ``run_id``, ``event`` --
+plus arbitrary event fields.  Records flow through the stdlib
 ``logging`` tree under the ``repro.run`` logger, so hosts configure routing
 and levels the usual way; :func:`enable` attaches a stderr (or custom
 stream) handler that emits the JSON lines for CLI use.
@@ -17,11 +19,19 @@ from __future__ import annotations
 import json
 import logging
 import time
+from datetime import datetime, timezone
 from typing import Any, TextIO
 
-__all__ = ["RunLogger", "get_logger", "enable", "LOGGER_NAME"]
+__all__ = ["RunLogger", "get_logger", "enable", "LOGGER_NAME", "EVENT_KEYS"]
 
 LOGGER_NAME = "repro.run"
+
+#: The fixed key prefix of every structured event, in emission order.
+EVENT_KEYS = ("ts", "ts_iso", "run_id", "event")
+
+
+def _iso(ts: float) -> str:
+    return datetime.fromtimestamp(ts, tz=timezone.utc).isoformat()
 
 
 class JsonLineFormatter(logging.Formatter):
@@ -44,10 +54,16 @@ class RunLogger:
         self._logger = logger if logger is not None else logging.getLogger(LOGGER_NAME)
 
     def event(self, event: str, level: int = logging.INFO, **fields: Any) -> None:
-        """Emit one structured record: ``{ts, run_id, event, **fields}``."""
+        """Emit one structured record: ``{ts, ts_iso, run_id, event, **fields}``."""
         if not self._logger.isEnabledFor(level):
             return
-        payload: dict[str, Any] = {"ts": time.time(), "run_id": self.run_id, "event": event}
+        now = time.time()
+        payload: dict[str, Any] = {
+            "ts": now,
+            "ts_iso": _iso(now),
+            "run_id": self.run_id,
+            "event": event,
+        }
         payload.update(fields)
         self._logger.log(level, event, extra={"structured": payload})
 

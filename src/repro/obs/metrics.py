@@ -31,6 +31,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "set_build_info",
     "LATENCY_BUCKETS",
     "ROWS_BUCKETS",
     "BYTES_BUCKETS",
@@ -58,11 +59,21 @@ def _label_key(labels: dict[str, Any] | None) -> Labels:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote, and line feed are the three characters the
+    format requires escaping inside quoted label values; backslash must go
+    first so the other escapes are not themselves re-escaped.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _render_labels(labels: Labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = labels + extra
     if not pairs:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    body = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in pairs)
     return "{" + body + "}"
 
 
@@ -122,7 +133,7 @@ class Histogram:
     """Cumulative-bucket histogram over fixed boundaries."""
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count", "_lock")
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count", "exemplar", "_lock")
 
     def __init__(self, name: str, labels: Labels, buckets: tuple[float, ...]):
         if not buckets or tuple(sorted(buckets)) != tuple(buckets):
@@ -134,17 +145,25 @@ class Histogram:
         self.counts = [0] * (len(buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        #: ``(bucket_index, value, span_id)`` of the largest observation that
+        #: carried a trace-span id -- the OpenMetrics exemplar rendered on
+        #: its bucket line ("which trace explains this histogram's tail?").
+        self.exemplar: tuple[int, float, str] | None = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, span_id: int | str | None = None) -> None:
         index = bisect_left(self.buckets, value)
         with self._lock:
             self.counts[index] += 1
             self.sum += value
             self.count += 1
+            if span_id is not None and (
+                self.exemplar is None or value >= self.exemplar[1]
+            ):
+                self.exemplar = (index, value, str(span_id))
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload = {
             "type": self.kind,
             "name": self.name,
             "labels": dict(self.labels),
@@ -153,15 +172,25 @@ class Histogram:
             "sum": self.sum,
             "count": self.count,
         }
+        if self.exemplar is not None:
+            _, value, span_id = self.exemplar
+            payload["exemplar"] = {"span_id": span_id, "value": value}
+        return payload
+
+    def _bucket_line(self, index: int, le: str, cumulative: int) -> str:
+        line = f'{self.name}_bucket{_render_labels(self.labels, (("le", le),))} {cumulative}'
+        if self.exemplar is not None and self.exemplar[0] == index:
+            _, value, span_id = self.exemplar
+            line += f' # {{span_id="{_escape_label_value(span_id)}"}} {_fmt(value)}'
+        return line
 
     def render(self) -> Iterator[str]:
         cumulative = 0
-        for boundary, bucket_count in zip(self.buckets, self.counts):
+        for index, (boundary, bucket_count) in enumerate(zip(self.buckets, self.counts)):
             cumulative += bucket_count
-            le = (("le", _fmt(boundary)),)
-            yield f"{self.name}_bucket{_render_labels(self.labels, le)} {cumulative}"
+            yield self._bucket_line(index, _fmt(boundary), cumulative)
         cumulative += self.counts[-1]
-        yield f'{self.name}_bucket{_render_labels(self.labels, (("le", "+Inf"),))} {cumulative}'
+        yield self._bucket_line(len(self.buckets), "+Inf", cumulative)
         yield f"{self.name}_sum{_render_labels(self.labels)} {_fmt(self.sum)}"
         yield f"{self.name}_count{_render_labels(self.labels)} {self.count}"
 
@@ -247,6 +276,22 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:
         return f"MetricsRegistry({len(self)} metrics)"
+
+
+def set_build_info(registry: "MetricsRegistry | None" = None, **labels: Any) -> Gauge:
+    """Publish the ``repro_build_info`` gauge (value 1, identity in labels).
+
+    The Prometheus build-info convention: the interesting facts -- package
+    version plus whatever the caller knows (partition layout, component) --
+    ride as labels on a constant-1 gauge, joinable against every other
+    series.  The version label is always present.
+    """
+    from repro import __version__
+
+    registry = registry if registry is not None else get_registry()
+    gauge = registry.gauge("repro_build_info", version=__version__, **labels)
+    gauge.set(1)
+    return gauge
 
 
 # -- the process-wide registry -------------------------------------------------

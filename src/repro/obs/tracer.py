@@ -28,6 +28,7 @@ thread renders as its child without the tracer tracking parents.
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 import time
@@ -46,6 +47,12 @@ __all__ = [
 
 #: Synthetic process id used in exported traces (one trace == one process).
 TRACE_PID = 1
+
+#: Process-wide monotone span ids.  Assigned when a live span opens; the
+#: id is what histogram exemplars reference (``span_id="17"`` in the
+#: OpenMetrics rendering), so a scraped tail latency points back at the
+#: exact span in the exported timeline.  The null tracer assigns none.
+_SPAN_IDS = itertools.count(1)
 
 
 class Span:
@@ -84,13 +91,15 @@ class Span:
 class _SpanHandle:
     """Context manager for one live span; finishes into the owning tracer."""
 
-    __slots__ = ("_tracer", "_name", "_category", "_args", "_start", "_tid")
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_start", "_tid", "span_id")
 
     def __init__(self, tracer: "Tracer", name: str, category: str, args: dict[str, Any]):
         self._tracer = tracer
         self._name = name
         self._category = category
         self._args = args
+        #: Assigned on ``__enter__``; ``None`` before the span opens.
+        self.span_id: int | None = None
 
     def set(self, **args: Any) -> None:
         """Attach further arguments to the span (e.g. counts known at exit)."""
@@ -98,6 +107,7 @@ class _SpanHandle:
 
     def __enter__(self) -> "_SpanHandle":
         self._tid = threading.get_ident()
+        self.span_id = next(_SPAN_IDS)
         self._start = time.perf_counter()
         return self
 
@@ -120,6 +130,10 @@ class _NullSpanHandle:
     """The shared no-op span handle: enter/exit/set do nothing."""
 
     __slots__ = ()
+
+    #: No id while tracing is off -- exemplar call sites pass it straight
+    #: through to ``Histogram.observe``, which then records no exemplar.
+    span_id = None
 
     def set(self, **args: Any) -> None:
         pass

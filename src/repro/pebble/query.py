@@ -16,6 +16,7 @@ from repro.core.treepattern.pattern import TreePattern
 from repro.engine.columnar import ColumnarRows, match_columnar
 from repro.engine.executor import ExecutionResult
 from repro.errors import CaptureDisabledError
+from repro.obs.breakdown import get_breakdown
 from repro.obs.tracer import get_tracer
 
 __all__ = ["query_provenance", "as_pattern"]
@@ -45,22 +46,32 @@ def query_provenance(
             "provenance was not captured for this execution; re-run with capture=True"
         )
     tracer = get_tracer()
+    breakdown = get_breakdown()
     tree_pattern = as_pattern(pattern)
     with tracer.span("pattern-match", "query", pattern=str(pattern)) as span:
-        # Columnar partitions match through the vectorized candidate
-        # pre-filter without decoding non-candidates; row partitions take
-        # the per-item path.  Both produce the same match list.
-        matches: list[PatternMatch] = []
-        for partition in execution.raw_partitions:
-            if isinstance(partition, ColumnarRows):
-                matches.extend(match_columnar(tree_pattern, partition))
-            else:
-                matches.extend(match_rows(tree_pattern, partition))
-        seeds = seed_structure(matches)
+        with breakdown.phase("pattern_match"):
+            # Columnar partitions match through the vectorized candidate
+            # pre-filter without decoding non-candidates; row partitions take
+            # the per-item path.  Both produce the same match list.
+            matches: list[PatternMatch] = []
+            rows_visited = 0
+            for partition in execution.raw_partitions:
+                try:
+                    rows_visited += len(partition)
+                except TypeError:
+                    pass
+                if isinstance(partition, ColumnarRows):
+                    matches.extend(match_columnar(tree_pattern, partition))
+                else:
+                    matches.extend(match_rows(tree_pattern, partition))
+            seeds = seed_structure(matches)
         span.set(matched=len(matches))
+    breakdown.count(rows_visited=rows_visited, matched=len(matches))
     backtracer = Backtracer(execution.store)
     with tracer.span("backtrace", "query", seeds=len(matches)):
-        raw = backtracer.backtrace(execution.root.oid, seeds)
+        with breakdown.phase("closure"):
+            raw = backtracer.backtrace(execution.root.oid, seeds)
     matched_ids = sorted(match.item_id for match in matches if match.item_id is not None)
     with tracer.span("source-resolution", "query", sources=len(raw)):
-        return ProvenanceResult.resolve(execution.store, raw, matched_ids)
+        with breakdown.phase("source_resolution"):
+            return ProvenanceResult.resolve(execution.store, raw, matched_ids)

@@ -86,11 +86,18 @@ class ServeClient:
         pattern: str,
         run_id: str | None = None,
         method: str = "lazy",
+        analyze: bool = False,
     ) -> dict[str, Any]:
-        """Backtrace *pattern* over a stored run (the newest when unnamed)."""
+        """Backtrace *pattern* over a stored run (the newest when unnamed).
+
+        With *analyze* the response carries an ``"analyze"`` block of
+        per-phase timings (and is computed fresh, never from the cache).
+        """
         payload: dict[str, Any] = {"pattern": pattern, "method": method}
         if run_id:
             payload["run"] = run_id
+        if analyze:
+            payload["analyze"] = True
         body, _ = self._request("POST", "/query", payload)
         return json.loads(body)
 
@@ -99,13 +106,20 @@ class ServeClient:
         pattern: str,
         run_id: str | None = None,
         method: str = "lazy",
+        analyze: bool = False,
     ) -> dict[str, Any]:
         """Forward-trace *pattern*: matched source items -> derived outputs."""
         payload: dict[str, Any] = {"pattern": pattern, "method": method}
         if run_id:
             payload["run"] = run_id
+        if analyze:
+            payload["analyze"] = True
         body, _ = self._request("POST", "/forward", payload)
         return json.loads(body)
+
+    def debug_slow(self) -> dict[str, Any]:
+        """The server's slow-query ring (``GET /debug/slow``)."""
+        return self._get_json("/debug/slow")
 
     def sar(
         self,

@@ -7,9 +7,13 @@ Endpoints (all JSON unless noted)::
     GET  /runs/<run_id>           manifest summary + recorded run metrics
     GET  /stats[?run=ID][&format=prometheus]
                                   the per-run registry `repro stats` renders
-    POST /query                   {"pattern": ..., "run": ..., "method": ...}
-    POST /forward                 {"pattern": ..., "run": ..., "method": ...}
+    POST /query                   {"pattern": ..., "run": ..., "method": ...,
+                                   "analyze": bool} -- analyze adds a
+                                  per-phase breakdown and bypasses the cache
+    POST /forward                 {"pattern": ..., "run": ..., "method": ...,
+                                   "analyze": bool}
                                   forward trace: matched inputs -> outputs
+    GET  /debug/slow              the slow-query ring (REPRO_SLOW_QUERY_MS)
     POST /audit/sar               {"subjects": [...], "template": ...,
                                    "run": ..., "method": ...,
                                    "page": ..., "page_size": ...}
@@ -141,10 +145,11 @@ class _Handler(BaseHTTPRequestHandler):
         endpoint = "(unknown)"
         status = 500
         started = perf_counter()
+        handle = None
         try:
             service.check_catalog()
             endpoint, handler = self._dispatch(verb, segments, query)
-            with get_tracer().span(f"request {endpoint}", "serve", verb=verb):
+            with get_tracer().span(f"request {endpoint}", "serve", verb=verb) as handle:
                 status = handler()
         except Exception as exc:  # noqa: BLE001 -- every error becomes a response
             status = error_status(exc)
@@ -156,7 +161,12 @@ class _Handler(BaseHTTPRequestHandler):
                     "serve-error", endpoint=endpoint, error=str(exc)
                 )
         finally:
-            service.observe_request(endpoint, status, perf_counter() - started)
+            service.observe_request(
+                endpoint,
+                status,
+                perf_counter() - started,
+                span_id=getattr(handle, "span_id", None),
+            )
 
     def _dispatch(self, verb, segments, query):
         """Resolve ``(endpoint template, thunk)``; raises for unknown routes."""
@@ -171,6 +181,8 @@ class _Handler(BaseHTTPRequestHandler):
             return "/stats", lambda: self._stats(query)
         if verb == "GET" and segments == ["metrics"]:
             return "/metrics", lambda: self._metrics()
+        if verb == "GET" and segments == ["debug", "slow"]:
+            return "/debug/slow", lambda: self._ok(service.debug_slow())
         if verb == "POST" and segments == ["query"]:
             return "/query", lambda: self._query()
         if verb == "POST" and segments == ["forward"]:
@@ -208,6 +220,7 @@ class _Handler(BaseHTTPRequestHandler):
             pattern,
             run_id=body.get("run"),
             method=body.get("method", "lazy"),
+            analyze=bool(body.get("analyze", False)),
         )
         self._send_json(200, payload)
         return 200
@@ -221,6 +234,7 @@ class _Handler(BaseHTTPRequestHandler):
             pattern,
             run_id=body.get("run"),
             method=body.get("method", "lazy"),
+            analyze=bool(body.get("analyze", False)),
         )
         self._send_json(200, payload)
         return 200

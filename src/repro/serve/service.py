@@ -33,6 +33,7 @@ import json
 import os
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -41,8 +42,10 @@ from repro.audit.sar import DEFAULT_SUBJECT_TEMPLATE, sar_over_tracers
 from repro.core.backtrace.result import ProvenanceResult
 from repro.engine.executor import ExecutionResult
 from repro.errors import ServeError
+from repro.obs.breakdown import QueryBreakdown, activate
 from repro.obs.log import get_logger
-from repro.obs.metrics import Counter, MetricsRegistry, get_registry
+from repro.obs.metrics import Counter, MetricsRegistry, get_registry, set_build_info
+from repro.obs.slowlog import get_slow_log, observe_query, slow_threshold_seconds
 from repro.obs.tracer import get_tracer
 from repro.pebble.query import query_provenance
 from repro.serve.cache import PatternResultCache
@@ -171,6 +174,7 @@ class QueryService:
         #: Test instrumentation: called on the worker thread before each
         #: query executes (lets tests hold workers busy deterministically).
         self.query_hook: Callable[[], None] | None = None
+        set_build_info(self.registry, component="serve")
 
     @classmethod
     def open(cls, config: ServeConfig, registry: MetricsRegistry | None = None) -> "QueryService":
@@ -211,8 +215,11 @@ class QueryService:
     # -- read-only endpoints ---------------------------------------------------
 
     def health(self) -> dict[str, Any]:
+        from repro import __version__
+
         return {
             "status": "ok",
+            "version": __version__,
             "runs": len(self.warehouse),
             "resident_runs": len(self._residents),
             "uptime_seconds": time.time() - self._started,
@@ -254,12 +261,16 @@ class QueryService:
         pattern: str,
         run_id: str | None = None,
         method: str = "lazy",
+        analyze: bool = False,
     ) -> dict[str, Any]:
         """Answer one provenance query; cached, admission-controlled, traced.
 
         Returns the stored payload (run/pattern/method/result/query_seconds)
         plus a per-request ``server`` block carrying the cache verdict and
-        this request's wall time.
+        this request's wall time.  With *analyze* the request bypasses the
+        pattern-result cache (a cached answer has no fresh timings to
+        explain) and the payload gains an ``"analyze"`` breakdown block; the
+        ``"result"`` block is byte-identical either way.
         """
         if method not in QUERY_METHODS:
             raise ServeError(
@@ -271,30 +282,44 @@ class QueryService:
         key = (record.run_id, pattern, method)
         started = time.perf_counter()
         deadline = self.config.effective_deadline()
-        payload, was_hit = self.cache.get_or_compute(
-            key,
-            lambda: self.pool.run(
-                lambda: self._execute_query(record.run_id, pattern, method),
+        if analyze:
+            payload = self.pool.run(
+                lambda: self._execute_query(record.run_id, pattern, method, analyze=True),
                 deadline,
-            ),
-            wait_timeout=deadline,
-        )
+            )
+            was_hit = False
+        else:
+            payload, was_hit = self.cache.get_or_compute(
+                key,
+                lambda: self.pool.run(
+                    lambda: self._execute_query(record.run_id, pattern, method),
+                    deadline,
+                ),
+                wait_timeout=deadline,
+            )
         elapsed = time.perf_counter() - started
         self.registry.counter("repro_serve_queries_total", method=method).inc()
         return dict(payload, server={"cached": was_hit, "seconds": elapsed})
 
-    def _execute_query(self, run_id: str, pattern: str, method: str) -> dict[str, Any]:
+    def _execute_query(
+        self, run_id: str, pattern: str, method: str, analyze: bool = False
+    ) -> dict[str, Any]:
         """The pooled worker body: resolve the resident run and backtrace."""
+        threshold = slow_threshold_seconds()
+        breakdown = QueryBreakdown() if (analyze or threshold is not None) else None
+        if breakdown is not None:
+            breakdown.start()
         if self.query_hook is not None:
             self.query_hook()
-        with get_tracer().span(
-            "serve-query", "serve", run_id=run_id, pattern=pattern, method=method
-        ) as span:
-            resident = self._resident(run_id, method)
-            started = time.perf_counter()
-            result = query_provenance(resident.execution, pattern)
-            seconds = time.perf_counter() - started
-            span.set(matched=len(result.matched_output_ids))
+        with activate(breakdown) if breakdown is not None else nullcontext():
+            with get_tracer().span(
+                "serve-query", "serve", run_id=run_id, pattern=pattern, method=method
+            ) as span:
+                resident = self._resident(run_id, method)
+                started = time.perf_counter()
+                result = query_provenance(resident.execution, pattern)
+                seconds = time.perf_counter() - started
+                span.set(matched=len(result.matched_output_ids))
         get_logger(run_id).event(
             "serve-query",
             pattern=pattern,
@@ -302,13 +327,27 @@ class QueryService:
             matched=len(result.matched_output_ids),
             seconds=seconds,
         )
-        return {
+        payload = {
             "run_id": run_id,
             "pattern": pattern,
             "method": method,
             "result": result_to_json(result),
             "query_seconds": seconds,
         }
+        if breakdown is not None:
+            breakdown.finish()
+            observe_query(
+                "query",
+                run_id,
+                pattern,
+                breakdown.total_seconds,
+                method=method,
+                breakdown=breakdown.to_json(),
+                threshold=threshold,
+            )
+            if analyze:
+                payload["analyze"] = breakdown.to_json()
+        return payload
 
     # -- the audit path --------------------------------------------------------
 
@@ -317,12 +356,15 @@ class QueryService:
         pattern: str,
         run_id: str | None = None,
         method: str = "lazy",
+        analyze: bool = False,
     ) -> dict[str, Any]:
         """Answer one forward provenance query (inputs -> derived outputs).
 
         Same machinery as :meth:`query` -- admission control, deadline,
         pattern-result cache -- with a direction-prefixed cache key so a
         forward and a backward query over the same pattern never collide.
+        *analyze* bypasses the cache and attaches the breakdown, exactly as
+        on the query path.
         """
         if method not in QUERY_METHODS:
             raise ServeError(
@@ -334,31 +376,47 @@ class QueryService:
         key = ("forward", record.run_id, pattern, method)
         started = time.perf_counter()
         deadline = self.config.effective_deadline()
-        payload, was_hit = self.cache.get_or_compute(
-            key,
-            lambda: self.pool.run(
-                lambda: self._execute_forward(record.run_id, pattern, method),
+        if analyze:
+            payload = self.pool.run(
+                lambda: self._execute_forward(
+                    record.run_id, pattern, method, analyze=True
+                ),
                 deadline,
-            ),
-            wait_timeout=deadline,
-        )
+            )
+            was_hit = False
+        else:
+            payload, was_hit = self.cache.get_or_compute(
+                key,
+                lambda: self.pool.run(
+                    lambda: self._execute_forward(record.run_id, pattern, method),
+                    deadline,
+                ),
+                wait_timeout=deadline,
+            )
         elapsed = time.perf_counter() - started
         self.registry.counter(
             "repro_serve_forward_queries_total", method=method
         ).inc()
         return dict(payload, server={"cached": was_hit, "seconds": elapsed})
 
-    def _execute_forward(self, run_id: str, pattern: str, method: str) -> dict[str, Any]:
+    def _execute_forward(
+        self, run_id: str, pattern: str, method: str, analyze: bool = False
+    ) -> dict[str, Any]:
+        threshold = slow_threshold_seconds()
+        breakdown = QueryBreakdown() if (analyze or threshold is not None) else None
+        if breakdown is not None:
+            breakdown.start()
         if self.query_hook is not None:
             self.query_hook()
-        with get_tracer().span(
-            "serve-forward", "serve", run_id=run_id, pattern=pattern, method=method
-        ) as span:
-            resident = self._resident(run_id, method)
-            started = time.perf_counter()
-            result = resident.forward_tracer().trace(pattern)
-            seconds = time.perf_counter() - started
-            span.set(outputs=len(result.output_ids), **result.stats)
+        with activate(breakdown) if breakdown is not None else nullcontext():
+            with get_tracer().span(
+                "serve-forward", "serve", run_id=run_id, pattern=pattern, method=method
+            ) as span:
+                resident = self._resident(run_id, method)
+                started = time.perf_counter()
+                result = resident.forward_tracer().trace(pattern)
+                seconds = time.perf_counter() - started
+                span.set(outputs=len(result.output_ids), **result.stats)
         get_logger(run_id).event(
             "serve-forward",
             pattern=pattern,
@@ -368,13 +426,27 @@ class QueryService:
             seconds=seconds,
             **result.stats,
         )
-        return {
+        payload = {
             "run_id": run_id,
             "pattern": pattern,
             "method": method,
             "result": result.to_json(),
             "query_seconds": seconds,
         }
+        if breakdown is not None:
+            breakdown.finish()
+            observe_query(
+                "forward",
+                run_id,
+                pattern,
+                breakdown.total_seconds,
+                method=method,
+                breakdown=breakdown.to_json(),
+                threshold=threshold,
+            )
+            if analyze:
+                payload["analyze"] = breakdown.to_json()
+        return payload
 
     def sar(
         self,
@@ -501,16 +573,40 @@ class QueryService:
             if store.is_source(oid):
                 store.source_items(oid)
 
+    def debug_slow(self) -> dict[str, Any]:
+        """The slow-query ring: what ``GET /debug/slow`` returns.
+
+        Entries are newest first; ``total`` counts every over-budget query
+        this process observed, evicted entries included.
+        """
+        threshold = slow_threshold_seconds()
+        ring = get_slow_log()
+        return {
+            "threshold_ms": threshold * 1000.0 if threshold is not None else None,
+            "total": ring.total,
+            "entries": ring.snapshot(),
+        }
+
     # -- metrics ---------------------------------------------------------------
 
-    def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
-        """Fold one finished HTTP request into the registry."""
+    def observe_request(
+        self,
+        endpoint: str,
+        status: int,
+        seconds: float,
+        span_id: int | str | None = None,
+    ) -> None:
+        """Fold one finished HTTP request into the registry.
+
+        *span_id* (the request span's id, when tracing is on) becomes the
+        histogram's exemplar: the trace that explains the latency tail.
+        """
         self.registry.counter(
             "repro_serve_requests_total", endpoint=endpoint, status=str(status)
         ).inc()
         self.registry.histogram(
             "repro_serve_request_seconds", endpoint=endpoint
-        ).observe(seconds)
+        ).observe(seconds, span_id=span_id)
 
     def publish_gauges(self) -> None:
         """Refresh the point-in-time gauges before a ``/metrics`` scrape."""

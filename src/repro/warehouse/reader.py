@@ -37,6 +37,7 @@ from repro.engine.metrics import SegmentCacheMetrics
 from repro.engine.plan import PlanNode
 from repro.errors import BacktraceError, ProvenanceError
 from repro.nested.values import DataItem
+from repro.obs.breakdown import get_breakdown
 from repro.obs.tracer import get_tracer
 import repro.warehouse.format as wf
 from repro.warehouse.writer import MANIFEST_NAME, OPS_DIR
@@ -211,7 +212,7 @@ class LazyProvenanceStore:
                 segment=entry["segment"],
                 op_type=entry["op_type"],
                 bytes=entry["record_length"],
-            ):
+            ), get_breakdown().phase("segment_decode"):
                 raw = self._read_range(entry, "offset", "record_length")
                 provenance = wf.decode_operator(wf.Cursor(raw))
             self._operators[oid] = provenance
@@ -237,7 +238,7 @@ class LazyProvenanceStore:
                 "warehouse",
                 segment=entry["segment"],
                 bytes=entry["items_length"],
-            ):
+            ), get_breakdown().phase("segment_decode"):
                 raw = self._read_range(entry, "items_offset", "items_length")
                 _, items = wf.decode_source_items(wf.Cursor(raw))
             self._source_items[oid] = items

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import time
+from contextlib import nullcontext
 from pathlib import Path as FsPath
 from typing import Any
 
@@ -33,8 +34,10 @@ from repro.engine.partition import partition_rows
 from repro.errors import ProvenanceError
 from repro.nested.schema import Schema, infer_schema
 from repro.nested.types import StructType
+from repro.obs.breakdown import QueryBreakdown, activate
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import observe_query, slow_threshold_seconds
 from repro.obs.tracer import get_tracer
 from repro.warehouse.catalog import Catalog, RunRecord
 from repro.warehouse.index import RunIndex, ensure_index
@@ -53,6 +56,9 @@ RUNS_DIR = "runs"
 
 #: Execution accounting recorded next to a run's manifest (``repro stats``).
 METRICS_NAME = "metrics.json"
+
+#: Shared no-op context for the breakdown-off query path.
+_NO_CONTEXT = nullcontext()
 
 
 class Warehouse:
@@ -151,6 +157,7 @@ class Warehouse:
         use_index: bool = True,
         num_partitions: int | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        breakdown: QueryBreakdown | None = None,
     ) -> "ForwardResult":
         """Trace forward: which outputs of a stored run derive from the
         input items matching *pattern*?  The association-level dual of
@@ -165,6 +172,7 @@ class Warehouse:
             use_index=use_index,
             num_partitions=num_partitions,
             cache_size=cache_size,
+            breakdown=breakdown,
         )
 
     def refresh(self) -> bool:
@@ -268,26 +276,58 @@ class Warehouse:
         pattern: TreePattern | str,
         num_partitions: int | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        breakdown: QueryBreakdown | None = None,
     ) -> tuple[ProvenanceResult, SegmentCacheMetrics]:
         """Answer a structural provenance question against a stored run.
 
         Returns the provenance result plus the segment-cache metrics of the
         query, whose miss counter equals the number of operator segments the
-        backtrace actually decoded.
+        backtrace actually decoded.  Pass a started-or-not
+        :class:`QueryBreakdown` to collect per-phase explain-analyze timings;
+        when the ``REPRO_SLOW_QUERY_MS`` budget is set, one is built anyway
+        so over-budget queries land in the slow log with their breakdown.
         """
         from repro.pebble.query import query_provenance
 
-        with get_tracer().span("warehouse-query", "warehouse") as span:
-            execution = self.load(
-                run_id, num_partitions=num_partitions, cache_size=cache_size
-            )
-            result = query_provenance(execution, pattern)
-            assert isinstance(execution.store, LazyProvenanceStore)
-            metrics = execution.store.metrics
-            span.set(
-                run_id=execution.store.run_id,
+        threshold = slow_threshold_seconds()
+        if breakdown is None and threshold is not None:
+            breakdown = QueryBreakdown()
+        if breakdown is not None:
+            breakdown.start()
+        with activate(breakdown) if breakdown is not None else _NO_CONTEXT:
+            with get_tracer().span("warehouse-query", "warehouse") as span:
+                if breakdown is not None:
+                    with breakdown.phase("load"):
+                        execution = self.load(
+                            run_id, num_partitions=num_partitions, cache_size=cache_size
+                        )
+                else:
+                    execution = self.load(
+                        run_id, num_partitions=num_partitions, cache_size=cache_size
+                    )
+                result = query_provenance(execution, pattern)
+                assert isinstance(execution.store, LazyProvenanceStore)
+                metrics = execution.store.metrics
+                span.set(
+                    run_id=execution.store.run_id,
+                    segments_decoded=metrics.misses,
+                    bytes_read=metrics.bytes_read,
+                )
+        if breakdown is not None:
+            breakdown.count(
                 segments_decoded=metrics.misses,
+                cache_hits=metrics.hits,
+                cache_misses=metrics.misses,
                 bytes_read=metrics.bytes_read,
+            )
+            breakdown.finish()
+            observe_query(
+                "backtrace",
+                execution.store.run_id,
+                str(pattern),
+                breakdown.total_seconds,
+                breakdown=breakdown.to_json(),
+                threshold=threshold,
             )
         metrics.publish()
         get_logger(execution.store.run_id).event(

@@ -1,0 +1,163 @@
+"""Unit tests for the bench history JSONL and the regression gate."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.history import (
+    HISTORY_ENV,
+    append_history,
+    detect_regressions,
+    metric_field,
+    read_history,
+    record_key,
+    render_regressions,
+    resolve_history_path,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _ablation(seconds, scenario="T1", config="prune+fuse"):
+    return {
+        "scenario": scenario,
+        "scale": 0.2,
+        "config_name": config,
+        "seconds": seconds,
+        "stdev": 0.001,
+        "rules_fired": ["prune", "fuse"],
+    }
+
+
+class TestAppendAndRead:
+    def test_append_creates_dirs_and_stamps_records(self, tmp_path):
+        target = tmp_path / "nested" / "history.jsonl"
+        written = append_history(
+            "ablation", 0.2, [_ablation(1.0)], path=str(target), sha="abc1234"
+        )
+        assert written == str(target)
+        records = read_history(str(target))
+        assert len(records) == 1
+        record = records[0]
+        assert record["figure"] == "ablation"
+        assert record["scale"] == 0.2
+        assert record["git_sha"] == "abc1234"
+        assert record["seconds"] == 1.0
+        assert record["ts_iso"].endswith("+00:00")
+
+    def test_appends_accumulate(self, tmp_path):
+        target = tmp_path / "h.jsonl"
+        append_history("ablation", 0.2, [_ablation(1.0)], path=str(target))
+        append_history("ablation", 0.2, [_ablation(1.1)], path=str(target))
+        assert [r["seconds"] for r in read_history(str(target))] == [1.0, 1.1]
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        target = tmp_path / "h.jsonl"
+        append_history("ablation", 0.2, [_ablation(1.0)], path=str(target))
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write("not json\n\n[1,2]\n")
+        append_history("ablation", 0.2, [_ablation(1.2)], path=str(target))
+        assert [r["seconds"] for r in read_history(str(target))] == [1.0, 1.2]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_env_can_disable_and_redirect(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HISTORY_ENV, "off")
+        assert resolve_history_path() is None
+        assert append_history("ablation", 0.2, [_ablation(1.0)]) is None
+        redirected = tmp_path / "redirect.jsonl"
+        monkeypatch.setenv(HISTORY_ENV, str(redirected))
+        assert resolve_history_path() == str(redirected)
+        # An explicit path still wins over the environment.
+        assert resolve_history_path("/x/y.jsonl") == "/x/y.jsonl"
+
+
+class TestSeriesIdentity:
+    def test_key_ignores_metrics_and_meta(self):
+        a = _ablation(1.0)
+        b = _ablation(2.5)
+        b["ts_iso"] = "2026-01-01T00:00:00+00:00"
+        b["git_sha"] = "fff"
+        assert record_key(a) == record_key(b)
+        other = _ablation(1.0, config="no-opt")
+        assert record_key(a) != record_key(other)
+
+    def test_metric_prefers_seconds(self):
+        assert metric_field(_ablation(1.0)) == "seconds"
+        assert metric_field({"scenario": "T1", "structural_bytes": 178}) == \
+            "structural_bytes"
+        assert metric_field({"scenario": "T1"}) is None
+
+
+class TestDetectRegressions:
+    def test_flat_series_is_clean(self):
+        records = [_ablation(1.0 + i * 0.001) for i in range(5)]
+        assert detect_regressions(records) == []
+
+    def test_double_latency_is_flagged(self):
+        records = [_ablation(1.0), _ablation(1.02), _ablation(2.0)]
+        findings = detect_regressions(records, threshold=0.2)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding["metric"] == "seconds"
+        assert finding["ratio"] == pytest.approx(2.0 / 1.01)
+        assert finding["series"]["scenario"] == "T1"
+        assert "T1" in render_regressions(findings)
+
+    def test_single_observation_has_no_baseline(self):
+        assert detect_regressions([_ablation(99.0)]) == []
+
+    def test_median_baseline_shrugs_off_one_spike(self):
+        # One historic outlier must not mask (or cause) a regression.
+        records = [
+            _ablation(1.0), _ablation(9.0), _ablation(1.0),
+            _ablation(1.0), _ablation(1.1),
+        ]
+        assert detect_regressions(records, threshold=0.2) == []
+
+    def test_window_bounds_the_baseline(self):
+        # Old fast runs outside the window are forgotten: the series
+        # settled at 2.0 and the latest 2.1 is within budget.
+        records = [_ablation(1.0)] + [_ablation(2.0)] * 5 + [_ablation(2.1)]
+        assert detect_regressions(records, threshold=0.2, window=5) == []
+
+    def test_series_are_independent(self):
+        records = [
+            _ablation(1.0), _ablation(1.0, config="no-opt"),
+            _ablation(1.0), _ablation(3.0, config="no-opt"),
+        ]
+        findings = detect_regressions(records, threshold=0.2)
+        assert [f["series"]["config_name"] for f in findings] == ["no-opt"]
+
+
+class TestRegressGateScript:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "bench_regress.py"), *argv],
+            capture_output=True, text=True, timeout=60,
+        )
+
+    def test_clean_history_exits_zero(self, tmp_path):
+        target = tmp_path / "h.jsonl"
+        append_history("ablation", 0.2, [_ablation(1.0), _ablation(1.0)],
+                       path=str(target))
+        append_history("ablation", 0.2, [_ablation(1.01)], path=str(target))
+        result = self._run("--history", str(target))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no regressions" in result.stdout
+
+    def test_synthetic_2x_regression_exits_nonzero(self, tmp_path):
+        target = tmp_path / "h.jsonl"
+        append_history("ablation", 0.2, [_ablation(1.0)], path=str(target))
+        append_history("ablation", 0.2, [_ablation(2.0)], path=str(target))
+        result = self._run("--history", str(target), "--threshold", "0.2")
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "1 regression(s)" in result.stdout
+
+    def test_missing_history_exits_zero(self, tmp_path):
+        result = self._run("--history", str(tmp_path / "absent.jsonl"))
+        assert result.returncode == 0
+        assert "nothing to compare" in result.stdout

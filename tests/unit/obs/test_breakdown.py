@@ -1,0 +1,107 @@
+"""Unit tests for the explain-analyze query breakdown."""
+
+import time
+
+import pytest
+
+from repro.obs.breakdown import (
+    NULL_BREAKDOWN,
+    PHASES,
+    QueryBreakdown,
+    activate,
+    get_breakdown,
+    render_breakdown,
+)
+
+
+class TestPhaseAccounting:
+    def test_phases_sum_exactly_to_total(self):
+        breakdown = QueryBreakdown()
+        breakdown.start()
+        with breakdown.phase("pattern_match"):
+            time.sleep(0.002)
+        with breakdown.phase("closure"):
+            time.sleep(0.001)
+        breakdown.finish()
+        assert breakdown.total_seconds > 0
+        # Exclusive-time bookkeeping: every elapsed nanosecond lands in
+        # exactly one bucket, so the sum is the total by construction.
+        assert breakdown.phase_sum() == pytest.approx(
+            breakdown.total_seconds, rel=1e-9
+        )
+
+    def test_unattributed_time_lands_in_other(self):
+        breakdown = QueryBreakdown()
+        breakdown.start()
+        time.sleep(0.002)
+        breakdown.finish()
+        assert breakdown.phases.get("other", 0) > 0
+
+    def test_nested_phases_are_exclusive(self):
+        breakdown = QueryBreakdown()
+        breakdown.start()
+        with breakdown.phase("load"):
+            time.sleep(0.002)
+            with breakdown.phase("segment_decode"):
+                time.sleep(0.002)
+        breakdown.finish()
+        assert breakdown.phases["load"] > 0
+        assert breakdown.phases["segment_decode"] > 0
+        assert breakdown.phase_sum() == pytest.approx(
+            breakdown.total_seconds, rel=1e-9
+        )
+
+    def test_counters_accumulate_numbers(self):
+        breakdown = QueryBreakdown()
+        breakdown.count(rows_visited=3, matched=1)
+        breakdown.count(rows_visited=2, index_used=True)
+        assert breakdown.counters["rows_visited"] == 5
+        assert breakdown.counters["matched"] == 1
+        assert breakdown.counters["index_used"] is True
+
+    def test_to_json_orders_phases_canonically(self):
+        breakdown = QueryBreakdown()
+        breakdown.start()
+        with breakdown.phase("closure"):
+            pass
+        with breakdown.phase("load"):
+            pass
+        breakdown.finish()
+        payload = breakdown.to_json()
+        observed = list(payload["phases"])
+        assert observed == [name for name in PHASES if name in observed]
+        assert payload["total_seconds"] == breakdown.total_seconds
+
+
+class TestNullBreakdown:
+    def test_null_is_the_default_and_free(self):
+        assert get_breakdown() is NULL_BREAKDOWN
+        assert NULL_BREAKDOWN.enabled is False
+        with NULL_BREAKDOWN.phase("pattern_match"):
+            pass
+        NULL_BREAKDOWN.count(rows_visited=100)  # a no-op, records nothing
+        assert NULL_BREAKDOWN.phase("x") is NULL_BREAKDOWN.phase("y")
+
+    def test_activate_installs_and_restores(self):
+        breakdown = QueryBreakdown()
+        with activate(breakdown):
+            assert get_breakdown() is breakdown
+            inner = QueryBreakdown()
+            with activate(inner):
+                assert get_breakdown() is inner
+            assert get_breakdown() is breakdown
+        assert get_breakdown() is NULL_BREAKDOWN
+
+
+class TestRendering:
+    def test_render_shows_phases_and_counters(self):
+        breakdown = QueryBreakdown()
+        breakdown.start()
+        with breakdown.phase("pattern_match"):
+            time.sleep(0.001)
+        breakdown.count(rows_visited=7)
+        breakdown.finish()
+        text = render_breakdown(breakdown.to_json())
+        assert "query breakdown:" in text
+        assert "pattern_match" in text
+        assert "rows_visited=7" in text

@@ -4,7 +4,9 @@ import io
 import json
 import logging
 
-from repro.obs.log import LOGGER_NAME, enable, get_logger
+import pytest
+
+from repro.obs.log import EVENT_KEYS, LOGGER_NAME, enable, get_logger
 
 
 def _fresh_stream() -> io.StringIO:
@@ -46,3 +48,31 @@ class TestRunLogger:
         logging.getLogger(LOGGER_NAME).info("plain text")
         payload = json.loads(stream.getvalue())
         assert payload["event"] == "plain text"
+
+    def test_events_lead_with_the_fixed_key_set(self):
+        stream = _fresh_stream()
+        get_logger("run-7").event("slow-query", kind="backtrace", seconds=0.2)
+        payload = json.loads(stream.getvalue())
+        # Every event opens with the same keys in the same order, so log
+        # pipelines can key on position without probing.
+        assert tuple(payload)[: len(EVENT_KEYS)] == EVENT_KEYS
+
+    def test_ts_iso_matches_ts(self):
+        from datetime import datetime, timezone
+
+        stream = _fresh_stream()
+        get_logger("run-7").event("marker")
+        payload = json.loads(stream.getvalue())
+        stamp = datetime.fromisoformat(payload["ts_iso"])
+        assert stamp.tzinfo is not None
+        assert stamp.timestamp() == pytest.approx(payload["ts"], abs=1e-3)
+        assert stamp.astimezone(timezone.utc).tzname() == "UTC"
+
+    def test_run_id_propagates_through_every_event(self):
+        stream = _fresh_stream()
+        logger = get_logger("run-deep")
+        logger.event("one")
+        logger.event("two", extra=1)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["run_id"] == "run-deep" for line in lines)

@@ -7,6 +7,7 @@ from repro.obs.metrics import (
     ROWS_BUCKETS,
     MetricsRegistry,
     get_registry,
+    set_build_info,
     set_registry,
 )
 
@@ -61,6 +62,83 @@ class TestHistogram:
     def test_rejects_unsorted_buckets(self):
         with pytest.raises(ValueError):
             MetricsRegistry().histogram("bad", buckets=(10, 1))
+
+    def test_render_order_is_buckets_inf_sum_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_rows", buckets=(1, 10)).observe(5)
+        lines = [
+            line for line in registry.render_prometheus().splitlines()
+            if line.startswith("repro_rows")
+        ]
+        assert lines == [
+            'repro_rows_bucket{le="1"} 0',
+            'repro_rows_bucket{le="10"} 1',
+            'repro_rows_bucket{le="+Inf"} 1',
+            "repro_rows_sum 5",
+            "repro_rows_count 1",
+        ]
+
+    def test_exemplar_rides_the_max_observation_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_q", buckets=(0.1, 1.0))
+        histogram.observe(0.05, span_id=3)
+        histogram.observe(0.5, span_id=17)
+        histogram.observe(0.2)  # no span: never displaces an exemplar
+        text = registry.render_prometheus()
+        assert 'repro_q_bucket{le="1"} 3 # {span_id="17"} 0.5' in text
+        assert '# {span_id="3"}' not in text
+        payload = histogram.to_json()
+        assert payload["exemplar"] == {"span_id": "17", "value": 0.5}
+
+    def test_no_span_ids_means_no_exemplars(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_q", buckets=(1.0,))
+        histogram.observe(0.5, span_id=None)
+        assert "#" not in "".join(histogram.render())
+        assert "exemplar" not in histogram.to_json()
+
+
+class TestLabelEscaping:
+    def test_special_characters_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", q='he said "hi"\\new\nline').inc()
+        text = registry.render_prometheus()
+        assert r'q="he said \"hi\"\\new\nline"' in text
+
+    def test_backslash_escapes_first(self):
+        # A literal backslash-then-quote must not double-escape: the
+        # backslash pass runs before the quote pass.
+        registry = MetricsRegistry()
+        registry.counter("a_total", q='\\"').inc()
+        assert 'q="\\\\\\""' in registry.render_prometheus()
+
+
+class TestBuildInfo:
+    def test_constant_one_gauge_with_version(self):
+        import repro
+
+        registry = MetricsRegistry()
+        gauge = set_build_info(registry, layout="columnar")
+        assert gauge.value == 1
+        text = registry.render_prometheus()
+        assert "# TYPE repro_build_info gauge" in text
+        assert f'version="{repro.__version__}"' in text
+        assert 'layout="columnar"' in text
+
+    def test_defaults_to_process_registry(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            set_build_info(component="test")
+            assert "repro_build_info" in fresh.render_prometheus()
+        finally:
+            set_registry(previous)
+
+    def test_republish_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = set_build_info(registry)
+        second = set_build_info(registry)
+        assert first is second and second.value == 1
 
 
 class TestRegistry:

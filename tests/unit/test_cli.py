@@ -83,10 +83,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert 'root{/key="conf/pebble/2015"}' in out
 
-    def test_bench_fig8(self, capsys):
-        assert main(["bench", "fig8", "--scale", "0.1"]) == 0
+    def test_bench_fig8(self, capsys, tmp_path):
+        history = tmp_path / "history.jsonl"
+        assert main(
+            ["bench", "fig8", "--scale", "0.1", "--history", str(history)]
+        ) == 0
         out = capsys.readouterr().out
         assert "Fig. 8(a)" in out and "Fig. 8(b)" in out
+        assert "history: appended" in out
+        assert history.exists()
+
+    def test_bench_fig8_no_history(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "fig8", "--scale", "0.1", "--no-history"]) == 0
+        out = capsys.readouterr().out
+        assert "history: appended" not in out
+        assert not (tmp_path / "benchmarks").exists()
 
     def test_heatmap(self, capsys):
         assert main(["heatmap", "--scale", "0.1", "--items", "5"]) == 0

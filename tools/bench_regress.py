@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fail the build when the bench history shows a performance regression.
+
+Reads the append-only JSONL written by ``repro bench`` (one record per
+measurement, keyed by figure/scenario/config) and compares each series'
+newest observation against the median of the previous ``--window`` runs.
+
+Exit codes: 0 clean (or no history yet), 1 at least one series regressed
+by more than ``--threshold``.
+
+Usage::
+
+    python tools/bench_regress.py
+    python tools/bench_regress.py --history benchmarks/history/history.jsonl \
+        --threshold 0.2 --window 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Runs straight from a checkout without installation.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.history import (  # noqa: E402
+    DEFAULT_HISTORY_PATH,
+    detect_regressions,
+    read_history,
+    render_regressions,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare the latest bench run against its rolling baseline"
+    )
+    parser.add_argument("--history", default=DEFAULT_HISTORY_PATH,
+                        help="bench history JSONL (default: %(default)s)")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed slowdown fraction (default: 0.2 = +20%%)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="baseline = median of this many previous runs")
+    args = parser.parse_args(argv)
+
+    records = read_history(args.history)
+    if not records:
+        print(f"bench history: {args.history} absent or empty, nothing to compare")
+        return 0
+    findings = detect_regressions(
+        records, threshold=args.threshold, window=args.window
+    )
+    print(f"bench history: {len(records)} record(s) in {args.history}")
+    print(render_regressions(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
