@@ -9,8 +9,9 @@ This module is the library's **stable facade**: user programs import from
 * :class:`PebbleSession` -- build pipelines and run them with capture,
 * :class:`CapturedExecution` -- a captured run: results + backtracing,
 * :class:`Warehouse` -- durable multi-run provenance storage,
-* :class:`ServeClient` -- typed access to a running ``repro serve`` query
-  service (the server side lives in :mod:`repro.serve`),
+* :func:`connect` -- the unified provenance client: one
+  :class:`ProvenanceClient` protocol over ``file:///path`` (in-process)
+  and ``http://host:port`` (a serve worker or fleet router),
 * the audit surface -- :func:`trace_forward` (forward provenance: inputs ->
   derived outputs), :func:`subject_access_request`, and
   :func:`verify_erasure` (the GDPR workflows in :mod:`repro.audit`),
@@ -23,11 +24,19 @@ This module is the library's **stable facade**: user programs import from
 Internal module paths (``repro.engine.*``, ``repro.core.*``, ...) remain
 importable but are not part of the stable surface and may move between
 releases.
+
+**Migrating to 2.0**: the HTTP surface moved under ``/v1`` with a uniform
+response envelope (legacy routes still answer, with a ``Deprecation``
+header), and ``repro.ServeClient`` is deprecated in favour of
+``repro.connect(url)``, which returns the same :class:`ProvenanceClient`
+facade for local warehouses and served endpoints alike.  See
+``docs/MIGRATION.md`` for the endpoint and error-code mapping.
 """
 
 import warnings
 
 from repro.audit import subject_access_request, trace_forward, verify_erasure
+from repro.client import ProvenanceClient, connect
 from repro.core.treepattern import TreePattern, child, descendant, parse_pattern
 from repro.engine import (
     avg,
@@ -45,17 +54,17 @@ from repro.engine import (
 from repro.engine.config import EngineConfig
 from repro.engine.session import Session as _EngineSession
 from repro.pebble import CapturedExecution, PebbleSession, query_provenance
-from repro.serve.client import ServeClient
 from repro.warehouse import Warehouse
 
-__version__ = "1.4.0"
+__version__ = "2.0.0"
 
 __all__ = [
     # primary API
     "PebbleSession",
     "CapturedExecution",
     "Warehouse",
-    "ServeClient",
+    "connect",
+    "ProvenanceClient",
     "TreePattern",
     "EngineConfig",
     # tree-pattern builders
@@ -81,8 +90,30 @@ __all__ = [
     "sum_",
     # deprecated
     "Session",
+    "ServeClient",
     "__version__",
 ]
+
+
+def __getattr__(name: str) -> object:
+    """Deprecated lazy attributes of the facade.
+
+    ``repro.ServeClient`` predates :func:`connect`; resolving it still
+    works (and is not cached as a module attribute, so the warning fires
+    on every import site) but new code should call ``repro.connect(url)``.
+    """
+    if name == "ServeClient":
+        warnings.warn(
+            "repro.ServeClient is deprecated; use repro.connect(url) -- it "
+            "returns one ProvenanceClient facade for file:// and http:// "
+            "endpoints alike",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.serve.client import ServeClient
+
+        return ServeClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Session(_EngineSession):

@@ -27,6 +27,7 @@ from repro.audit.forward import ForwardTracer, load_execution
 __all__ = [
     "DEFAULT_SUBJECT_TEMPLATE",
     "build_tracers",
+    "erasure_over_tracers",
     "report_digest",
     "sar_over_tracers",
     "subject_access_request",
@@ -186,22 +187,19 @@ def report_digest(body: dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def verify_erasure(
-    warehouse: Any,
+def erasure_over_tracers(
+    tracers: Sequence[tuple[str, ForwardTracer]],
     subjects: Iterable[str],
-    runs: Sequence[str] | None = None,
     template: str = DEFAULT_SUBJECT_TEMPLATE,
-    method: str = "lazy",
-    use_index: bool = True,
 ) -> dict[str, Any]:
-    """Assert no warehouse output still derives from any of *subjects*.
+    """The erasure-verification core, shared by the library and serve paths.
 
-    The returned report carries ``clean`` (no residual matches anywhere)
-    plus a sha256 ``digest`` over its canonical body, so it can be archived
-    as a verifiable erasure receipt: re-running the check against the same
-    warehouse state reproduces the digest exactly.
+    Like :func:`sar_over_tracers`, the report depends only on the warehouse
+    state and the request shape -- a serve worker answering from resident
+    executions produces the same bytes (and therefore the same ``digest``)
+    as a fresh library call, which is what makes fleet-served receipts
+    interchangeable with direct ones.
     """
-    tracers = build_tracers(warehouse, runs, method=method, use_index=use_index)
     ordered = sorted(set(subjects))
     findings = []
     for subject in ordered:
@@ -229,10 +227,29 @@ def verify_erasure(
         "clean": all(finding["clean"] for finding in findings),
         "runs_checked": [run_id for run_id, _ in tracers],
     }
-    report = dict(body, digest=report_digest(body))
+    return dict(body, digest=report_digest(body))
+
+
+def verify_erasure(
+    warehouse: Any,
+    subjects: Iterable[str],
+    runs: Sequence[str] | None = None,
+    template: str = DEFAULT_SUBJECT_TEMPLATE,
+    method: str = "lazy",
+    use_index: bool = True,
+) -> dict[str, Any]:
+    """Assert no warehouse output still derives from any of *subjects*.
+
+    The returned report carries ``clean`` (no residual matches anywhere)
+    plus a sha256 ``digest`` over its canonical body, so it can be archived
+    as a verifiable erasure receipt: re-running the check against the same
+    warehouse state reproduces the digest exactly.
+    """
+    tracers = build_tracers(warehouse, runs, method=method, use_index=use_index)
+    report = erasure_over_tracers(tracers, subjects, template=template)
     get_logger("audit").event(
         "audit-erasure",
-        subjects=len(findings),
+        subjects=report["subject_count"],
         clean=report["clean"],
         runs=len(tracers),
     )

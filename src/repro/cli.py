@@ -17,8 +17,14 @@ Usage (also via ``python -m repro``)::
     python -m repro stats run-0001-example --root /tmp/wh
 
     python -m repro serve --root /tmp/wh --port 9410   # the query service
+    python -m repro serve --root /tmp/wh --fleet 4     # N workers + a router
     python -m repro bench serve --url http://127.0.0.1:9410
+    python -m repro bench serve --fleet 4 --root /tmp/wh
     python -m repro stats --remote http://127.0.0.1:9410
+
+    python -m repro shard init --root /tmp/wh --count 4
+    python -m repro shard ls --root /tmp/wh
+    python -m repro shard rebalance --root /tmp/wh
 
     python -m repro index build --root /tmp/wh         # backfill audit index
     python -m repro trace-forward --root /tmp/wh --pattern 'root{//id_str="lp"}'
@@ -146,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench = bench.add_argument_group("serve", "options for `bench serve`")
     serve_bench.add_argument("--url", default="http://127.0.0.1:9410",
                              help="base URL of a running `repro serve`")
+    serve_bench.add_argument("--fleet", type=int, default=None, metavar="N",
+                             help="benchmark an N-worker fleet behind a router "
+                                  "over --root (sizes 1 and N; ignores --url)")
+    serve_bench.add_argument("--root", default=None,
+                             help="warehouse root for --fleet mode")
+    serve_bench.add_argument("--fleet-mode", choices=["thread", "process"],
+                             default="thread",
+                             help="how --fleet hosts its workers")
     serve_bench.add_argument("--run", default=None,
                              help="run id or name to query (default: newest)")
     serve_bench.add_argument("--pattern", default=RUNNING_EXAMPLE_PATTERN,
@@ -336,6 +350,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partition count for restored runs")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Chrome trace-event JSON on shutdown")
+    serve.add_argument("--fleet", type=int, default=None, metavar="N",
+                       help="serve through an N-worker fleet behind a router "
+                            "(the listening port becomes the router's)")
+    serve.add_argument("--fleet-mode", choices=["thread", "process"],
+                       default="thread",
+                       help="how --fleet hosts its workers (default: thread)")
+
+    shard = commands.add_parser(
+        "shard", help="manage the warehouse's storage shards"
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+    shard_ls = shard_commands.add_parser(
+        "ls", help="per-shard run counts, sizes, and epochs"
+    )
+    shard_ls.add_argument("--root", required=True, help="warehouse root directory")
+    shard_init = shard_commands.add_parser(
+        "init", help="initialise (or grow) the shard layout"
+    )
+    shard_init.add_argument("--root", required=True, help="warehouse root directory")
+    shard_init.add_argument("--count", type=int, required=True,
+                            help="number of shards (grow-only)")
+    shard_rebalance = shard_commands.add_parser(
+        "rebalance",
+        help="move runs to their ring-assigned shards (optionally growing first)",
+    )
+    shard_rebalance.add_argument("--root", required=True,
+                                 help="warehouse root directory")
+    shard_rebalance.add_argument("--count", type=int, default=None,
+                                 help="grow to this many shards before rebalancing")
 
     return parser
 
@@ -846,7 +889,74 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.warehouse import Warehouse
+
+    warehouse = Warehouse.open(args.root)
+
+    if args.shard_command == "ls":
+        summary = warehouse.shard_summary()
+        if not warehouse.sharded:
+            print(f"warehouse {warehouse.root}: unsharded (flat layout)")
+        header = f"{'shard':<12} {'runs':>4} {'rows':>8} {'bytes':>12} {'epoch':>5}"
+        print(header)
+        print("-" * len(header))
+        for entry in summary:
+            name = entry["shard"] or "(legacy)"
+            print(f"{name:<12} {entry['runs']:>4} {entry['rows']:>8} "
+                  f"{entry['bytes']:>12} {entry['epoch']:>5}")
+        return 0
+
+    if args.shard_command == "init":
+        names = warehouse.init_shards(args.count)
+        print(f"warehouse {warehouse.root}: {len(names)} shard(s)")
+        for name in names:
+            print(f"  {name}")
+        return 0
+
+    if args.shard_command == "rebalance":
+        outcome = warehouse.rebalance(count=args.count)
+        print(f"warehouse {warehouse.root}: {len(outcome['shards'])} shard(s), "
+              f"{len(outcome['moved'])} run(s) moved, {outcome['unmoved']} in place")
+        for move in outcome["moved"]:
+            source = move["from"] or "(legacy)"
+            print(f"  {move['run_id']}: {source} -> {move['to']}")
+        return 0
+
+    raise AssertionError(
+        f"unhandled shard command {args.shard_command!r}"
+    )  # pragma: no cover
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    from repro.serve.fleet import Fleet
+    from repro.serve.router import RouterService, RouterServer
+
+    with Fleet(args.root, size=args.fleet, mode=args.fleet_mode) as fleet:
+        router = RouterService(fleet.workers())
+        server = RouterServer(router, host=args.host, port=args.port)
+        print(f"routing warehouse {args.root} at {server.url}")
+        print(f"  fleet: {args.fleet} {args.fleet_mode} worker(s)")
+        for name, url in fleet.workers():
+            print(f"    {name}: {url}")
+        print("  endpoints: /v1/healthz /v1/fleet /v1/runs /v1/stats "
+              "/metrics POST /v1/query /v1/forward /v1/audit/sar "
+              "/v1/audit/erasure")
+        sys.stdout.flush()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            print("\nshutting down fleet")
+            sys.stdout.flush()
+            server.close()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.fleet:
+        return _cmd_serve_fleet(args)
     from repro.serve import ProvenanceServer, QueryService, ServeConfig
     from repro.warehouse.reader import DEFAULT_CACHE_SIZE
 
@@ -910,6 +1020,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    if args.fleet:
+        return _cmd_bench_fleet(args)
     from repro.serve.bench import run_load, write_report
 
     report = run_load(
@@ -926,6 +1038,45 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     )
     print(f"wrote {json_path} and {text_path}")
     return 0 if report.completed else 1
+
+
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.serve.fleetbench import (
+        render_fleet_report,
+        run_fleet_bench,
+        write_fleet_report,
+    )
+
+    if not args.root:
+        print("bench serve --fleet needs --root", file=sys.stderr)
+        return 2
+    report = run_fleet_bench(
+        args.root,
+        size=args.fleet,
+        pattern=args.pattern,
+        run=args.run,
+        method=args.method,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        mode=args.fleet_mode,
+    )
+    print(render_fleet_report(report))
+    json_path, text_path = write_fleet_report(
+        report, args.report or "benchmarks/results/fleet_bench.json"
+    )
+    print(f"wrote {json_path} and {text_path}")
+    if not report["byte_identical"]:
+        print("bench serve --fleet: fleet answers diverged from direct "
+              "warehouse queries", file=sys.stderr)
+        return 1
+    # Scaling is only a pass/fail question when there are cores to scale onto.
+    if (os.cpu_count() or 1) >= 2 * args.fleet and report["speedup"] < 1.5:
+        print(f"bench serve --fleet: speedup x{report['speedup']:.2f} below "
+              "expectation on a multi-core host", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench_audit(args: argparse.Namespace) -> int:
@@ -998,6 +1149,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "shard":
+        return _cmd_shard(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,316 @@
+"""``repro.connect``: one client for a warehouse path or a served URL.
+
+The 2.0 API collapses the two ways of asking provenance questions --
+opening a :class:`~repro.warehouse.Warehouse` directly and talking to a
+``repro serve`` (or fleet router) endpoint -- behind a single factory::
+
+    client = repro.connect("file:///data/warehouse")   # or a bare path
+    client = repro.connect("http://127.0.0.1:9410")    # server or router
+
+    answer = client.backtrace('root{//id_str="lp"}', run="run-0001-example")
+    report = client.sar(["lp"], page=1)["report"]
+
+Both transports implement the same :class:`ProvenanceClient` protocol with
+the same keyword-only signatures and return the same payload shapes -- a
+``backtrace`` answer carries ``result``/``query_seconds``/``server``
+whether it was computed in-process or fetched over HTTP, and audit reports
+(including erasure digests) are byte-identical across transports.  Code
+written against the protocol runs unchanged when a local prototype grows a
+serve fleet.
+
+The local transport is a private :class:`~repro.serve.service.QueryService`
+(not a bare warehouse), so both sides share one code path: admission
+control, pattern-result caching, and catalog-freshness checks behave the
+same way everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+
+__all__ = ["connect", "ProvenanceClient", "LocalClient", "RemoteClient"]
+
+
+@runtime_checkable
+class ProvenanceClient(Protocol):
+    """What every ``repro.connect`` handle can do, transport aside."""
+
+    def backtrace(
+        self,
+        pattern: str,
+        *,
+        run: str | None = None,
+        method: str = "lazy",
+        analyze: bool = False,
+    ) -> dict[str, Any]:
+        """Backward provenance of *pattern* over one stored run."""
+        ...
+
+    def forward(
+        self,
+        pattern: str,
+        *,
+        run: str | None = None,
+        method: str = "lazy",
+        analyze: bool = False,
+    ) -> dict[str, Any]:
+        """Forward provenance: matched source items -> derived outputs."""
+        ...
+
+    def sar(
+        self,
+        subjects: list[str],
+        *,
+        template: str | None = None,
+        run: str | None = None,
+        runs: list[str] | None = None,
+        method: str = "lazy",
+        page: int = 1,
+        page_size: int = 100,
+    ) -> dict[str, Any]:
+        """One page of a bulk subject-access request."""
+        ...
+
+    def verify_erasure(
+        self,
+        subjects: list[str],
+        *,
+        template: str | None = None,
+        run: str | None = None,
+        runs: list[str] | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        """An erasure verification; ``["report"]["digest"]`` signs it."""
+        ...
+
+    def stats(self, *, run: str | None = None) -> dict[str, Any]:
+        """The metrics registry describing a run (``repro stats`` JSON)."""
+        ...
+
+    def runs(self) -> list[dict[str, Any]]:
+        """Every catalogued run, oldest first."""
+        ...
+
+    def close(self) -> None:
+        """Release transport resources; safe to call twice."""
+        ...
+
+
+class LocalClient:
+    """The file transport: an in-process query service over one root."""
+
+    def __init__(self, root: str, **config_overrides: Any):
+        from repro.serve.service import QueryService, ServeConfig
+
+        self._service = QueryService.open(
+            ServeConfig(root=root, **config_overrides)
+        )
+        self.root = root
+
+    def backtrace(
+        self,
+        pattern: str,
+        *,
+        run: str | None = None,
+        method: str = "lazy",
+        analyze: bool = False,
+    ) -> dict[str, Any]:
+        self._service.check_catalog()
+        return self._service.query(
+            pattern, run_id=run, method=method, analyze=analyze
+        )
+
+    def forward(
+        self,
+        pattern: str,
+        *,
+        run: str | None = None,
+        method: str = "lazy",
+        analyze: bool = False,
+    ) -> dict[str, Any]:
+        self._service.check_catalog()
+        return self._service.forward(
+            pattern, run_id=run, method=method, analyze=analyze
+        )
+
+    def sar(
+        self,
+        subjects: list[str],
+        *,
+        template: str | None = None,
+        run: str | None = None,
+        runs: list[str] | None = None,
+        method: str = "lazy",
+        page: int = 1,
+        page_size: int = 100,
+    ) -> dict[str, Any]:
+        self._service.check_catalog()
+        kwargs: dict[str, Any] = {}
+        if template is not None:
+            kwargs["template"] = template
+        return self._service.sar(
+            subjects,
+            run_id=run,
+            runs=runs,
+            method=method,
+            page=page,
+            page_size=page_size,
+            **kwargs,
+        )
+
+    def verify_erasure(
+        self,
+        subjects: list[str],
+        *,
+        template: str | None = None,
+        run: str | None = None,
+        runs: list[str] | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        self._service.check_catalog()
+        kwargs: dict[str, Any] = {}
+        if template is not None:
+            kwargs["template"] = template
+        return self._service.erasure(
+            subjects, run_id=run, runs=runs, method=method, **kwargs
+        )
+
+    def stats(self, *, run: str | None = None) -> dict[str, Any]:
+        self._service.check_catalog()
+        return self._service.run_stats(run).to_json()
+
+    def runs(self) -> list[dict[str, Any]]:
+        self._service.check_catalog()
+        return self._service.runs()
+
+    def close(self) -> None:
+        self._service.close()
+
+    def __enter__(self) -> "LocalClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"LocalClient({self.root!r})"
+
+
+class RemoteClient:
+    """The HTTP transport: a serve worker or fleet router behind ``/v1``."""
+
+    def __init__(self, url: str, **client_options: Any):
+        from repro.serve.client import ServeClient
+
+        self._client = ServeClient(url, **client_options)
+        self.url = self._client.base_url
+
+    def backtrace(
+        self,
+        pattern: str,
+        *,
+        run: str | None = None,
+        method: str = "lazy",
+        analyze: bool = False,
+    ) -> dict[str, Any]:
+        return self._client.query(
+            pattern, run_id=run, method=method, analyze=analyze
+        )
+
+    def forward(
+        self,
+        pattern: str,
+        *,
+        run: str | None = None,
+        method: str = "lazy",
+        analyze: bool = False,
+    ) -> dict[str, Any]:
+        return self._client.forward(
+            pattern, run_id=run, method=method, analyze=analyze
+        )
+
+    def sar(
+        self,
+        subjects: list[str],
+        *,
+        template: str | None = None,
+        run: str | None = None,
+        runs: list[str] | None = None,
+        method: str = "lazy",
+        page: int = 1,
+        page_size: int = 100,
+    ) -> dict[str, Any]:
+        return self._client.sar(
+            subjects,
+            template=template,
+            run_id=run,
+            runs=runs,
+            method=method,
+            page=page,
+            page_size=page_size,
+        )
+
+    def verify_erasure(
+        self,
+        subjects: list[str],
+        *,
+        template: str | None = None,
+        run: str | None = None,
+        runs: list[str] | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        return self._client.erasure(
+            subjects, template=template, run_id=run, runs=runs, method=method
+        )
+
+    def stats(self, *, run: str | None = None) -> dict[str, Any]:
+        return self._client.run_stats(run)
+
+    def runs(self) -> list[dict[str, Any]]:
+        return self._client.runs()
+
+    def close(self) -> None:
+        pass  # urllib opens one connection per request; nothing is held
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"RemoteClient({self.url!r})"
+
+
+def connect(url: str, **options: Any) -> ProvenanceClient:
+    """Open a provenance client for a warehouse path or a served endpoint.
+
+    Accepted forms:
+
+    * ``file:///data/warehouse`` or a bare filesystem path -- an in-process
+      :class:`LocalClient` (no server involved);
+    * ``http://host:port`` / ``https://host:port`` -- a :class:`RemoteClient`
+      speaking ``/v1`` to a single ``repro serve`` worker or a fleet router.
+
+    Extra keyword arguments flow to the transport: serving knobs
+    (``workers=``, ``cache_size=``, ...) for ``file:``, client knobs
+    (``timeout=``, ``policy=``) for ``http(s):``.
+    """
+    if not isinstance(url, str) or not url.strip():
+        raise ReproError("connect needs a path or URL string")
+    split = urlsplit(url)
+    if split.scheme in ("http", "https"):
+        return RemoteClient(url, **options)
+    if split.scheme == "file":
+        path = (split.netloc or "") + split.path
+        if not path:
+            raise ReproError(f"file URL carries no path: {url!r}")
+        return LocalClient(path, **options)
+    if split.scheme in ("", None) or len(split.scheme) == 1:  # bare or C:\ path
+        return LocalClient(url, **options)
+    raise ReproError(
+        f"unsupported connect scheme {split.scheme!r} (use file:// or http(s)://)"
+    )

@@ -3,6 +3,12 @@
 Every error raised by this library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while still
 being able to distinguish the individual failure modes.
+
+Each class also carries a stable machine-readable ``code``.  The versioned
+HTTP surface (``/v1``) puts this code in its error envelope so remote callers
+can classify failures without string-matching messages, and the HTTP client
+maps codes back onto this hierarchy -- the wire format survives exception
+renames, the codes do not change.
 """
 
 from __future__ import annotations
@@ -15,31 +21,45 @@ class ReproError(Exception):
     layer: transient errors (timeouts, lost workers, injected faults) may be
     retried with backoff, everything else fails the run immediately.  Callers
     classify through this attribute rather than string-matching messages.
+
+    ``code`` is the stable wire identifier of the failure mode; subclasses
+    narrow it.  It is part of the ``/v1`` API contract -- never recycle a
+    code for a different meaning.
     """
 
     retryable: bool = False
+    code: str = "internal"
 
 
 class TransientError(ReproError):
     """A failure that may succeed on retry (the scheduler's retry trigger)."""
 
     retryable = True
+    code = "transient"
 
 
 class TaskTimeoutError(TransientError):
     """A partition task exceeded the configured per-task timeout."""
 
+    code = "deadline_exceeded"
+
 
 class WorkerLostError(TransientError):
     """A pool worker died before delivering its task's result."""
+
+    code = "worker_lost"
 
 
 class InjectedFault(TransientError):
     """A synthetic failure raised by the fault-injection harness."""
 
+    code = "injected_fault"
+
 
 class ServeError(ReproError):
     """The provenance query service could not satisfy a request."""
+
+    code = "bad_request"
 
 
 class AdmissionError(ServeError):
@@ -50,10 +70,13 @@ class AdmissionError(ServeError):
     """
 
     retryable = True
+    code = "admission_full"
 
 
 class DataModelError(ReproError):
     """A value does not conform to the nested data model (Sec. 4.1)."""
+
+    code = "bad_data_model"
 
 
 class TypeInferenceError(DataModelError):
@@ -62,6 +85,8 @@ class TypeInferenceError(DataModelError):
 
 class PathError(ReproError):
     """An access path is syntactically invalid or cannot be evaluated."""
+
+    code = "bad_path"
 
 
 class PathSyntaxError(PathError):
@@ -75,9 +100,13 @@ class PathEvaluationError(PathError):
 class ExpressionError(ReproError):
     """A column expression is invalid or cannot be evaluated."""
 
+    code = "bad_expression"
+
 
 class PlanError(ReproError):
     """A logical plan is malformed (unknown attribute, schema mismatch, ...)."""
+
+    code = "bad_plan"
 
 
 class SchemaMismatchError(PlanError):
@@ -87,25 +116,37 @@ class SchemaMismatchError(PlanError):
 class ExecutionError(ReproError):
     """An operator failed while processing data."""
 
+    code = "execution_failed"
+
 
 class ProvenanceError(ReproError):
     """Provenance capture or storage failed."""
+
+    code = "not_found"
 
 
 class CaptureDisabledError(ProvenanceError):
     """A provenance query was issued but capture was not enabled."""
 
+    code = "capture_disabled"
+
 
 class BacktraceError(ProvenanceError):
     """Backtracing could not complete (missing operator provenance, ...)."""
+
+    code = "backtrace_failed"
 
 
 class AuditError(ProvenanceError):
     """An audit operation (forward trace, SAR, erasure check) failed."""
 
+    code = "bad_audit_request"
+
 
 class TreePatternError(ReproError):
     """A tree pattern is invalid."""
+
+    code = "bad_pattern"
 
 
 class TreePatternSyntaxError(TreePatternError):
@@ -114,3 +155,30 @@ class TreePatternSyntaxError(TreePatternError):
 
 class WorkloadError(ReproError):
     """A workload generator or scenario was configured incorrectly."""
+
+    code = "bad_workload"
+
+
+#: ``code -> exception class`` for the /v1 client: rebuilding a typed error
+#: from a wire envelope.  Built from the hierarchy so the two cannot drift.
+ERROR_CODES: dict[str, type[ReproError]] = {}
+
+
+def _register_codes() -> None:
+    ordered: list[type[ReproError]] = [ReproError]
+    index = 0
+    while index < len(ordered):
+        ordered.extend(ordered[index].__subclasses__())
+        index += 1
+    for cls in ordered:  # later (more derived) classes do not override earlier
+        ERROR_CODES.setdefault(cls.code, cls)
+
+
+_register_codes()
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code for *exc* (``"internal"`` for foreign errors)."""
+    if isinstance(exc, ReproError):
+        return exc.code
+    return "internal"

@@ -19,9 +19,12 @@ Two properties matter beyond a plain LRU:
   (after propagating the error to every waiter), so a transient failure --
   e.g. a deadline overrun -- never caches as a permanent wrong answer.
 
-Invalidation is whole-cache: the service clears it whenever the warehouse
-catalog gains a run, because run *names* resolve to their newest run and a
-new run can therefore change what a name-keyed query means.
+Invalidation comes in two grains.  Whole-cache (:meth:`invalidate`) covers
+catalog changes that can move *name* resolution ("newest run named X").
+Run-scoped (:meth:`invalidate_runs`) covers per-shard epoch bumps: the
+serving layer keys every entry with the resolved run id(s) in position 1,
+so when one shard's epoch moves only the answers over that shard's runs
+drop and every other worker-hot entry survives.
 """
 
 from __future__ import annotations
@@ -151,6 +154,33 @@ class PatternResultCache:
             if dropped:
                 self.stats.invalidations += 1
             return dropped
+
+    def invalidate_runs(self, run_ids: set[str]) -> int:
+        """Drop entries whose answer depends on any run in *run_ids*.
+
+        The serving layer's cache keys carry the resolved run scope at
+        position 1: a single run id for ``query``/``forward`` keys, a tuple
+        of run ids for ``sar``/``erasure`` keys.  Counts one invalidation
+        event when anything dropped (same accounting as :meth:`invalidate`).
+        """
+        with self._lock:
+            doomed = []
+            for key in self._entries:
+                scope = key[1] if isinstance(key, tuple) and len(key) > 1 else None
+                if isinstance(scope, str):
+                    if scope in run_ids:
+                        doomed.append(key)
+                elif isinstance(scope, tuple):
+                    if any(run in run_ids for run in scope):
+                        doomed.append(key)
+                else:
+                    # Unrecognised key shape: drop conservatively.
+                    doomed.append(key)
+            for key in doomed:
+                del self._entries[key]
+            if doomed:
+                self.stats.invalidations += 1
+            return len(doomed)
 
     def snapshot(self) -> dict[str, int]:
         """Entry count plus the cumulative stats, read atomically."""

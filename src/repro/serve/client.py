@@ -1,13 +1,23 @@
 """ServeClient: the urllib-based client of the provenance query service.
 
 A thin, dependency-free wrapper around ``urllib.request`` that speaks the
-``repro.serve`` JSON endpoints and reuses the PR-4 retry protocol: failures
-whose ``retryable`` attribute is true -- a full admission queue (429), a
-deadline overrun (504), or an unreachable server -- are retried with the
-same jitter-free exponential backoff the schedulers use
+versioned ``/v1`` JSON surface: every response is the uniform envelope
+(``{"ok": ..., "data"|"error": ...}``), success payloads are unwrapped
+before they reach the caller, and error envelopes are rebuilt into the
+:class:`~repro.errors.ReproError` subclass their stable ``code`` names --
+an ``admission_full`` answer raises :class:`AdmissionError` here exactly as
+it would in-process.
+
+Failures whose ``retryable`` attribute is true -- a full admission queue
+(429), a deadline overrun (504), or an unreachable server -- are retried
+with the same jitter-free exponential backoff the schedulers use
 (:class:`~repro.engine.scheduler.RetryPolicy`), so client behaviour under
 overload is deterministic and unit-testable.  Everything else (bad pattern,
 unknown run) fails immediately.
+
+Prefer :func:`repro.connect` over constructing this class directly: it
+returns the unified :class:`~repro.client.ProvenanceClient` facade that
+works identically over a warehouse directory and a served URL.
 """
 
 from __future__ import annotations
@@ -20,7 +30,12 @@ from typing import Any
 from urllib.parse import quote
 
 from repro.engine.scheduler import RetryPolicy
-from repro.errors import AdmissionError, ServeError, TaskTimeoutError
+from repro.errors import (
+    ERROR_CODES,
+    AdmissionError,
+    ServeError,
+    TaskTimeoutError,
+)
 
 __all__ = ["ServeClient", "DEFAULT_CLIENT_POLICY"]
 
@@ -28,17 +43,32 @@ __all__ = ["ServeClient", "DEFAULT_CLIENT_POLICY"]
 #: momentary queue spike without hammering an overloaded server.
 DEFAULT_CLIENT_POLICY = RetryPolicy(max_retries=3, backoff=0.05)
 
+#: Path prefix of the versioned surface this client speaks.
+API_PREFIX = "/v1"
 
-def _error_for(status: int, message: str) -> ServeError:
-    """Build the typed error matching a response status."""
-    if status == 429:
-        return AdmissionError(message)
-    if status == 504:
-        return TaskTimeoutError(message)
-    error = ServeError(f"HTTP {status}: {message}")
-    if status == 503:  # server shutting down / transiently unavailable
+
+def _error_for(
+    status: int, message: str, code: str | None = None, retryable: bool | None = None
+) -> ServeError:
+    """Rebuild the typed error for an error response.
+
+    The ``/v1`` envelope's stable ``code`` picks the exception class (so the
+    client raises exactly what the server caught); the HTTP status is the
+    fallback for legacy or proxy-generated bodies.
+    """
+    if code is not None and code in ERROR_CODES:
+        error = ERROR_CODES[code](message)
+    elif status == 429:
+        error = AdmissionError(message)
+    elif status == 504:
+        error = TaskTimeoutError(message)
+    else:
+        error = ServeError(f"HTTP {status}: {message}")
+    if retryable is not None:
+        error.retryable = retryable
+    elif status == 503:  # server shutting down / transiently unavailable
         error.retryable = True
-    return error
+    return error  # type: ignore[return-value]
 
 
 class ServeClient:
@@ -58,28 +88,30 @@ class ServeClient:
     # -- endpoints -------------------------------------------------------------
 
     def healthz(self) -> dict[str, Any]:
-        return self._get_json("/healthz")
+        return self._get_json(f"{API_PREFIX}/healthz")
 
     def runs(self) -> list[dict[str, Any]]:
-        return self._get_json("/runs")["runs"]
+        return self._get_json(f"{API_PREFIX}/runs")["runs"]
 
     def run(self, run_id: str) -> dict[str, Any]:
-        return self._get_json(f"/runs/{run_id}")
+        return self._get_json(f"{API_PREFIX}/runs/{run_id}")
 
     def run_stats(self, run_id: str | None = None, prometheus: bool = False) -> Any:
-        """The server-side ``repro stats`` registry, as JSON or Prometheus text."""
-        path = "/stats"
-        params = []
-        if run_id:
-            params.append(f"run={quote(run_id)}")
+        """The server-side ``repro stats`` registry, as JSON or Prometheus text.
+
+        The text form comes from the unversioned scrape surface (Prometheus
+        exposition has its own format contract); the JSON form is ``/v1``.
+        """
         if prometheus:
-            params.append("format=prometheus")
-        if params:
-            path += "?" + "&".join(params)
-        body, _ = self._request("GET", path)
-        if prometheus:
+            path = "/stats?format=prometheus"
+            if run_id:
+                path += f"&run={quote(run_id)}"
+            body, _ = self._request("GET", path)
             return body.decode("utf-8")
-        return json.loads(body)
+        path = f"{API_PREFIX}/stats"
+        if run_id:
+            path += f"?run={quote(run_id)}"
+        return self._get_json(path)
 
     def query(
         self,
@@ -98,8 +130,7 @@ class ServeClient:
             payload["run"] = run_id
         if analyze:
             payload["analyze"] = True
-        body, _ = self._request("POST", "/query", payload)
-        return json.loads(body)
+        return self._post_json(f"{API_PREFIX}/query", payload)
 
     def forward(
         self,
@@ -114,18 +145,18 @@ class ServeClient:
             payload["run"] = run_id
         if analyze:
             payload["analyze"] = True
-        body, _ = self._request("POST", "/forward", payload)
-        return json.loads(body)
+        return self._post_json(f"{API_PREFIX}/forward", payload)
 
     def debug_slow(self) -> dict[str, Any]:
-        """The server's slow-query ring (``GET /debug/slow``)."""
-        return self._get_json("/debug/slow")
+        """The server's slow-query ring (``GET /v1/debug/slow``)."""
+        return self._get_json(f"{API_PREFIX}/debug/slow")
 
     def sar(
         self,
         subjects: list[str],
         template: str | None = None,
         run_id: str | None = None,
+        runs: list[str] | None = None,
         method: str = "lazy",
         page: int = 1,
         page_size: int = 100,
@@ -141,8 +172,27 @@ class ServeClient:
             payload["template"] = template
         if run_id:
             payload["run"] = run_id
-        body, _ = self._request("POST", "/audit/sar", payload)
-        return json.loads(body)
+        if runs is not None:
+            payload["runs"] = runs
+        return self._post_json(f"{API_PREFIX}/audit/sar", payload)
+
+    def erasure(
+        self,
+        subjects: list[str],
+        template: str | None = None,
+        run_id: str | None = None,
+        runs: list[str] | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        """One erasure verification; the report carries its sha256 digest."""
+        payload: dict[str, Any] = {"subjects": subjects, "method": method}
+        if template is not None:
+            payload["template"] = template
+        if run_id:
+            payload["run"] = run_id
+        if runs is not None:
+            payload["runs"] = runs
+        return self._post_json(f"{API_PREFIX}/audit/erasure", payload)
 
     def metrics_text(self) -> str:
         body, _ = self._request("GET", "/metrics")
@@ -152,7 +202,19 @@ class ServeClient:
 
     def _get_json(self, path: str) -> Any:
         body, _ = self._request("GET", path)
-        return json.loads(body)
+        return self._unwrap(body)
+
+    def _post_json(self, path: str, payload: dict[str, Any]) -> Any:
+        body, _ = self._request("POST", path, payload)
+        return self._unwrap(body)
+
+    @staticmethod
+    def _unwrap(body: bytes) -> Any:
+        """Strip the ``/v1`` envelope; legacy bodies pass through untouched."""
+        parsed = json.loads(body)
+        if isinstance(parsed, dict) and parsed.get("ok") is True and "data" in parsed:
+            return parsed["data"]
+        return parsed
 
     def _request(
         self, verb: str, path: str, payload: dict[str, Any] | None = None
@@ -175,8 +237,8 @@ class ServeClient:
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
                     return response.read(), response.headers.get_content_type()
             except urllib.error.HTTPError as exc:
-                message = self._error_message(exc)
-                error = _error_for(exc.code, message)
+                message, code, retryable = self._error_detail(exc)
+                error = _error_for(exc.code, message, code=code, retryable=retryable)
             except urllib.error.URLError as exc:
                 error = ServeError(f"cannot reach {url}: {exc.reason}")
                 error.retryable = True
@@ -189,12 +251,32 @@ class ServeClient:
         raise error  # pragma: no cover -- loop always raises or returns
 
     @staticmethod
-    def _error_message(exc: urllib.error.HTTPError) -> str:
+    def _error_detail(
+        exc: urllib.error.HTTPError,
+    ) -> tuple[str, str | None, bool | None]:
+        """Extract ``(message, code, retryable)`` from an error response.
+
+        Understands the ``/v1`` envelope first, the legacy
+        ``{"error": ..., "kind": ...}`` body second, raw text last.
+        """
         try:
             payload = json.loads(exc.read())
-            return str(payload.get("error", payload))
         except Exception:
-            return exc.reason if isinstance(exc.reason, str) else str(exc)
+            return (
+                exc.reason if isinstance(exc.reason, str) else str(exc),
+                None,
+                None,
+            )
+        if isinstance(payload, dict) and isinstance(payload.get("error"), dict):
+            detail = payload["error"]
+            return (
+                str(detail.get("message", detail)),
+                detail.get("code"),
+                detail.get("retryable"),
+            )
+        if isinstance(payload, dict) and "error" in payload:
+            return str(payload["error"]), None, None
+        return str(payload), None, None
 
     def __repr__(self) -> str:
         return f"ServeClient({self.base_url!r}, attempts<={self.policy.max_attempts})"

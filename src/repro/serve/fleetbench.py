@@ -1,0 +1,154 @@
+"""``repro bench serve --fleet``: single worker vs fleet, same questions.
+
+Spins the same warehouse up twice -- once as a 1-worker fleet, once at the
+requested size, each behind a router -- and drives the identical closed-loop
+load (:func:`repro.serve.bench.run_load`) through both.  Three things come
+out:
+
+* **throughput per fleet size**, so the scaling factor is one number
+  (``speedup``); the paper's query service is embarrassingly parallel
+  across runs, so on a multi-core host warm throughput should scale close
+  to linearly until cores run out -- which is why the report also records
+  ``cpus``: on a single-core host the fleet can only interleave, and the
+  CI assertion on speedup is gated accordingly;
+* **a byte-identity verdict**: before any load, one answer per recorded
+  run is fetched through the router and compared against a direct
+  :class:`~repro.warehouse.Warehouse` backtrace -- scaling that changes
+  answers is a bug, not a speedup;
+* the usual latency percentiles per size, cold and warm split out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path as FsPath
+from typing import Any
+
+from repro.pebble.query import query_provenance
+from repro.serve.bench import run_load
+from repro.serve.fleet import Fleet
+from repro.serve.router import RouterService, RouterServer
+from repro.serve.service import ServeConfig, result_to_json
+from repro.warehouse import Warehouse
+from repro.workloads.scenarios import RUNNING_EXAMPLE_PATTERN
+
+__all__ = ["run_fleet_bench", "write_fleet_report", "render_fleet_report"]
+
+
+def _verify_byte_identity(
+    root: str, url: str, pattern: str, method: str
+) -> list[dict[str, Any]]:
+    """Compare every run's fleet answer against a direct warehouse backtrace."""
+    import repro
+
+    warehouse = Warehouse.open(root)
+    client = repro.connect(url)
+    verdicts = []
+    for record in warehouse.runs():
+        remote = client.backtrace(pattern, run=record.run_id, method=method)
+        # A fresh load per run: no state shared with the fleet's answer.
+        direct = result_to_json(
+            query_provenance(warehouse.load(record.run_id), pattern)
+        )
+        identical = json.dumps(remote["result"], sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+        verdicts.append({"run_id": record.run_id, "identical": identical})
+    return verdicts
+
+
+def run_fleet_bench(
+    root: str,
+    size: int = 4,
+    pattern: str = RUNNING_EXAMPLE_PATTERN,
+    run: str | None = None,
+    method: str = "lazy",
+    requests: int = 200,
+    concurrency: int = 8,
+    mode: str = "thread",
+    config: ServeConfig | None = None,
+) -> dict[str, Any]:
+    """Benchmark fleet sizes 1 and *size* over *root*; return the report."""
+    sizes = sorted({1, max(1, size)})
+    report: dict[str, Any] = {
+        "bench": "fleet-serve",
+        "root": str(root),
+        "mode": mode,
+        "pattern": pattern,
+        "method": method,
+        "requests": requests,
+        "concurrency": concurrency,
+        "cpus": os.cpu_count() or 1,
+        "sizes": [],
+    }
+    for fleet_size in sizes:
+        with Fleet(root, size=fleet_size, mode=mode, config=config) as fleet:
+            router = RouterService(fleet.workers())
+            with RouterServer(router) as server:
+                verdicts = _verify_byte_identity(
+                    str(root), server.url, pattern, method
+                )
+                load = run_load(
+                    server.url,
+                    pattern,
+                    run=run,
+                    method=method,
+                    requests=requests,
+                    concurrency=concurrency,
+                )
+        entry = load.to_json()
+        entry["size"] = fleet_size
+        entry["byte_identical"] = all(v["identical"] for v in verdicts)
+        entry["identity_checks"] = verdicts
+        report["sizes"].append(entry)
+    base = report["sizes"][0]["throughput_rps"]
+    peak = report["sizes"][-1]["throughput_rps"]
+    report["speedup"] = (peak / base) if base else 0.0
+    report["byte_identical"] = all(
+        entry["byte_identical"] for entry in report["sizes"]
+    )
+    return report
+
+
+def render_fleet_report(report: dict[str, Any]) -> str:
+    lines = [
+        f"fleet bench -- {report['root']} mode={report['mode']} "
+        f"method={report['method']} cpus={report['cpus']}",
+        f"pattern: {report['pattern']}",
+        f"load: {report['requests']} requests, "
+        f"{report['concurrency']} concurrent workers",
+    ]
+    for entry in report["sizes"]:
+        lines.append(
+            f"  size {entry['size']}: {entry['throughput_rps']:.1f} req/s  "
+            f"p50 {entry['latency_ms']['p50']:.2f} ms  "
+            f"warm p50 {entry['warm']['p50_ms']:.2f} ms  "
+            f"errors {entry['errors']}  "
+            f"byte-identical {'yes' if entry['byte_identical'] else 'NO'}"
+        )
+    lines.append(
+        f"speedup (size {report['sizes'][-1]['size']} over 1): "
+        f"x{report['speedup']:.2f}"
+    )
+    if report["cpus"] < 2:
+        lines.append(
+            "note: single-core host -- workers interleave on one CPU, "
+            "so throughput scaling is not expected here"
+        )
+    return "\n".join(lines)
+
+
+def write_fleet_report(
+    report: dict[str, Any], json_path: str | FsPath
+) -> tuple[FsPath, FsPath]:
+    """Write the JSON report plus a text rendering next to it."""
+    json_path = FsPath(json_path)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    text_path = json_path.with_suffix(".txt")
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write(render_fleet_report(report) + "\n")
+    return json_path, text_path

@@ -1,25 +1,43 @@
 """The HTTP layer: stdlib ``http.server`` endpoints over a QueryService.
 
-Endpoints (all JSON unless noted)::
+The API is **versioned**: the stable surface lives under ``/v1`` and every
+``/v1`` endpoint -- success, 400, 404, 429, 504, 500 alike -- answers with
+one uniform JSON envelope::
 
-    GET  /healthz                 liveness + basic capacity figures
-    GET  /runs                    the catalog (one object per stored run)
-    GET  /runs/<run_id>           manifest summary + recorded run metrics
-    GET  /stats[?run=ID][&format=prometheus]
-                                  the per-run registry `repro stats` renders
-    POST /query                   {"pattern": ..., "run": ..., "method": ...,
-                                   "analyze": bool} -- analyze adds a
-                                  per-phase breakdown and bypasses the cache
-    POST /forward                 {"pattern": ..., "run": ..., "method": ...,
-                                   "analyze": bool}
-                                  forward trace: matched inputs -> outputs
-    GET  /debug/slow              the slow-query ring (REPRO_SLOW_QUERY_MS)
-    POST /audit/sar               {"subjects": [...], "template": ...,
-                                   "run": ..., "method": ...,
-                                   "page": ..., "page_size": ...}
-    GET  /metrics                 Prometheus text exposition (whole process)
+    {"ok": true,  "data": <payload>}
+    {"ok": false, "error": {"code": <stable code>, "message": ...,
+                            "retryable": bool}}
 
-Error mapping (one JSON body ``{"error": ..., "kind": ...}``):
+``error.code`` comes from the :class:`~repro.errors.ReproError` hierarchy's
+stable ``code`` attributes (``admission_full``, ``deadline_exceeded``,
+``bad_pattern``, ``not_found``, ...), so remote callers classify failures
+without parsing messages, and the typed client rebuilds the matching
+exception class from the code.
+
+Endpoints (all JSON)::
+
+    GET  /v1/healthz               liveness + basic capacity figures
+    GET  /v1/runs                  the catalog (one object per stored run)
+    GET  /v1/runs/<run_id>         manifest summary + recorded run metrics
+    GET  /v1/stats[?run=ID]        the per-run registry `repro stats` renders
+    POST /v1/query                 {"pattern", "run", "method", "analyze"}
+    POST /v1/forward               {"pattern", "run", "method", "analyze"}
+    GET  /v1/debug/slow            the slow-query ring (REPRO_SLOW_QUERY_MS)
+    POST /v1/audit/sar             {"subjects", "template", "run", "runs",
+                                    "method", "page", "page_size"}
+    POST /v1/audit/erasure         {"subjects", "template", "run", "runs",
+                                    "method"} -- digest-signed receipt
+
+Outside the version namespace:
+
+* ``GET /metrics`` -- Prometheus text exposition.  Scrape formats are
+  governed by their own spec, not by this API's envelope, so the endpoint
+  is deliberately unversioned (as is ``GET /stats?format=prometheus``).
+* every pre-/v1 route (``/query``, ``/runs``, ...) still answers with its
+  historical body shape but carries ``Deprecation: true`` plus a ``Link:
+  </v1/...>; rel="successor-version"`` header pointing at its replacement.
+
+Error statuses (legacy body ``{"error": ..., "kind": ...}``):
 
 * 400 -- malformed request (bad JSON, unknown method, invalid pattern)
 * 404 -- unknown run or route
@@ -31,8 +49,8 @@ Each connection runs on its own thread (``ThreadingHTTPServer``); heavy
 work is bounded separately by the service's query pool, so accepting a
 request never commits the server to running it.  Requests are traced
 ("request <endpoint>" spans in the ``serve`` category) and counted into the
-service registry by endpoint *template* -- ``/runs/<id>``, not the concrete
-id -- to keep the metric cardinality bounded.
+service registry by endpoint *template* -- ``/v1/runs/<id>``, not the
+concrete id -- to keep the metric cardinality bounded.
 """
 
 from __future__ import annotations
@@ -51,15 +69,19 @@ from repro.errors import (
     ServeError,
     TaskTimeoutError,
     TreePatternError,
+    error_code,
 )
 from repro.obs.log import get_logger
 from repro.obs.tracer import get_tracer
 from repro.serve.service import QueryService
 
-__all__ = ["ProvenanceServer"]
+__all__ = ["ProvenanceServer", "API_VERSION", "error_envelope"]
 
 #: Upper bound on accepted request bodies (a tree pattern is tiny).
 MAX_BODY_BYTES = 1 << 20
+
+#: The current (only) version namespace of the HTTP surface.
+API_VERSION = "v1"
 
 
 def error_status(exc: BaseException) -> int:
@@ -73,6 +95,18 @@ def error_status(exc: BaseException) -> int:
     if isinstance(exc, ProvenanceError):
         return 404
     return 500
+
+
+def error_envelope(exc: BaseException) -> dict[str, Any]:
+    """The uniform ``/v1`` error body for *exc* (also used by the router)."""
+    return {
+        "ok": False,
+        "error": {
+            "code": error_code(exc),
+            "message": str(exc),
+            "retryable": bool(getattr(exc, "retryable", False)),
+        },
+    }
 
 
 class _ServeHTTPServer(ThreadingHTTPServer):
@@ -106,6 +140,12 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if status == 429:
             self.send_header("Retry-After", "1")
+        if getattr(self, "_deprecated", False):
+            # RFC 8594-style sunset signalling for the pre-/v1 surface.
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", f"</{API_VERSION}{self._legacy_path}>; rel=\"successor-version\""
+            )
         self.end_headers()
         self.wfile.write(body)
 
@@ -142,6 +182,13 @@ class _Handler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         segments = [part for part in split.path.split("/") if part]
         query = parse_qs(split.query)
+        # Version resolution happens before anything can fail so that even
+        # a catalog-refresh error answers in the caller's dialect.
+        self._versioned = segments[:1] == [API_VERSION]
+        if self._versioned:
+            segments = segments[1:]
+        self._legacy_path = split.path
+        self._deprecated = not self._versioned and segments != ["metrics"]
         endpoint = "(unknown)"
         status = 500
         started = perf_counter()
@@ -149,13 +196,18 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             service.check_catalog()
             endpoint, handler = self._dispatch(verb, segments, query)
+            if self._versioned:
+                endpoint = f"/{API_VERSION}" + endpoint
             with get_tracer().span(f"request {endpoint}", "serve", verb=verb) as handle:
                 status = handler()
         except Exception as exc:  # noqa: BLE001 -- every error becomes a response
             status = error_status(exc)
-            self._send_json(
-                status, {"error": str(exc), "kind": type(exc).__name__}
-            )
+            if self._versioned:
+                self._send_json(status, error_envelope(exc))
+            else:
+                self._send_json(
+                    status, {"error": str(exc), "kind": type(exc).__name__}
+                )
             if status == 500:
                 get_logger("serve").event(
                     "serve-error", endpoint=endpoint, error=str(exc)
@@ -169,7 +221,12 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
     def _dispatch(self, verb, segments, query):
-        """Resolve ``(endpoint template, thunk)``; raises for unknown routes."""
+        """Resolve ``(endpoint template, thunk)``; raises for unknown routes.
+
+        Called with the version prefix already stripped: the legacy aliases
+        and the ``/v1`` surface share one route table, differing only in
+        response dialect (envelope vs. historical body) and headers.
+        """
         service = self.server.service
         if verb == "GET" and segments == ["healthz"]:
             return "/healthz", lambda: self._ok(service.health())
@@ -179,7 +236,7 @@ class _Handler(BaseHTTPRequestHandler):
             return "/runs/<id>", lambda: self._ok(service.run_detail(segments[1]))
         if verb == "GET" and segments == ["stats"]:
             return "/stats", lambda: self._stats(query)
-        if verb == "GET" and segments == ["metrics"]:
+        if verb == "GET" and segments == ["metrics"] and not self._versioned:
             return "/metrics", lambda: self._metrics()
         if verb == "GET" and segments == ["debug", "slow"]:
             return "/debug/slow", lambda: self._ok(service.debug_slow())
@@ -189,11 +246,15 @@ class _Handler(BaseHTTPRequestHandler):
             return "/forward", lambda: self._forward()
         if verb == "POST" and segments == ["audit", "sar"]:
             return "/audit/sar", lambda: self._sar()
-        raise ProvenanceError(f"no such route: {verb} {'/' + '/'.join(segments)}")
+        if verb == "POST" and segments == ["audit", "erasure"] and self._versioned:
+            return "/audit/erasure", lambda: self._erasure()
+        raise ProvenanceError(f"no such route: {verb} {self._legacy_path}")
 
     # -- endpoint bodies (each returns the response status) --------------------
 
     def _ok(self, payload: Any) -> int:
+        if self._versioned:
+            payload = {"ok": True, "data": payload}
         self._send_json(200, payload)
         return 200
 
@@ -201,11 +262,11 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         run = (query.get("run") or [None])[0]
         registry = service.run_stats(run)
-        if (query.get("format") or ["json"])[0] == "prometheus":
+        wants_text = (query.get("format") or ["json"])[0] == "prometheus"
+        if wants_text and not self._versioned:
             self._send_text(200, registry.render_prometheus())
-        else:
-            self._send_json(200, registry.to_json())
-        return 200
+            return 200
+        return self._ok(registry.to_json())
 
     def _metrics(self) -> int:
         self._send_text(200, self.server.service.render_metrics())
@@ -222,8 +283,7 @@ class _Handler(BaseHTTPRequestHandler):
             method=body.get("method", "lazy"),
             analyze=bool(body.get("analyze", False)),
         )
-        self._send_json(200, payload)
-        return 200
+        return self._ok(payload)
 
     def _forward(self) -> int:
         body = self._read_body()
@@ -236,8 +296,7 @@ class _Handler(BaseHTTPRequestHandler):
             method=body.get("method", "lazy"),
             analyze=bool(body.get("analyze", False)),
         )
-        self._send_json(200, payload)
-        return 200
+        return self._ok(payload)
 
     def _sar(self) -> int:
         body = self._read_body()
@@ -247,6 +306,8 @@ class _Handler(BaseHTTPRequestHandler):
         kwargs: dict[str, Any] = {}
         if "template" in body:
             kwargs["template"] = body["template"]
+        if "runs" in body:
+            kwargs["runs"] = body["runs"]
         payload = self.server.service.sar(
             subjects,
             run_id=body.get("run"),
@@ -255,8 +316,25 @@ class _Handler(BaseHTTPRequestHandler):
             page_size=int(body.get("page_size", 100)),
             **kwargs,
         )
-        self._send_json(200, payload)
-        return 200
+        return self._ok(payload)
+
+    def _erasure(self) -> int:
+        body = self._read_body()
+        subjects = body.get("subjects")
+        if not isinstance(subjects, list):
+            raise ServeError("erasure needs a 'subjects' list")
+        kwargs: dict[str, Any] = {}
+        if "template" in body:
+            kwargs["template"] = body["template"]
+        if "runs" in body:
+            kwargs["runs"] = body["runs"]
+        payload = self.server.service.erasure(
+            subjects,
+            run_id=body.get("run"),
+            method=body.get("method", "lazy"),
+            **kwargs,
+        )
+        return self._ok(payload)
 
 
 class ProvenanceServer:

@@ -38,7 +38,11 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.audit.forward import ForwardTracer
-from repro.audit.sar import DEFAULT_SUBJECT_TEMPLATE, sar_over_tracers
+from repro.audit.sar import (
+    DEFAULT_SUBJECT_TEMPLATE,
+    erasure_over_tracers,
+    sar_over_tracers,
+)
 from repro.core.backtrace.result import ProvenanceResult
 from repro.engine.executor import ExecutionResult
 from repro.errors import ServeError
@@ -51,6 +55,7 @@ from repro.pebble.query import query_provenance
 from repro.serve.cache import PatternResultCache
 from repro.serve.pool import QueryPool
 from repro.warehouse import Warehouse
+from repro.warehouse.catalog import LEGACY_SHARD
 from repro.warehouse.reader import DEFAULT_CACHE_SIZE, LazyProvenanceStore
 from repro.warehouse.service import METRICS_NAME
 
@@ -169,6 +174,11 @@ class QueryService:
         self._residents: dict[tuple[str, str], _ResidentRun] = {}
         self._load_lock = threading.Lock()
         self._catalog_sig = self._catalog_signature()
+        self._epochs = warehouse.epoch_vector()
+        self._run_shards = {
+            record.run_id: (record.shard or LEGACY_SHARD)
+            for record in warehouse.runs()
+        }
         self._started = time.time()
         self._closed = False
         #: Test instrumentation: called on the worker thread before each
@@ -190,12 +200,15 @@ class QueryService:
         return (stat.st_mtime_ns, stat.st_size)
 
     def check_catalog(self) -> bool:
-        """Pick up externally recorded runs; ``True`` if the cache was flushed.
+        """Pick up external catalog changes; ``True`` if anything invalidated.
 
-        Called on every request (one ``stat`` when nothing changed).  When
-        the catalog file changed *and* the run set actually differs, the
-        pattern-result cache is invalidated: resident executions stay (runs
-        are immutable) but name-keyed answers may now resolve differently.
+        Called on every request; the fast path is still one ``stat`` of
+        ``catalog.json``.  When the file changed, the per-shard **epoch
+        vector** decides the blast radius: only cache entries whose answers
+        depend on a run in an epoch-bumped shard drop, so a fleet worker
+        recording-heavy warehouse keeps its other shards' answers hot.
+        Resident executions are immutable and stay, *except* for runs whose
+        shard assignment moved (a rebalance relocated their directories).
         """
         signature = self._catalog_signature()
         if signature == self._catalog_sig:
@@ -206,9 +219,36 @@ class QueryService:
                 return False
             self._catalog_sig = signature
             changed = self.warehouse.refresh()
-        if not changed:
-            return False
-        self.cache.invalidate()
+            if not changed:
+                return False
+            before, after = self._epochs, self.warehouse.epoch_vector()
+            self._epochs = after
+            bumped = {
+                shard
+                for shard in set(before) | set(after)
+                if before.get(shard, 0) != after.get(shard, 0)
+            }
+            shards_now = {
+                record.run_id: (record.shard or LEGACY_SHARD)
+                for record in self.warehouse.runs()
+            }
+            stale = {
+                run_id for run_id, shard in shards_now.items() if shard in bumped
+            }
+            moved = {
+                run_id
+                for run_id, shard in shards_now.items()
+                if self._run_shards.get(run_id, shard) != shard
+            }
+            self._run_shards = shards_now
+            for key in [key for key in self._residents if key[0] in moved]:
+                del self._residents[key]
+        if bumped:
+            self.cache.invalidate_runs(stale)
+        else:
+            # The run set changed without an epoch trail (a foreign writer):
+            # fall back to the conservative whole-cache flush.
+            self.cache.invalidate()
         self.registry.counter("repro_serve_catalog_refreshes_total").inc()
         return True
 
@@ -279,7 +319,9 @@ class QueryService:
         if not isinstance(pattern, str) or not pattern.strip():
             raise ServeError("query needs a non-empty 'pattern' string")
         record = self.warehouse.resolve(run_id)
-        key = (record.run_id, pattern, method)
+        # Keys are ("<kind>", <run scope>, ...): position 1 is what
+        # invalidate_runs inspects when a shard epoch moves.
+        key = ("query", record.run_id, pattern, method)
         started = time.perf_counter()
         deadline = self.config.effective_deadline()
         if analyze:
@@ -448,21 +490,43 @@ class QueryService:
                 payload["analyze"] = breakdown.to_json()
         return payload
 
+    def _scope_runs(
+        self, run_id: str | None, runs: list[str] | None
+    ) -> tuple[str, ...]:
+        """Resolve a request's run scope to an ordered id tuple.
+
+        *runs* (an explicit list of ids/names, catalog order preserved)
+        wins over *run_id*; with neither, the scope is every catalogued
+        run.  The router uses *runs* to hand each worker exactly its owned
+        subset while keeping the global request shape identical.
+        """
+        if runs is not None:
+            if not isinstance(runs, list) or not all(
+                isinstance(run, str) and run for run in runs
+            ):
+                raise ServeError("'runs' must be a list of run ids or names")
+            return tuple(self.warehouse.resolve(run).run_id for run in runs)
+        if run_id is None:
+            return tuple(record.run_id for record in self.warehouse.runs())
+        return (self.warehouse.resolve(run_id).run_id,)
+
     def sar(
         self,
         subjects: list[str],
         template: str = DEFAULT_SUBJECT_TEMPLATE,
         run_id: str | None = None,
+        runs: list[str] | None = None,
         method: str = "lazy",
         page: int = 1,
         page_size: int = 100,
     ) -> dict[str, Any]:
         """One bulk subject-access request over the resident warehouse.
 
-        ``run_id=None`` spans every catalogued run.  The whole report is one
-        pooled task (one admission slot, one deadline) and one cache entry
-        keyed by the full request shape, so repeating a page is free until
-        the catalog changes.
+        ``run_id=None`` spans every catalogued run; ``runs`` restricts to an
+        explicit subset (the router's scatter shape).  The whole report is
+        one pooled task (one admission slot, one deadline) and one cache
+        entry keyed by the full request shape, so repeating a page is free
+        until the catalog changes.
         """
         if method not in QUERY_METHODS:
             raise ServeError(
@@ -472,10 +536,7 @@ class QueryService:
             isinstance(subject, str) and subject for subject in subjects
         ):
             raise ServeError("sar needs a non-empty 'subjects' list of strings")
-        if run_id is None:
-            run_ids = tuple(record.run_id for record in self.warehouse.runs())
-        else:
-            run_ids = (self.warehouse.resolve(run_id).run_id,)
+        run_ids = self._scope_runs(run_id, runs)
         key = (
             "sar",
             run_ids,
@@ -530,6 +591,74 @@ class QueryService:
             runs=len(run_ids),
             subjects=report["total_subjects"],
             page=page,
+            method=method,
+            seconds=seconds,
+        )
+        return {"method": method, "report": report, "query_seconds": seconds}
+
+    def erasure(
+        self,
+        subjects: list[str],
+        template: str = DEFAULT_SUBJECT_TEMPLATE,
+        run_id: str | None = None,
+        runs: list[str] | None = None,
+        method: str = "lazy",
+    ) -> dict[str, Any]:
+        """One erasure verification served from resident executions.
+
+        The report (and its sha256 ``digest``) is byte-identical to a direct
+        :func:`repro.verify_erasure` call over the same warehouse state --
+        the receipt does not depend on which tier produced it.
+        """
+        if method not in QUERY_METHODS:
+            raise ServeError(
+                f"unknown query method {method!r}; expected one of {QUERY_METHODS}"
+            )
+        if not isinstance(subjects, list) or not subjects or not all(
+            isinstance(subject, str) and subject for subject in subjects
+        ):
+            raise ServeError("erasure needs a non-empty 'subjects' list of strings")
+        run_ids = self._scope_runs(run_id, runs)
+        key = ("erasure", run_ids, tuple(sorted(set(subjects))), template, method)
+        started = time.perf_counter()
+        deadline = self.config.effective_deadline()
+        payload, was_hit = self.cache.get_or_compute(
+            key,
+            lambda: self.pool.run(
+                lambda: self._execute_erasure(run_ids, subjects, template, method),
+                deadline,
+            ),
+            wait_timeout=deadline,
+        )
+        elapsed = time.perf_counter() - started
+        self.registry.counter("repro_serve_erasure_requests_total").inc()
+        return dict(payload, server={"cached": was_hit, "seconds": elapsed})
+
+    def _execute_erasure(
+        self,
+        run_ids: tuple[str, ...],
+        subjects: list[str],
+        template: str,
+        method: str,
+    ) -> dict[str, Any]:
+        if self.query_hook is not None:
+            self.query_hook()
+        with get_tracer().span(
+            "serve-erasure", "serve", runs=len(run_ids), subjects=len(subjects)
+        ) as span:
+            tracers = [
+                (run_id, self._resident(run_id, method).forward_tracer())
+                for run_id in run_ids
+            ]
+            started = time.perf_counter()
+            report = erasure_over_tracers(tracers, subjects, template=template)
+            seconds = time.perf_counter() - started
+            span.set(clean=report["clean"], subjects=report["subject_count"])
+        get_logger("serve").event(
+            "serve-erasure",
+            runs=len(run_ids),
+            subjects=report["subject_count"],
+            clean=report["clean"],
             method=method,
             seconds=seconds,
         )

@@ -5,6 +5,16 @@ paper's use-cases need: auditing and data-usage queries span runs recorded
 days apart).  ``catalog.json`` is the only file a listing has to read -- it
 carries per run the name, creation timestamp, sink operator, and size
 figures, so ``repro warehouse ls`` never touches a segment.
+
+Sharded warehouses additionally persist a **shard manifest** here: the list
+of named shards, the consistent-hash replica count that places runs onto
+them, and a monotonically increasing **epoch** per shard.  An epoch bumps
+whenever that shard's membership changes (a run recorded into it, a run
+moved by rebalancing), which generalizes the single catalog stat signature
+into a vector: a serve worker compares epoch vectors and invalidates only
+the cache entries and resident stores of shards that actually changed.
+Catalogs written before sharding load unchanged -- they have no manifest
+and behave as one anonymous shard at epoch 0.
 """
 
 from __future__ import annotations
@@ -16,9 +26,46 @@ from typing import Any
 
 from repro.errors import ProvenanceError
 
-__all__ = ["RunRecord", "Catalog", "CATALOG_VERSION"]
+__all__ = ["RunRecord", "ShardManifest", "Catalog", "CATALOG_VERSION"]
 
 CATALOG_VERSION = 1
+
+#: Pseudo-shard name for runs stored in the legacy flat layout
+#: (``<root>/runs/<run_id>``, no shard directory).
+LEGACY_SHARD = ""
+
+
+class ShardManifest:
+    """The catalog's record of shard names, placement, and epochs."""
+
+    def __init__(self, shards: list[str], replicas: int, epochs: dict[str, int]):
+        #: Shard names in creation order (placement hashes the names, so the
+        #: order is cosmetic; the names are load-bearing).
+        self.shards = list(shards)
+        #: Virtual points per shard on the placement ring -- persisted so
+        #: every process places runs identically.
+        self.replicas = int(replicas)
+        #: ``shard -> epoch``; monotonically increasing per shard.
+        self.epochs = dict(epochs)
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "shards": list(self.shards),
+            "replicas": self.replicas,
+            "epochs": {name: self.epochs.get(name, 0) for name in self.shards},
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "ShardManifest":
+        return cls(obj["shards"], obj.get("replicas", 64), obj.get("epochs", {}))
+
+    def bump(self, shard: str) -> int:
+        """Advance *shard*'s epoch (membership changed) and return it."""
+        self.epochs[shard] = self.epochs.get(shard, 0) + 1
+        return self.epochs[shard]
+
+    def __repr__(self) -> str:
+        return f"ShardManifest({self.shards!r}, epochs={self.epochs!r})"
 
 
 class RunRecord:
@@ -33,6 +80,7 @@ class RunRecord:
         "row_count",
         "total_bytes",
         "indexed",
+        "shard",
     )
 
     def __init__(
@@ -45,6 +93,7 @@ class RunRecord:
         row_count: int,
         total_bytes: int,
         indexed: bool = False,
+        shard: str | None = None,
     ):
         self.run_id = run_id
         self.name = name
@@ -58,12 +107,15 @@ class RunRecord:
         #: Whether the run carries a persisted ``index.seg`` (forward/audit
         #: queries fall back to a full scan when false).
         self.indexed = indexed
+        #: Storage shard holding the run's directory, or ``None`` for the
+        #: legacy flat layout (``<root>/runs/<run_id>``).
+        self.shard = shard
 
     def created_iso(self) -> str:
         return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.created))
 
     def to_obj(self) -> dict[str, Any]:
-        return {
+        obj = {
             "run_id": self.run_id,
             "name": self.name,
             "created": self.created,
@@ -73,6 +125,9 @@ class RunRecord:
             "total_bytes": self.total_bytes,
             "indexed": self.indexed,
         }
+        if self.shard is not None:
+            obj["shard"] = self.shard
+        return obj
 
     @classmethod
     def from_obj(cls, obj: dict[str, Any]) -> "RunRecord":
@@ -87,6 +142,7 @@ class RunRecord:
             # Pre-1.3 catalogs have no flag; such runs may still be indexed
             # on disk (RunIndex.load checks the manifest, the ground truth).
             obj.get("indexed", False),
+            obj.get("shard"),
         )
 
     def __repr__(self) -> str:
@@ -102,6 +158,11 @@ class Catalog:
         self.root = FsPath(root)
         self._records: list[RunRecord] = []
         self._next_seq = 1
+        #: Shard layout, or ``None`` for an unsharded (flat-layout) warehouse.
+        self.manifest: ShardManifest | None = None
+        #: Epoch of the legacy pseudo-shard: bumps on every record into the
+        #: flat layout so unsharded warehouses still get epoch invalidation.
+        self.legacy_epoch = 0
 
     @property
     def path(self) -> FsPath:
@@ -121,21 +182,51 @@ class Catalog:
             )
         catalog._records = [RunRecord.from_obj(entry) for entry in document["runs"]]
         catalog._next_seq = document.get("next_seq", len(catalog._records) + 1)
+        if "shards" in document:
+            catalog.manifest = ShardManifest.from_obj(document["shards"])
+        catalog.legacy_epoch = document.get("epoch", 0)
         return catalog
 
     def save(self) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
-        document = {
+        document: dict[str, Any] = {
             "version": CATALOG_VERSION,
             "next_seq": self._next_seq,
+            "epoch": self.legacy_epoch,
             "runs": [record.to_obj() for record in self._records],
         }
+        if self.manifest is not None:
+            document["shards"] = self.manifest.to_obj()
         # Write-then-rename keeps the catalog readable if a record() crashes
         # mid-write (the fresh run directory is then simply unreferenced).
         tmp = self.path.with_suffix(".json.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
         tmp.replace(self.path)
+
+    def epoch_vector(self) -> dict[str, int]:
+        """``shard -> epoch`` snapshot, always including the legacy shard.
+
+        Two equal vectors mean the catalog describes the same membership:
+        a serve worker caches answers under the vector it read and drops
+        only what belongs to shards whose epoch moved.
+        """
+        vector = {LEGACY_SHARD: self.legacy_epoch}
+        if self.manifest is not None:
+            for name in self.manifest.shards:
+                vector[name] = self.manifest.epochs.get(name, 0)
+        return vector
+
+    def bump_epoch(self, shard: str | None) -> None:
+        """Record a membership change in *shard* (``None`` = legacy layout)."""
+        if shard is None or shard == LEGACY_SHARD:
+            self.legacy_epoch += 1
+        else:
+            if self.manifest is None:
+                raise ProvenanceError(
+                    f"cannot bump epoch of shard {shard!r}: warehouse is unsharded"
+                )
+            self.manifest.bump(shard)
 
     def new_run_id(self, name: str) -> str:
         """Mint the next run identifier: a sequence number plus a name slug."""

@@ -11,10 +11,20 @@ Directory layout::
 
     <root>/
       catalog.json                   run registry (name, timestamp, sizes)
-      runs/<run_id>/
+      runs/<run_id>/                 legacy flat layout (unsharded roots)
         manifest.json                footer index: oid -> segment/offsets
         rows.seg                     provenance-annotated result rows
         ops/op-<oid>.seg             one segment per operator
+        ops/range-NNNN/op-<oid>.seg  sub-sharded segments (large runs)
+      shards/<shard>/runs/<run_id>/  sharded layout (after ``init_shards``)
+
+A sharded warehouse places each run onto a named shard by consistent-hashing
+its run id (:mod:`repro.core.ring`), records the placement in the catalog's
+shard manifest, and bumps that shard's epoch -- the per-shard generalisation
+of the catalog stat signature that lets long-lived readers invalidate only
+what changed.  All read paths go through the catalog record's ``shard``
+field, so sharded and flat layouts can coexist in one root (e.g. a legacy
+warehouse mid-``rebalance``).
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from pathlib import Path as FsPath
 from typing import Any
 
 from repro.core.backtrace.result import ProvenanceResult
+from repro.core.ring import DEFAULT_REPLICAS, HashRing
 from repro.core.treepattern.pattern import TreePattern
 from repro.engine.config import resolve_partitions
 from repro.engine.executor import ExecutionResult
@@ -39,7 +50,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import observe_query, slow_threshold_seconds
 from repro.obs.tracer import get_tracer
-from repro.warehouse.catalog import Catalog, RunRecord
+from repro.warehouse.catalog import LEGACY_SHARD, Catalog, RunRecord, ShardManifest
 from repro.warehouse.index import RunIndex, ensure_index
 from repro.warehouse.reader import (
     DEFAULT_CACHE_SIZE,
@@ -48,11 +59,12 @@ from repro.warehouse.reader import (
     load_manifest,
     read_rows,
 )
-from repro.warehouse.writer import write_run
+from repro.warehouse.writer import DEFAULT_SUB_SHARD_SPAN, write_run
 
 __all__ = ["Warehouse"]
 
 RUNS_DIR = "runs"
+SHARDS_DIR = "shards"
 
 #: Execution accounting recorded next to a run's manifest (``repro stats``).
 METRICS_NAME = "metrics.json"
@@ -77,24 +89,168 @@ class Warehouse:
         root.mkdir(parents=True, exist_ok=True)
         return cls(root, Catalog.load(root))
 
+    # -- shard placement -------------------------------------------------------
+
+    @property
+    def sharded(self) -> bool:
+        return self._catalog.manifest is not None
+
+    def _placement_ring(self) -> HashRing:
+        manifest = self._catalog.manifest
+        if manifest is None:
+            raise ProvenanceError(
+                f"warehouse at {self.root} is unsharded (run init_shards first)"
+            )
+        return HashRing(manifest.shards, replicas=manifest.replicas)
+
+    def shard_for(self, run_id: str) -> str | None:
+        """The shard a run with *run_id* belongs on (``None``: flat layout)."""
+        if self._catalog.manifest is None:
+            return None
+        return self._placement_ring().assign(run_id)
+
+    def _dir_for(self, record: RunRecord) -> FsPath:
+        """The run's directory under its shard (or the legacy flat layout)."""
+        if record.shard:
+            return self.root / SHARDS_DIR / record.shard / RUNS_DIR / record.run_id
+        return self.root / RUNS_DIR / record.run_id
+
+    def init_shards(
+        self, count: int, replicas: int = DEFAULT_REPLICAS, prefix: str = "shard"
+    ) -> list[str]:
+        """Declare *count* named shards for this warehouse.
+
+        Creates the shard manifest (names ``shard-00 .. shard-NN``) so
+        subsequent :meth:`record` calls hash their run ids onto shards.
+        Existing runs stay where they are until :meth:`rebalance` moves
+        them.  Idempotent for the same count; shrinking is refused (that
+        would orphan directories) -- grow and :meth:`rebalance` instead.
+        """
+        if count < 1:
+            raise ProvenanceError(f"shard count must be >= 1, got {count}")
+        names = [f"{prefix}-{index:02d}" for index in range(count)]
+        manifest = self._catalog.manifest
+        if manifest is not None:
+            if names == manifest.shards:
+                return names
+            missing = set(manifest.shards) - set(names)
+            if missing:
+                raise ProvenanceError(
+                    f"cannot drop shards {sorted(missing)}; rebalance to a "
+                    "superset instead"
+                )
+            for name in names:
+                if name not in manifest.shards:
+                    manifest.shards.append(name)
+                    manifest.epochs.setdefault(name, 0)
+        else:
+            self._catalog.manifest = ShardManifest(
+                names, replicas, {name: 0 for name in names}
+            )
+        for name in names:
+            (self.root / SHARDS_DIR / name / RUNS_DIR).mkdir(parents=True, exist_ok=True)
+        self._catalog.save()
+        get_logger("warehouse").event("shards-initialised", shards=names, replicas=replicas)
+        return names
+
+    def rebalance(self, count: int | None = None) -> dict[str, Any]:
+        """Move every run to the shard its id hashes to; returns a report.
+
+        With *count*, grows the shard set first (``init_shards``).  Each
+        moved run bumps both the source and destination shard epochs, so
+        serve workers drop exactly the residents and cache entries whose
+        storage moved under them.  Runs already in place are untouched --
+        consistent hashing keeps that the common case.
+        """
+        if count is not None:
+            self.init_shards(count)
+        ring = self._placement_ring()
+        moved: list[dict[str, str | None]] = []
+        with get_tracer().span("warehouse-rebalance", "warehouse"):
+            for record in self._catalog.runs():
+                target = ring.assign(record.run_id)
+                if target == record.shard:
+                    continue
+                source_dir = self._dir_for(record)
+                target_dir = self.root / SHARDS_DIR / target / RUNS_DIR / record.run_id
+                target_dir.parent.mkdir(parents=True, exist_ok=True)
+                source_dir.replace(target_dir)
+                moved.append(
+                    {"run_id": record.run_id, "from": record.shard, "to": target}
+                )
+                self._catalog.bump_epoch(record.shard)
+                self._catalog.bump_epoch(target)
+                record.shard = target
+        if moved:
+            self._catalog.save()
+        report = {
+            "shards": list(self._catalog.manifest.shards),  # type: ignore[union-attr]
+            "moved": moved,
+            "unmoved": len(self._catalog) - len(moved),
+        }
+        get_logger("warehouse").event("shards-rebalanced", moved=len(moved), unmoved=report["unmoved"])
+        return report
+
+    def epoch_vector(self) -> dict[str, int]:
+        """``shard -> epoch`` snapshot (see :meth:`Catalog.epoch_vector`)."""
+        return self._catalog.epoch_vector()
+
+    def shard_summary(self) -> list[dict[str, Any]]:
+        """Per-shard run/row/byte totals for ``repro shard ls``."""
+        vector = self._catalog.epoch_vector()
+        shards: dict[str, dict[str, Any]] = {
+            name: {"shard": name or LEGACY_SHARD, "epoch": epoch, "runs": 0,
+                   "rows": 0, "bytes": 0, "run_ids": []}
+            for name, epoch in vector.items()
+        }
+        for record in self._catalog.runs():
+            name = record.shard or LEGACY_SHARD
+            entry = shards.setdefault(
+                name, {"shard": name, "epoch": 0, "runs": 0, "rows": 0,
+                       "bytes": 0, "run_ids": []}
+            )
+            entry["runs"] += 1
+            entry["rows"] += record.row_count
+            entry["bytes"] += record.total_bytes
+            entry["run_ids"].append(record.run_id)
+        # The legacy pseudo-shard only shows when it still holds runs.
+        if LEGACY_SHARD in shards and not shards[LEGACY_SHARD]["runs"] and self.sharded:
+            del shards[LEGACY_SHARD]
+        return [shards[name] for name in sorted(shards)]
+
     # -- recording -------------------------------------------------------------
 
     def record(
-        self, execution: ExecutionResult, name: str = "run", index: bool = True
+        self,
+        execution: ExecutionResult,
+        name: str = "run",
+        index: bool = True,
+        sub_shard_span: int = DEFAULT_SUB_SHARD_SPAN,
     ) -> RunRecord:
         """Persist one capture-enabled execution; returns its catalog record.
 
         By default the run's query-side index (``index.seg``) is built in
         the same step; pass ``index=False`` to skip it (``repro index
-        build`` backfills later, producing identical bytes).
+        build`` backfills later, producing identical bytes).  In a sharded
+        warehouse the run lands on the shard its id hashes to and that
+        shard's epoch advances; *sub_shard_span* bounds operators per
+        segment directory (see :func:`write_run`).
         """
         if execution.store is None:
             raise ProvenanceError("only capture-enabled executions can be recorded")
         created = time.time()
         run_id = self._catalog.new_run_id(name)
-        run_dir = self.root / RUNS_DIR / run_id
-        with get_tracer().span("warehouse-record", "warehouse", run_id=run_id):
-            manifest = write_run(run_dir, execution, run_id, name, created)
+        shard = self.shard_for(run_id)
+        if shard:
+            run_dir = self.root / SHARDS_DIR / shard / RUNS_DIR / run_id
+        else:
+            run_dir = self.root / RUNS_DIR / run_id
+        with get_tracer().span(
+            "warehouse-record", "warehouse", run_id=run_id, shard=shard or LEGACY_SHARD
+        ):
+            manifest = write_run(
+                run_dir, execution, run_id, name, created, sub_shard_span=sub_shard_span
+            )
             # Keep the execution's accounting next to the segments so
             # ``repro stats`` can rebuild a registry for the stored run.
             with open(run_dir / METRICS_NAME, "w", encoding="utf-8") as handle:
@@ -110,8 +266,10 @@ class Warehouse:
             manifest["rows"]["count"],
             manifest["total_bytes"],
             indexed=index,
+            shard=shard,
         )
         self._catalog.add(record)
+        self._catalog.bump_epoch(shard)
         self._catalog.save()
         get_logger(run_id).event(
             "run-recorded",
@@ -120,6 +278,7 @@ class Warehouse:
             rows=record.row_count,
             bytes=record.total_bytes,
             indexed=index,
+            shard=shard or LEGACY_SHARD,
         )
         return record
 
@@ -130,7 +289,7 @@ class Warehouse:
         ``indexed`` flag is updated and saved, so listings reflect it.
         """
         record = self.resolve(run_id)
-        run_dir = self.root / RUNS_DIR / record.run_id
+        run_dir = self._dir_for(record)
         manifest = load_manifest(run_dir)
         entry = manifest.get("index")
         if entry is None or force or not (run_dir / entry["segment"]).exists():
@@ -146,7 +305,7 @@ class Warehouse:
     def load_index(self, run_id: str | None = None) -> "RunIndex | None":
         """The persisted index of a run, or ``None`` (callers fall back to scan)."""
         record = self.resolve(run_id)
-        run_dir = self.root / RUNS_DIR / record.run_id
+        run_dir = self._dir_for(record)
         return RunIndex.load(run_dir, load_manifest(run_dir))
 
     def forward(
@@ -176,18 +335,24 @@ class Warehouse:
         )
 
     def refresh(self) -> bool:
-        """Reload the catalog from disk; ``True`` if the run set changed.
+        """Reload the catalog from disk; ``True`` if membership changed.
 
         A long-lived reader (the ``repro.serve`` query service) opens the
         warehouse once but other processes may keep recording runs into the
         same root; refreshing picks those up without reopening.  Stored runs
         are immutable, so a refresh only ever *adds* visibility -- but name
         resolution ("newest run named X") and cached pattern results must be
-        re-derived when the set changes.
+        re-derived when the set changes.  The epoch vector is part of the
+        comparison: a rebalance moves run directories without changing the
+        run-id set, and open stores must still be dropped.
         """
         before = {record.run_id for record in self._catalog.runs()}
+        epochs_before = self._catalog.epoch_vector()
         self._catalog = Catalog.load(self.root)
-        return {record.run_id for record in self._catalog.runs()} != before
+        return (
+            {record.run_id for record in self._catalog.runs()} != before
+            or self._catalog.epoch_vector() != epochs_before
+        )
 
     # -- listing / inspection --------------------------------------------------
 
@@ -200,7 +365,7 @@ class Warehouse:
         return self._catalog.find(run_id) if run_id else self._catalog.latest()
 
     def run_dir(self, run_id: str) -> FsPath:
-        return self.root / RUNS_DIR / self._catalog.find(run_id).run_id
+        return self._dir_for(self._catalog.find(run_id))
 
     def inspect(self, run_id: str) -> dict[str, Any]:
         """Per-operator summary of one run, served from its footer index."""
@@ -248,7 +413,7 @@ class Warehouse:
         """
         num_partitions = resolve_partitions(num_partitions)
         record = self._catalog.find(run_id) if run_id else self._catalog.latest()
-        run_dir = self.root / RUNS_DIR / record.run_id
+        run_dir = self._dir_for(record)
         with get_tracer().span("warehouse-load", "warehouse", run_id=record.run_id):
             manifest = load_manifest(run_dir)
             store = LazyProvenanceStore(
@@ -356,15 +521,20 @@ class Warehouse:
         """
         registry = registry if registry is not None else MetricsRegistry()
         record = self._catalog.find(run_id) if run_id else self._catalog.latest()
-        run_dir = self.root / RUNS_DIR / record.run_id
+        run_dir = self._dir_for(record)
         manifest = load_manifest(run_dir)
-        registry.gauge("repro_run_operators", run_id=record.run_id).set(
+        # Sharded runs carry their shard as an extra label; unsharded runs
+        # keep the historical label set so existing dashboards stay intact.
+        size_labels: dict[str, str] = {"run_id": record.run_id}
+        if record.shard:
+            size_labels["shard"] = record.shard
+        registry.gauge("repro_run_operators", **size_labels).set(
             len(manifest["operators"])
         )
-        registry.gauge("repro_run_rows", run_id=record.run_id).set(
+        registry.gauge("repro_run_rows", **size_labels).set(
             manifest["rows"]["count"]
         )
-        registry.gauge("repro_run_bytes", run_id=record.run_id).set(
+        registry.gauge("repro_run_bytes", **size_labels).set(
             manifest["total_bytes"]
         )
         for oid, entry in sorted(manifest["operators"].items(), key=lambda p: int(p[0])):

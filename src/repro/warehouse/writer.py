@@ -11,6 +11,14 @@ The footer index (``manifest.json``) maps every operator id to its segment,
 byte offsets, record counts, and the Fig. 8 size split -- everything
 ``size_report()`` and ``is_source()`` need is answerable from the index
 alone, with zero segment decodes.
+
+Large runs additionally **sub-shard** their segments: when a run has more
+operators than ``sub_shard_span``, segments land in ``ops/range-NNNN/``
+directories grouping ``span`` consecutive operator ids each.  The manifest's
+``segment`` entries are run-dir-relative paths either way, so readers and
+the index builder need no layout knowledge -- the split exists so directory
+listings stay bounded and a range of a very large run can be copied or
+rebalanced as a unit.
 """
 
 from __future__ import annotations
@@ -25,11 +33,21 @@ from repro.engine.executor import ExecutionResult
 from repro.errors import ProvenanceError
 import repro.warehouse.format as wf
 
-__all__ = ["MANIFEST_NAME", "OPS_DIR", "ROWS_SEGMENT", "write_run"]
+__all__ = [
+    "MANIFEST_NAME",
+    "OPS_DIR",
+    "ROWS_SEGMENT",
+    "DEFAULT_SUB_SHARD_SPAN",
+    "write_run",
+]
 
 MANIFEST_NAME = "manifest.json"
 OPS_DIR = "ops"
 ROWS_SEGMENT = "rows.seg"
+
+#: Operators per ``ops/range-NNNN/`` directory; runs at or below the span
+#: keep the flat layout.
+DEFAULT_SUB_SHARD_SPAN = 256
 
 #: Bytes of the segment preamble (magic + version + kind).
 _PREAMBLE = len(wf.MAGIC) + 2 + 1
@@ -76,23 +94,37 @@ def write_run(
     run_id: str,
     name: str,
     created: float,
+    sub_shard_span: int = DEFAULT_SUB_SHARD_SPAN,
 ) -> dict[str, Any]:
     """Write one captured execution under *run_dir*; returns the manifest.
 
     The manifest is also persisted as ``run_dir/manifest.json``.  Raises
-    :class:`ProvenanceError` for capture-disabled executions.
+    :class:`ProvenanceError` for capture-disabled executions.  Runs with
+    more than *sub_shard_span* operators split their segments across
+    ``ops/range-NNNN/`` directories (span operators per range).
     """
     store = execution.store
     if store is None:
         raise ProvenanceError("only capture-enabled executions can be recorded")
+    if sub_shard_span < 1:
+        raise ProvenanceError(f"sub_shard_span must be >= 1, got {sub_shard_span}")
     run_dir = FsPath(run_dir)
     ops_dir = run_dir / OPS_DIR
     ops_dir.mkdir(parents=True, exist_ok=False)
 
+    provenances = list(store.operators())
+    sub_sharded = len(provenances) > sub_shard_span
+
     total_bytes = 0
     operators: dict[str, Any] = {}
-    for provenance in store.operators():
+    for provenance in provenances:
         segment, entry = _operator_segment(store, provenance)
+        if sub_sharded:
+            # The index entry's "segment" stays a run-dir-relative path, so
+            # every reader join (run_dir / OPS_DIR / segment) still works.
+            rng = f"range-{provenance.oid // sub_shard_span:04d}"
+            (ops_dir / rng).mkdir(exist_ok=True)
+            entry["segment"] = f"{rng}/{entry['segment']}"
         (ops_dir / entry["segment"]).write_bytes(segment)
         entry["segment_bytes"] = len(segment)
         total_bytes += len(segment)
@@ -121,6 +153,9 @@ def write_run(
         "operators": operators,
         "total_bytes": total_bytes,
     }
+    if sub_sharded:
+        ranges = sorted({entry["segment"].split("/", 1)[0] for entry in operators.values()})
+        manifest["sub_shards"] = {"span": sub_shard_span, "ranges": ranges}
     with open(run_dir / MANIFEST_NAME, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
     return manifest

@@ -77,11 +77,13 @@ class TestEndpoints:
         assert "total_seconds" in detail["metrics"]
 
     def test_unknown_run_is_404(self, client):
-        from repro.errors import ServeError
+        # The /v1 envelope's stable code rebuilds the server-side exception
+        # class on the client: not a generic "HTTP 404" ServeError.
+        from repro.errors import ProvenanceError
 
-        with pytest.raises(ServeError) as info:
+        with pytest.raises(ProvenanceError) as info:
             client.run("no-such-run")
-        assert "HTTP 404" in str(info.value)
+        assert "no run 'no-such-run'" in str(info.value)
 
     def test_unknown_route_is_404(self, client):
         import urllib.error
@@ -92,9 +94,9 @@ class TestEndpoints:
         assert info.value.code == 404
 
     def test_malformed_query_is_400(self, client):
-        from repro.errors import ServeError
+        from repro.errors import ServeError, TreePatternError
 
-        with pytest.raises(ServeError):
+        with pytest.raises(TreePatternError):
             client.query("root{")  # unbalanced pattern
         with pytest.raises(ServeError):
             client.query(RUNNING_EXAMPLE_PATTERN, method="psychic")
@@ -102,7 +104,7 @@ class TestEndpoints:
     def test_metrics_exposes_request_queue_and_cache_counters(self, client):
         client.query(RUNNING_EXAMPLE_PATTERN)
         text = client.metrics_text()
-        assert 'repro_serve_requests_total{endpoint="/query",status="200"}' in text
+        assert 'repro_serve_requests_total{endpoint="/v1/query",status="200"}' in text
         assert 'repro_serve_queries_total{method="lazy"}' in text
         assert "repro_serve_queue_depth" in text
         assert "repro_serve_pattern_cache_hits" in text
@@ -307,11 +309,10 @@ class TestForwardEndpoint:
         assert lazy["result"] == eager["result"]
 
     def test_bad_forward_inputs_are_400(self, client):
-        from repro.errors import ServeError
+        from repro.errors import ServeError, TreePatternError
 
-        with pytest.raises(ServeError) as info:
+        with pytest.raises(TreePatternError):
             client.forward("root{")
-        assert "HTTP 400" in str(info.value)
         with pytest.raises(ServeError):
             client.forward(self.PATTERN, method="psychic")
 
@@ -343,7 +344,7 @@ class TestForwardEndpoint:
                 release.set()
                 blocker.join()
             text = client.metrics_text()
-            assert 'repro_serve_requests_total{endpoint="/forward",status="429"}' in text
+            assert 'repro_serve_requests_total{endpoint="/v1/forward",status="429"}' in text
 
 
 class TestSarEndpoint:
@@ -374,18 +375,16 @@ class TestSarEndpoint:
             with pytest.raises(TaskTimeoutError):
                 client.sar(self.SUBJECTS)
             text = client.metrics_text()
-            assert 'endpoint="/audit/sar",status="504"' in text
+            assert 'endpoint="/v1/audit/sar",status="504"' in text
 
     def test_bad_sar_inputs_are_400(self, client):
-        from repro.errors import ServeError
+        from repro.errors import AuditError, ServeError
 
-        with pytest.raises(ServeError) as info:
-            client.sar([])
-        assert "HTTP 400" in str(info.value)
-        with pytest.raises(ServeError) as info:
-            client.sar(["lp"], page=7)  # out of range
-        assert "HTTP 400" in str(info.value)
         with pytest.raises(ServeError):
+            client.sar([])
+        with pytest.raises(AuditError):
+            client.sar(["lp"], page=7)  # out of range
+        with pytest.raises(AuditError):
             client.sar(["lp"], template="root{//no-placeholder}")
 
     def test_audit_counters_reach_metrics_and_remote_stats(

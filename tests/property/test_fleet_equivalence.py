@@ -1,0 +1,126 @@
+"""Property: the serve fleet is answer-transparent.
+
+For any pattern from a pool of valid structural queries, any trace method,
+and any subject list, three ways of asking must agree byte-for-byte:
+
+* the library directly (``query_provenance`` over ``Warehouse.load``),
+* a local client (``repro.connect("file://...")`` -- in-process service
+  with admission control and caching),
+* the fleet (``repro.connect("http://router")`` -- three workers behind
+  consistent-hash routing, audit questions scatter-gathered and merged).
+
+One module-scoped fleet serves every example: hypothesis varies the
+questions, not the topology, so the suite stays fast while still walking
+the merge paths (multi-run SAR/erasure, cache hits on repeats, both trace
+methods) in unpredictable orders.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro.engine.session import Session
+from repro.pebble.query import query_provenance
+from repro.serve.fleet import Fleet
+from repro.serve.router import RouterService, RouterServer
+from repro.serve.service import result_to_json
+from repro.warehouse import Warehouse
+from repro.workloads.scenarios import (
+    RUNNING_EXAMPLE_TWEETS,
+    build_running_example,
+)
+
+PATTERNS = [
+    'root{//id_str="lp"}',
+    'root{//id_str="lp", /tweets{/text="Hello World"[2,2]}}',
+    'root{/tweets{/text="Hello World"[1,*]}}',
+    'root{/tweets{/text="Hello @lp"}}',
+    'root{/user{/id_str="lp"}}',
+    'root{//*="nope"}',
+]
+SUBJECT_POOL = ["lp", "vx", "dq", "nobody-xyz"]
+
+_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def tiers(tmp_path_factory):
+    """(warehouse, local client, fleet client, run ids) over two runs."""
+    root = tmp_path_factory.mktemp("equiv") / "wh"
+    captured = build_running_example(
+        Session(num_partitions=2), [dict(t) for t in RUNNING_EXAMPLE_TWEETS]
+    ).execute(capture=True)
+    warehouse = Warehouse.open(root)
+    warehouse.init_shards(2)
+    run_ids = [
+        warehouse.record(captured, name=f"equiv-{index}").run_id
+        for index in range(2)
+    ]
+    with Fleet(root, size=3, mode="thread") as fleet:
+        router = RouterService(fleet.workers())
+        with RouterServer(router) as server:
+            local = repro.connect(f"file://{root}")
+            remote = repro.connect(server.url)
+            yield warehouse, local, remote, run_ids
+            local.close()
+
+
+def _canon(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestBacktraceEquivalence:
+    @_settings
+    @given(
+        pattern=st.sampled_from(PATTERNS),
+        method=st.sampled_from(["lazy", "eager"]),
+        run_index=st.integers(min_value=0, max_value=1),
+    )
+    def test_three_tiers_agree(self, tiers, pattern, method, run_index):
+        warehouse, local, remote, run_ids = tiers
+        run_id = run_ids[run_index]
+        direct = _canon(
+            result_to_json(query_provenance(warehouse.load(run_id), pattern))
+        )
+        assert _canon(
+            local.backtrace(pattern, run=run_id, method=method)["result"]
+        ) == direct
+        assert _canon(
+            remote.backtrace(pattern, run=run_id, method=method)["result"]
+        ) == direct
+
+
+class TestAuditEquivalence:
+    @_settings
+    @given(
+        subjects=st.lists(
+            st.sampled_from(SUBJECT_POOL), min_size=1, max_size=3, unique=True
+        ),
+        method=st.sampled_from(["lazy", "eager"]),
+    )
+    def test_sar_pages_agree(self, tiers, subjects, method):
+        _, local, remote, _ = tiers
+        assert _canon(
+            local.sar(subjects, method=method)["report"]
+        ) == _canon(remote.sar(subjects, method=method)["report"])
+
+    @_settings
+    @given(
+        subjects=st.lists(
+            st.sampled_from(SUBJECT_POOL), min_size=1, max_size=3, unique=True
+        ),
+    )
+    def test_erasure_digests_agree(self, tiers, subjects):
+        _, local, remote, _ = tiers
+        ours = local.verify_erasure(subjects)["report"]
+        theirs = remote.verify_erasure(subjects)["report"]
+        assert _canon(ours) == _canon(theirs)
+        assert ours["digest"] == theirs["digest"]

@@ -104,7 +104,7 @@ class TestRetries:
         client = ServeClient(url, policy=NO_BACKOFF)
         client.query("root{}", run_id="r1", method="eager")
         verb, path = server.requests[0]
-        assert (verb, path) == ("POST", "/query")
+        assert (verb, path) == ("POST", "/v1/query")
 
     def test_default_policy_bounds_attempts(self):
         assert DEFAULT_CLIENT_POLICY.max_attempts == 4
