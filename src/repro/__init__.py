@@ -9,6 +9,9 @@ This module is the library's **stable facade**: user programs import from
 * :class:`PebbleSession` -- build pipelines and run them with capture,
 * :class:`CapturedExecution` -- a captured run: results + backtracing,
 * :class:`Warehouse` -- durable multi-run provenance storage,
+* :class:`StreamSession` -- micro-batch streaming capture into a *live*
+  run (windowed aggregation via ``repro.stream.window_by``, watermarks,
+  incremental backtrace while ingesting, TTL retention),
 * :func:`connect` -- the unified provenance client: one
   :class:`ProvenanceClient` protocol over ``file:///path`` (in-process)
   and ``http://host:port`` (a serve worker or fleet router),
@@ -54,15 +57,17 @@ from repro.engine import (
 from repro.engine.config import EngineConfig
 from repro.engine.session import Session as _EngineSession
 from repro.pebble import CapturedExecution, PebbleSession, query_provenance
+from repro.stream import StreamSession
 from repro.warehouse import Warehouse
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     # primary API
     "PebbleSession",
     "CapturedExecution",
     "Warehouse",
+    "StreamSession",
     "connect",
     "ProvenanceClient",
     "TreePattern",

@@ -63,6 +63,7 @@ from repro.obs.tracer import get_tracer
 from repro.pebble.query import as_pattern
 from repro.core.treepattern.matcher import match_item
 from repro.warehouse.index import MAX_TERM_LEN, RunIndex
+from repro.warehouse.live import LiveProvenanceStore
 from repro.warehouse.reader import DEFAULT_CACHE_SIZE, LazyProvenanceStore
 
 __all__ = [
@@ -376,8 +377,11 @@ class ForwardTracer:
 
     def _topology(self) -> dict[int, tuple[int, ...]]:
         store = self._store
-        if isinstance(store, LazyProvenanceStore):
-            return store.footer_topology()
+        # Warehouse-backed stores (lazy batch reader, live epoch store) keep
+        # the operator graph in their footer; only in-memory stores decode.
+        footer = getattr(store, "footer_topology", None)
+        if footer is not None:
+            return footer()
         return {
             provenance.oid: tuple(
                 ref.predecessor
@@ -470,7 +474,7 @@ def load_execution(
     )
     if method == "eager":
         store = execution.store
-        assert isinstance(store, LazyProvenanceStore)
+        assert isinstance(store, (LazyProvenanceStore, LiveProvenanceStore))
         for oid in sorted(store.size_report().per_operator):
             store.get(oid)
             if store.is_source(oid):
@@ -513,7 +517,7 @@ def trace_forward(
         result = tracer.trace(pattern)
     if breakdown is not None:
         store = execution.store
-        if isinstance(store, LazyProvenanceStore):
+        if isinstance(store, (LazyProvenanceStore, LiveProvenanceStore)):
             breakdown.count(
                 segments_decoded=store.metrics.misses,
                 cache_hits=store.metrics.hits,

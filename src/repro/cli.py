@@ -50,6 +50,7 @@ from repro.bench.harness import (
     measure_optimizer_ablation,
     measure_provenance_size,
     measure_query_times,
+    measure_stream,
     measure_titian_comparison,
 )
 from repro.bench.reporting import (
@@ -58,6 +59,7 @@ from repro.bench.reporting import (
     render_optimizer_ablation,
     render_provenance_sizes,
     render_query_times,
+    render_stream,
     render_titian_comparison,
 )
 from repro.core.usecases.usage import UsageAnalysis
@@ -134,11 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
         "figure",
         choices=[
             "fig6", "fig7", "fig8", "fig9", "titian", "operators", "ablation",
-            "serve", "audit",
+            "serve", "audit", "stream",
         ],
     )
     bench.add_argument("--scale", type=float, default=1.0)
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--batches", type=int, default=4,
+                       help="micro-batch count for `bench stream`")
     bench.add_argument("--metrics-json", default=None, metavar="PATH",
                        help="write the raw measurements as JSON")
     bench.add_argument("--trace", default=None, metavar="PATH",
@@ -231,6 +235,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "wall time, segments touched, cache hits")
     wh_query.add_argument("--trace", default=None, metavar="PATH",
                           help="write a Chrome trace-event JSON of the query")
+
+    wh_retain = wh_commands.add_parser(
+        "retain",
+        help="expire epochs older than a TTL from streaming runs "
+             "(writes verified retention receipts)",
+    )
+    wh_retain.add_argument("--root", required=True, help="warehouse root directory")
+    wh_retain.add_argument("--ttl", type=float, required=True, metavar="SECONDS",
+                           help="expire epochs appended more than SECONDS ago")
+    wh_retain.add_argument("--run", default=None,
+                           help="restrict the sweep to one run id or name "
+                                "(default: every epoch-layout run)")
 
     index = commands.add_parser(
         "index", help="manage the persisted per-run forward/audit indexes"
@@ -348,6 +364,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-resident-run operator segment cache size")
     serve.add_argument("--partitions", type=int, default=None,
                        help="partition count for restored runs")
+    serve.add_argument("--retention-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="sweep streaming runs in the background, expiring "
+                            "epochs older than SECONDS (default: no sweeping)")
+    serve.add_argument("--retention-sweep-interval", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="how often the background retention sweep runs")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Chrome trace-event JSON on shutdown")
     serve.add_argument("--fleet", type=int, default=None, metavar="N",
@@ -516,6 +539,7 @@ def _cmd_bench(
     metrics_json: str | None,
     history: str | None = None,
     no_history: bool = False,
+    batches: int = 4,
 ) -> int:
     measurements: list = []
     if figure == "fig6":
@@ -552,6 +576,9 @@ def _cmd_bench(
             TWITTER_SCENARIOS, scale=scale, repeats=repeats
         )
         print(render_optimizer_ablation(measurements))
+    elif figure == "stream":
+        measurements = measure_stream(scale=scale, repeats=repeats, batches=batches)
+        print(render_stream(measurements))
     if metrics_json:
         payload = {
             "figure": figure,
@@ -685,6 +712,26 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
             print(render_breakdown(breakdown.to_json()))
         return 0
 
+    if args.warehouse_command == "retain":
+        report = warehouse.retain(args.ttl, run_id=args.run)
+        if not report["receipts"]:
+            print(f"retention: no epochs older than {args.ttl:g}s")
+            return 0
+        print(f"retention: {len(report['receipts'])} run(s) swept "
+              f"(ttl {args.ttl:g}s)")
+        for receipt in report["receipts"]:
+            epochs = [entry["epoch"] for entry in receipt["expired_epochs"]]
+            verified = receipt["verified"]
+            status = (
+                "verified"
+                if verified["sink_ids_absent"] and verified["source_ids_absent"]
+                else "FAILED VERIFICATION"
+            )
+            print(f"  {receipt['run_id']}: expired epoch(s) "
+                  f"{', '.join(str(epoch) for epoch in epochs)} -- {status}, "
+                  f"receipt sha256:{receipt['digest'][:12]}")
+        return 0
+
     raise AssertionError(
         f"unhandled warehouse command {args.warehouse_command!r}"
     )  # pragma: no cover
@@ -698,7 +745,15 @@ def _cmd_index(args: argparse.Namespace) -> int:
     record = warehouse.resolve(args.run)
 
     if args.index_command == "build":
-        entry = warehouse.build_index(record.run_id, force=args.force)
+        from repro.errors import LiveRunError
+
+        try:
+            entry = warehouse.build_index(record.run_id, force=args.force)
+        except LiveRunError as exc:
+            # A live run indexes itself per epoch; a batch backfill would
+            # race the ingest. Explain instead of dumping a traceback.
+            print(f"index build: {exc}", file=sys.stderr)
+            return 1
         print(f"indexed {record.run_id}: "
               f"{entry['inputs']} input ids, {entry['terms']} terms, "
               f"{entry['items']} item ranges, {entry['paths']} paths "
@@ -974,6 +1029,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else DEFAULT_CACHE_SIZE
         ),
         num_partitions=args.partitions,
+        retention_ttl=args.retention_ttl,
+        retention_sweep_interval=args.retention_sweep_interval,
     )
     from repro.obs.profile import profile_enabled
 
@@ -990,6 +1047,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving warehouse {service.warehouse.root} at {server.url}")
         print(f"  workers: {config.workers}  queue limit: {config.queue_limit}  "
               f"deadline: {config.deadline or 'none'}s")
+        if config.retention_ttl:
+            print(f"  retention: ttl {config.retention_ttl:g}s, sweep every "
+                  f"{config.retention_sweep_interval:g}s")
         print("  endpoints: /healthz /runs /runs/<id> /stats /metrics "
               "/debug/slow POST /query /forward /audit/sar")
         if profiler is not None:
@@ -1134,6 +1194,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(
                 args.figure, args.scale, args.repeats, args.metrics_json,
                 history=args.history, no_history=args.no_history,
+                batches=args.batches,
             )
     if args.command == "heatmap":
         return _cmd_heatmap(args.scale, args.items)

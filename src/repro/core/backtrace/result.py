@@ -95,6 +95,62 @@ class ProvenanceEntry:
         return f"ProvenanceEntry(id={self.item_id})"
 
 
+def _instantiate(tree: BacktraceTree, item: DataItem) -> BacktraceTree:
+    """Return *tree* restricted to the attributes *item* actually has.
+
+    Backtracing through a black-box UDF (``map``) marks the whole input
+    *schema* as manipulated.  The schema is sampled across all items, so an
+    individual item may lack parts of it -- an optional subtree, an empty
+    nested collection.  A per-item tree must conform to the item, not just
+    the schema, or it reports dangling provenance.
+    """
+    clone = tree.copy()
+    _prune_to_value(clone.root, item)
+    return clone
+
+
+def _prune_to_value(node: BacktraceNode, value: object) -> None:
+    """Drop children of *node* that address nothing in *value* (in place)."""
+    if not node.children:
+        return
+    if isinstance(value, DataItem):
+        attrs = dict(value.pairs())
+        for label in list(node.children):
+            if isinstance(label, str) and label in attrs:
+                _prune_to_value(node.children[label], attrs[label])
+            else:
+                node.remove_child(label)
+    elif isinstance(value, (Bag, NestedSet)):
+        elements = list(value)
+        for label in list(node.children):
+            child = node.children[label]
+            if label is POS:
+                if not elements:
+                    node.remove_child(label)
+                    continue
+                # A placeholder stands for *any* position: keep whatever
+                # resolves in at least one element (union of per-element
+                # prunings -- nested collections are schema-homogeneous, so
+                # this rarely differs from pruning against one element).
+                pruned = None
+                for element in elements:
+                    candidate = child.copy()
+                    _prune_to_value(candidate, element)
+                    if pruned is None:
+                        pruned = candidate
+                    else:
+                        pruned.merge_from(candidate)
+                node.children[POS] = pruned
+            elif isinstance(label, int) and 1 <= label <= len(elements):
+                _prune_to_value(child, elements[label - 1])
+            else:
+                node.remove_child(label)
+    else:
+        # Scalar value below a node with children: a schema-level subtree
+        # this item never had.
+        node.children.clear()
+
+
 def _reduce_value(value: object, node: BacktraceNode) -> object:
     """Restrict *value* to the children recorded under *node*."""
     if not node.children:
@@ -169,12 +225,26 @@ class ProvenanceResult:
         raw: list[SourceProvenance],
         matched_output_ids: list[int],
     ) -> "ProvenanceResult":
-        """Resolve raw backtracing output against the store's source items."""
+        """Resolve raw backtracing output against the store's source items.
+
+        Stores over retained epoch layouts can *decay*: a window emitted
+        after a TTL sweep may still reference member ids whose epochs were
+        erased.  Such ids are silently dropped from the answer (the paper's
+        deletion semantics: erased provenance is gone, not an error) --
+        batch stores never decay, so a missing id stays a hard failure.
+
+        Each tree is instantiated against its item: schema-level
+        over-approximation (the conservative ``map`` rule) is pruned to the
+        attributes the item actually carries.
+        """
+        decayed = getattr(store, "decayed_source_id", None)
         sources = []
         for source in raw:
             entries = [
-                ProvenanceEntry(item_id, store.source_item(source.oid, item_id), tree)
+                ProvenanceEntry(item_id, item, _instantiate(tree, item))
                 for item_id, tree in source.structure.items()
+                if decayed is None or not decayed(source.oid, item_id)
+                for item in (store.source_item(source.oid, item_id),)
             ]
             entries.sort(key=lambda entry: entry.item_id)
             sources.append(SourceResult(source.oid, source.name, entries))

@@ -128,6 +128,12 @@ def _consumer_counts(root: PlanNode) -> dict[int, int]:
 
 def _clone_with_children(node: PlanNode, children: Sequence[PlanNode]) -> PlanNode:
     """Re-create *node* (same oid and parameters) over new children."""
+    with_children = getattr(node, "with_children", None)
+    if with_children is not None:
+        # Nodes outside the core set (e.g. windowed aggregations) rebuild
+        # themselves; checked before the isinstance ladder so subclasses are
+        # not silently downcast to their base operator.
+        return with_children(children)
     if isinstance(node, FilterNode):
         return FilterNode(node.oid, children[0], node.predicate)
     if isinstance(node, SelectNode):

@@ -113,6 +113,18 @@ class SchemaMismatchError(PlanError):
     """Two datasets have incompatible schemas (e.g. for a union)."""
 
 
+class StreamError(PlanError):
+    """A plan or operation is invalid for micro-batch streaming.
+
+    Raised when a pipeline handed to :class:`~repro.stream.StreamSession`
+    contains operators the streaming executor cannot run incrementally
+    (joins, unions, blocking sorts/limits, non-windowed aggregations), or
+    when a session method is called out of lifecycle order.
+    """
+
+    code = "bad_stream"
+
+
 class ExecutionError(ReproError):
     """An operator failed while processing data."""
 
@@ -123,6 +135,17 @@ class ProvenanceError(ReproError):
     """Provenance capture or storage failed."""
 
     code = "not_found"
+
+
+class LiveRunError(ProvenanceError):
+    """An operation requires a sealed run but the target is still live.
+
+    Batch-only paths (``repro index build`` backfill, eager store loads)
+    reject live runs with this error; the incremental per-epoch index and
+    the live store merge are the supported alternatives while a run grows.
+    """
+
+    code = "run_live"
 
 
 class CaptureDisabledError(ProvenanceError):

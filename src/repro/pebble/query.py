@@ -67,11 +67,17 @@ def query_provenance(
             seeds = seed_structure(matches)
         span.set(matched=len(matches))
     breakdown.count(rows_visited=rows_visited, matched=len(matches))
+    matched_ids = sorted(match.item_id for match in matches if match.item_id is not None)
+    is_empty = getattr(execution.store, "is_empty", None)
+    if is_empty is not None and is_empty():
+        # Every epoch of a live run can expire out from under a query (or a
+        # run may not have ingested a batch yet); an erased run answers
+        # nothing rather than failing the sink-topology walk.
+        return ProvenanceResult([], matched_ids)
     backtracer = Backtracer(execution.store)
     with tracer.span("backtrace", "query", seeds=len(matches)):
         with breakdown.phase("closure"):
             raw = backtracer.backtrace(execution.root.oid, seeds)
-    matched_ids = sorted(match.item_id for match in matches if match.item_id is not None)
     with tracer.span("source-resolution", "query", sources=len(raw)):
         with breakdown.phase("source_resolution"):
             return ProvenanceResult.resolve(execution.store, raw, matched_ids)

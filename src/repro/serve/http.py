@@ -65,8 +65,10 @@ from urllib.parse import parse_qs, urlsplit
 from repro.errors import (
     AdmissionError,
     AuditError,
+    LiveRunError,
     ProvenanceError,
     ServeError,
+    StreamError,
     TaskTimeoutError,
     TreePatternError,
     error_code,
@@ -90,7 +92,11 @@ def error_status(exc: BaseException) -> int:
         return 429
     if isinstance(exc, TaskTimeoutError):
         return 504
-    if isinstance(exc, (ServeError, TreePatternError, AuditError)):
+    if isinstance(exc, LiveRunError):
+        # A batch-only operation against a still-live run (or vice versa):
+        # the resource exists, its *state* conflicts with the request.
+        return 409
+    if isinstance(exc, (ServeError, TreePatternError, AuditError, StreamError)):
         return 400
     if isinstance(exc, ProvenanceError):
         return 404

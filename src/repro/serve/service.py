@@ -55,7 +55,8 @@ from repro.pebble.query import query_provenance
 from repro.serve.cache import PatternResultCache
 from repro.serve.pool import QueryPool
 from repro.warehouse import Warehouse
-from repro.warehouse.catalog import LEGACY_SHARD
+from repro.warehouse.catalog import LEGACY_SHARD, RUN_EPOCH_PREFIX
+from repro.warehouse.live import LiveProvenanceStore
 from repro.warehouse.reader import DEFAULT_CACHE_SIZE, LazyProvenanceStore
 from repro.warehouse.service import METRICS_NAME
 
@@ -84,6 +85,11 @@ class ServeConfig:
     segment_cache_size: int = DEFAULT_CACHE_SIZE
     #: Partition count used when restoring runs (None: engine default).
     num_partitions: int | None = None
+    #: Retention TTL in seconds for epoch-layout (streaming) runs;
+    #: ``None``/0 disables the background sweep.
+    retention_ttl: float | None = None
+    #: Seconds between background retention sweeps.
+    retention_sweep_interval: float = 60.0
 
     def effective_deadline(self) -> float | None:
         return self.deadline if self.deadline else None
@@ -147,9 +153,9 @@ class _ResidentRun:
         return ForwardTracer(self.execution, self.index)
 
     @property
-    def store(self) -> LazyProvenanceStore:
+    def store(self) -> "LazyProvenanceStore | LiveProvenanceStore":
         store = self.execution.store
-        assert isinstance(store, LazyProvenanceStore)
+        assert isinstance(store, (LazyProvenanceStore, LiveProvenanceStore))
         return store
 
 
@@ -184,6 +190,13 @@ class QueryService:
         #: Test instrumentation: called on the worker thread before each
         #: query executes (lets tests hold workers busy deterministically).
         self.query_hook: Callable[[], None] | None = None
+        self._sweep_stop = threading.Event()
+        self._sweeper: threading.Thread | None = None
+        if config.retention_ttl:
+            self._sweeper = threading.Thread(
+                target=self._retention_loop, name="repro-retention", daemon=True
+            )
+            self._sweeper.start()
         set_build_info(self.registry, component="serve")
 
     @classmethod
@@ -203,12 +216,16 @@ class QueryService:
         """Pick up external catalog changes; ``True`` if anything invalidated.
 
         Called on every request; the fast path is still one ``stat`` of
-        ``catalog.json``.  When the file changed, the per-shard **epoch
-        vector** decides the blast radius: only cache entries whose answers
-        depend on a run in an epoch-bumped shard drop, so a fleet worker
-        recording-heavy warehouse keeps its other shards' answers hot.
-        Resident executions are immutable and stay, *except* for runs whose
-        shard assignment moved (a rebalance relocated their directories).
+        ``catalog.json``.  When the file changed, the **epoch vector**
+        decides the blast radius at two grains.  Shard entries cover
+        membership changes: only cache entries over runs in an epoch-bumped
+        shard drop.  ``run:<id>`` entries cover streaming runs: a
+        micro-batch append (or retention sweep, or seal) bumps only that
+        run's segment epoch, so exactly its cached answers drop -- and its
+        resident execution, whose epoch snapshot no longer matches the
+        segments on disk.  Batch residents are immutable and stay, *except*
+        for runs whose shard assignment moved (a rebalance relocated their
+        directories).
         """
         signature = self._catalog_signature()
         if signature == self._catalog_sig:
@@ -218,39 +235,94 @@ class QueryService:
             if signature == self._catalog_sig:
                 return False
             self._catalog_sig = signature
-            changed = self.warehouse.refresh()
-            if not changed:
-                return False
+            run_set_before = set(self._run_shards)
+            self.warehouse.refresh()
             before, after = self._epochs, self.warehouse.epoch_vector()
-            self._epochs = after
-            bumped = {
-                shard
-                for shard in set(before) | set(after)
-                if before.get(shard, 0) != after.get(shard, 0)
-            }
             shards_now = {
                 record.run_id: (record.shard or LEGACY_SHARD)
                 for record in self.warehouse.runs()
             }
-            stale = {
-                run_id for run_id, shard in shards_now.items() if shard in bumped
+            # Compare against the *service's* snapshot, not the warehouse's
+            # own refresh verdict: a sweep this very process ran has already
+            # mutated the warehouse in memory, yet the cache is still stale.
+            if after == before and set(shards_now) == run_set_before:
+                return False
+            self._epochs = after
+            bumped = {
+                key
+                for key in set(before) | set(after)
+                if before.get(key, 0) != after.get(key, 0)
             }
+            bumped_runs = {
+                key[len(RUN_EPOCH_PREFIX):]
+                for key in bumped
+                if key.startswith(RUN_EPOCH_PREFIX)
+            }
+            bumped_shards = bumped - {
+                key for key in bumped if key.startswith(RUN_EPOCH_PREFIX)
+            }
+            stale = {
+                run_id
+                for run_id, shard in shards_now.items()
+                if shard in bumped_shards
+            } | bumped_runs
             moved = {
                 run_id
                 for run_id, shard in shards_now.items()
                 if self._run_shards.get(run_id, shard) != shard
             }
             self._run_shards = shards_now
-            for key in [key for key in self._residents if key[0] in moved]:
+            for key in [
+                key for key in self._residents if key[0] in moved | bumped_runs
+            ]:
                 del self._residents[key]
         if bumped:
             self.cache.invalidate_runs(stale)
+            if bumped_runs:
+                self.registry.counter(
+                    "repro_serve_segment_invalidations_total"
+                ).inc(len(bumped_runs))
         else:
             # The run set changed without an epoch trail (a foreign writer):
             # fall back to the conservative whole-cache flush.
             self.cache.invalidate()
         self.registry.counter("repro_serve_catalog_refreshes_total").inc()
         return True
+
+    # -- retention -------------------------------------------------------------
+
+    def sweep_retention(self, ttl_seconds: float | None = None) -> dict[str, Any]:
+        """One TTL sweep over every epoch-layout run; returns the report.
+
+        Each swept run yields a verified retention receipt and a segment
+        epoch bump, so the next request's :meth:`check_catalog` drops
+        exactly that run's cached answers and resident store.
+        """
+        ttl = ttl_seconds if ttl_seconds is not None else self.config.retention_ttl
+        if not ttl:
+            raise ServeError("retention sweep needs a positive TTL")
+        report = self.warehouse.retain(ttl)
+        self.registry.counter("repro_serve_retention_sweeps_total").inc()
+        expired = sum(
+            len(receipt["expired_epochs"]) for receipt in report["receipts"]
+        )
+        if expired:
+            self.registry.counter("repro_serve_segments_expired_total").inc(expired)
+            get_logger("serve").event(
+                "serve-retention", swept=report["swept"], segments_expired=expired
+            )
+            # Propagate the staleness immediately rather than waiting for
+            # the next request to stat the catalog.
+            self.check_catalog()
+        return report
+
+    def _retention_loop(self) -> None:
+        interval = max(self.config.retention_sweep_interval, 0.01)
+        while not self._sweep_stop.wait(interval):
+            try:
+                self.sweep_retention()
+            except Exception as exc:  # noqa: BLE001 -- the sweeper must survive
+                get_logger("serve").event("serve-retention-error", error=str(exc))
 
     # -- read-only endpoints ---------------------------------------------------
 
@@ -776,6 +848,10 @@ class QueryService:
             if self._closed:
                 return
             self._closed = True
+        self._sweep_stop.set()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=5)
+            self._sweeper = None
         self.pool.close()
         self.publish_gauges()
         counters = {

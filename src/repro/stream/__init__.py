@@ -1,0 +1,23 @@
+"""Micro-batch streaming capture (live runs, windows, watermarks).
+
+Importing this package registers the windowed-aggregation executor handler,
+so ``from repro.stream import ...`` is all a program needs before running a
+windowed plan -- in streaming *or* batch mode.
+"""
+
+from repro.stream.session import StreamSession, StreamSource
+from repro.stream.window import (
+    SlidingWindow,
+    TumblingWindow,
+    WindowAggregateNode,
+    window_by,
+)
+
+__all__ = [
+    "SlidingWindow",
+    "StreamSession",
+    "StreamSource",
+    "TumblingWindow",
+    "WindowAggregateNode",
+    "window_by",
+]

@@ -26,13 +26,23 @@ from typing import Any
 
 from repro.errors import ProvenanceError
 
-__all__ = ["RunRecord", "ShardManifest", "Catalog", "CATALOG_VERSION"]
+__all__ = [
+    "RunRecord",
+    "ShardManifest",
+    "Catalog",
+    "CATALOG_VERSION",
+    "RUN_EPOCH_PREFIX",
+]
 
 CATALOG_VERSION = 1
 
 #: Pseudo-shard name for runs stored in the legacy flat layout
 #: (``<root>/runs/<run_id>``, no shard directory).
 LEGACY_SHARD = ""
+
+#: Epoch-vector key prefix for per-run segment epochs.  Shard names never
+#: contain a colon, so run keys are unambiguous in the same vector.
+RUN_EPOCH_PREFIX = "run:"
 
 
 class ShardManifest:
@@ -81,6 +91,8 @@ class RunRecord:
         "total_bytes",
         "indexed",
         "shard",
+        "live",
+        "segment_epoch",
     )
 
     def __init__(
@@ -94,6 +106,8 @@ class RunRecord:
         total_bytes: int,
         indexed: bool = False,
         shard: str | None = None,
+        live: bool = False,
+        segment_epoch: int | None = None,
     ):
         self.run_id = run_id
         self.name = name
@@ -110,6 +124,13 @@ class RunRecord:
         #: Storage shard holding the run's directory, or ``None`` for the
         #: legacy flat layout (``<root>/runs/<run_id>``).
         self.shard = shard
+        #: ``True`` while a streaming capture is still appending micro-batch
+        #: epochs; sealed and batch runs are ``False``.
+        self.live = live
+        #: Monotonic per-run segment counter: bumps on every epoch append
+        #: and retention sweep.  ``None`` for plain batch runs -- such runs
+        #: never change, so they need no per-run invalidation granule.
+        self.segment_epoch = segment_epoch
 
     def created_iso(self) -> str:
         return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.created))
@@ -127,6 +148,12 @@ class RunRecord:
         }
         if self.shard is not None:
             obj["shard"] = self.shard
+        # Streaming fields are emitted only when meaningful, so catalogs of
+        # batch-only warehouses keep their pre-2.1 shape byte for byte.
+        if self.live:
+            obj["live"] = True
+        if self.segment_epoch is not None:
+            obj["segment_epoch"] = self.segment_epoch
         return obj
 
     @classmethod
@@ -143,6 +170,10 @@ class RunRecord:
             # on disk (RunIndex.load checks the manifest, the ground truth).
             obj.get("indexed", False),
             obj.get("shard"),
+            # Pre-2.1 catalogs know nothing of streaming; their runs load
+            # as plain sealed batch runs.
+            obj.get("live", False),
+            obj.get("segment_epoch"),
         )
 
     def __repr__(self) -> str:
@@ -208,13 +239,19 @@ class Catalog:
         """``shard -> epoch`` snapshot, always including the legacy shard.
 
         Two equal vectors mean the catalog describes the same membership:
-        a serve worker caches answers under the vector it read and drops
-        only what belongs to shards whose epoch moved.
+        a serve worker compares vectors and drops only what belongs to
+        entries whose epoch moved.  Runs with a segment epoch (streaming
+        captures) additionally contribute a ``run:<run_id>`` entry -- a
+        micro-batch append bumps only that entry, so serve invalidation is
+        segment-granular instead of shard-granular.
         """
         vector = {LEGACY_SHARD: self.legacy_epoch}
         if self.manifest is not None:
             for name in self.manifest.shards:
                 vector[name] = self.manifest.epochs.get(name, 0)
+        for record in self._records:
+            if record.segment_epoch is not None:
+                vector[RUN_EPOCH_PREFIX + record.run_id] = record.segment_epoch
         return vector
 
     def bump_epoch(self, shard: str | None) -> None:

@@ -42,7 +42,7 @@ from repro.engine.config import resolve_partitions
 from repro.engine.executor import ExecutionResult
 from repro.engine.metrics import ExecutionMetrics, SegmentCacheMetrics
 from repro.engine.partition import partition_rows
-from repro.errors import ProvenanceError
+from repro.errors import LiveRunError, ProvenanceError
 from repro.nested.schema import Schema, infer_schema
 from repro.nested.types import StructType
 from repro.obs.breakdown import QueryBreakdown, activate
@@ -52,6 +52,18 @@ from repro.obs.slowlog import observe_query, slow_threshold_seconds
 from repro.obs.tracer import get_tracer
 from repro.warehouse.catalog import LEGACY_SHARD, Catalog, RunRecord, ShardManifest
 from repro.warehouse.index import RunIndex, ensure_index
+from repro.warehouse.live import (
+    LiveProvenanceStore,
+    MergedRunIndex,
+    append_epoch,
+    check_not_epoch_layout,
+    compact_live_run,
+    create_live_manifest,
+    is_epoch_layout,
+    read_epoch_rows,
+    retain_epochs,
+    seal_live_manifest,
+)
 from repro.warehouse.reader import (
     DEFAULT_CACHE_SIZE,
     LazyProvenanceStore,
@@ -282,15 +294,193 @@ class Warehouse:
         )
         return record
 
+    # -- streaming capture -----------------------------------------------------
+
+    def create_live_run(self, name: str = "stream", sink_oid: int = 0) -> RunRecord:
+        """Start a live (streaming) run; returns its catalog record.
+
+        The run begins empty at segment epoch 0 and grows one epoch per
+        :meth:`append_live_epoch` until :meth:`seal_live_run`.  Its catalog
+        record carries ``live=True`` plus a segment epoch, so the epoch
+        vector gains a per-run entry serve workers can invalidate on.
+        """
+        created = time.time()
+        run_id = self._catalog.new_run_id(name)
+        shard = self.shard_for(run_id)
+        if shard:
+            run_dir = self.root / SHARDS_DIR / shard / RUNS_DIR / run_id
+        else:
+            run_dir = self.root / RUNS_DIR / run_id
+        create_live_manifest(run_dir, run_id, name, created, sink_oid)
+        record = RunRecord(
+            run_id,
+            name,
+            created,
+            sink_oid,
+            0,
+            0,
+            0,
+            indexed=False,
+            shard=shard,
+            live=True,
+            segment_epoch=0,
+        )
+        self._catalog.add(record)
+        self._catalog.bump_epoch(shard)
+        self._catalog.save()
+        get_logger(run_id).event("live-run-created", name=name, shard=shard or LEGACY_SHARD)
+        return record
+
+    def append_live_epoch(
+        self,
+        run_id: str,
+        execution: ExecutionResult,
+        *,
+        next_pid: int,
+        watermark: float | None = None,
+        index: bool = True,
+    ) -> dict[str, Any]:
+        """Append one micro-batch to a live run; returns the epoch entry.
+
+        Only the run's own segment epoch advances -- the shard epoch stays
+        put, so serve-side invalidation is segment-granular: cached answers
+        over *this* run go stale, everything else on the shard survives.
+        """
+        record = self._catalog.find(run_id)
+        if not record.live:
+            raise LiveRunError(f"run {record.run_id!r} is sealed; cannot append")
+        run_dir = self._dir_for(record)
+        manifest = load_manifest(run_dir)
+        with get_tracer().span(
+            "warehouse-append-epoch", "warehouse", run_id=record.run_id
+        ):
+            entry = append_epoch(
+                run_dir,
+                manifest,
+                execution,
+                next_pid=next_pid,
+                watermark=watermark,
+                index=index,
+            )
+        record.segment_epoch = manifest["segment_epoch"]
+        record.row_count = manifest["rows"]["count"]
+        record.total_bytes = manifest["total_bytes"]
+        oids: set[str] = set()
+        for epoch_entry in manifest["epochs"]:
+            oids.update(epoch_entry.get("operators", {}))
+        record.operator_count = len(oids)
+        record.indexed = bool(index)
+        # Persist per batch: the catalog's per-run epoch entry is what serve
+        # workers stat-compare, so the bump must be durable immediately.
+        self._catalog.save()
+        get_logger(record.run_id).event(
+            "epoch-appended",
+            epoch=entry["epoch"],
+            rows=entry["rows"],
+            watermark=watermark,
+        )
+        return entry
+
+    def seal_live_run(
+        self,
+        run_id: str,
+        compact: bool = True,
+        sub_shard_span: int = DEFAULT_SUB_SHARD_SPAN,
+    ) -> RunRecord:
+        """Finish a live run: no more appends; optionally compact.
+
+        With ``compact=True`` the epoch layout is rewritten into the
+        canonical batch layout (ids remapped to the one-shot batch
+        sequence, segments byte-identical to a batch capture) and the
+        batch index is built.  With ``compact=False`` the run stays in
+        epoch layout -- still fully queryable, and retention still applies.
+        """
+        record = self._catalog.find(run_id)
+        run_dir = self._dir_for(record)
+        manifest = load_manifest(run_dir)
+        if manifest.get("live"):
+            manifest = seal_live_manifest(run_dir, manifest)
+        # The seal bumped the manifest's counter; mirror it before compaction
+        # replaces the manifest with the (counter-less) batch layout.  The
+        # record's epoch stays set forever: dropping it would erase the run's
+        # vector entry and mask this very invalidation.
+        sealed_epoch = manifest.get("segment_epoch", (record.segment_epoch or 0) + 1)
+        if compact:
+            with get_tracer().span(
+                "warehouse-compact", "warehouse", run_id=record.run_id
+            ):
+                manifest = compact_live_run(
+                    run_dir, manifest, sub_shard_span=sub_shard_span
+                )
+                ensure_index(run_dir, manifest)
+            record.indexed = True
+            record.operator_count = len(manifest["operators"])
+            record.row_count = manifest["rows"]["count"]
+            record.total_bytes = manifest["total_bytes"]
+        record.live = False
+        record.segment_epoch = sealed_epoch
+        self._catalog.save()
+        get_logger(record.run_id).event(
+            "live-run-sealed", compacted=compact, rows=record.row_count
+        )
+        return record
+
+    def retain(
+        self,
+        ttl_seconds: float,
+        run_id: str | None = None,
+        now: float | None = None,
+    ) -> dict[str, Any]:
+        """TTL sweep: expire epochs older than *ttl_seconds*; returns a report.
+
+        Applies to every epoch-layout run (or just *run_id*); compacted
+        batch runs are untouched (they have no epochs to age out).  Each
+        swept run yields a verified retention receipt (see
+        :func:`repro.warehouse.live.retain_epochs`).
+        """
+        records = (
+            [self._catalog.find(run_id)] if run_id is not None else self._catalog.runs()
+        )
+        receipts: list[dict[str, Any]] = []
+        for record in records:
+            if record.segment_epoch is None:
+                continue  # plain batch run: nothing ages out
+            run_dir = self._dir_for(record)
+            manifest = load_manifest(run_dir)
+            receipt = retain_epochs(run_dir, manifest, ttl_seconds, now=now)
+            if receipt is None:
+                continue
+            record.segment_epoch = manifest["segment_epoch"]
+            record.row_count = manifest["rows"]["count"]
+            record.total_bytes = manifest["total_bytes"]
+            receipts.append(receipt)
+            get_logger(record.run_id).event(
+                "retention-swept",
+                expired=len(receipt["expired_epochs"]),
+                digest=receipt["digest"][:12],
+            )
+        if receipts:
+            self._catalog.save()
+        return {
+            "ttl_seconds": ttl_seconds,
+            "swept": len(receipts),
+            "receipts": receipts,
+        }
+
     def build_index(self, run_id: str | None = None, force: bool = False) -> dict[str, Any]:
         """Backfill (or rebuild with ``force``) one run's persisted index.
 
         Returns the manifest's ``"index"`` entry.  The catalog record's
         ``indexed`` flag is updated and saved, so listings reflect it.
+        Live and sealed-uncompacted runs refuse with :class:`LiveRunError`:
+        their indexes grow incrementally, one delta per epoch (the
+        ``append_live_epoch(..., index=True)`` path), and are queried
+        merged -- there is no full rebuild to run.
         """
         record = self.resolve(run_id)
         run_dir = self._dir_for(record)
         manifest = load_manifest(run_dir)
+        check_not_epoch_layout(manifest, "build a batch index")
         entry = manifest.get("index")
         if entry is None or force or not (run_dir / entry["segment"]).exists():
             entry = ensure_index(run_dir, manifest)
@@ -302,11 +492,18 @@ class Warehouse:
         })
         return entry
 
-    def load_index(self, run_id: str | None = None) -> "RunIndex | None":
-        """The persisted index of a run, or ``None`` (callers fall back to scan)."""
+    def load_index(self, run_id: str | None = None) -> "RunIndex | MergedRunIndex | None":
+        """The persisted index of a run, or ``None`` (callers fall back to scan).
+
+        Epoch-layout runs return a :class:`MergedRunIndex` over their
+        per-epoch delta indexes; it answers the same probe surface.
+        """
         record = self.resolve(run_id)
         run_dir = self._dir_for(record)
-        return RunIndex.load(run_dir, load_manifest(run_dir))
+        manifest = load_manifest(run_dir)
+        if is_epoch_layout(manifest):
+            return MergedRunIndex(run_dir, manifest)
+        return RunIndex.load(run_dir, manifest)
 
     def forward(
         self,
@@ -371,6 +568,8 @@ class Warehouse:
         """Per-operator summary of one run, served from its footer index."""
         record = self._catalog.find(run_id)
         manifest = load_manifest(self.run_dir(record.run_id))
+        if is_epoch_layout(manifest):
+            return self._inspect_epochs(record, manifest)
         operators = [
             {
                 "oid": int(oid),
@@ -395,6 +594,51 @@ class Warehouse:
             "operators": operators,
         }
 
+    def _inspect_epochs(
+        self, record: RunRecord, manifest: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The epoch-layout inspect view: liveness, watermark, per-epoch sizes."""
+        aggregated: dict[int, dict[str, Any]] = {}
+        for epoch_entry in manifest["epochs"]:
+            for oid_text, entry in epoch_entry.get("operators", {}).items():
+                oid = int(oid_text)
+                summary = aggregated.setdefault(
+                    oid,
+                    {
+                        "oid": oid,
+                        "op_type": entry["op_type"],
+                        "label": entry["label"],
+                        "kind": entry["kind"],
+                        "records": 0,
+                        "segment_bytes": 0,
+                        "source_name": entry.get("source_name"),
+                    },
+                )
+                summary["records"] += entry["records"]
+                summary["segment_bytes"] += entry["segment_bytes"]
+        return {
+            "run_id": record.run_id,
+            "name": record.name,
+            "created": record.created_iso(),
+            "sink_oid": manifest["sink_oid"],
+            "rows": manifest["rows"]["count"],
+            "total_bytes": manifest["total_bytes"],
+            "operators": [aggregated[oid] for oid in sorted(aggregated)],
+            "live": bool(manifest.get("live")),
+            "segment_epoch": manifest["segment_epoch"],
+            "watermark": manifest.get("watermark"),
+            "epochs": [
+                {
+                    "epoch": entry["epoch"],
+                    "rows": entry["rows"],
+                    "total_bytes": entry["total_bytes"],
+                    "watermark": entry.get("watermark"),
+                    "expired": bool(entry.get("expired")),
+                }
+                for entry in manifest["epochs"]
+            ],
+        }
+
     # -- lazy loading / querying -----------------------------------------------
 
     def load(
@@ -403,6 +647,7 @@ class Warehouse:
         num_partitions: int | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         metrics: SegmentCacheMetrics | None = None,
+        max_epoch: int | None = None,
     ) -> ExecutionResult:
         """Restore a run as a queryable execution with a lazy store.
 
@@ -410,16 +655,28 @@ class Warehouse:
         anyway), but the provenance store behind the execution is a
         :class:`LazyProvenanceStore`: operators decode only when a backtrace
         touches them.  With no *run_id*, the newest run loads.
+
+        Epoch-layout runs (live or sealed-uncompacted) load through a
+        :class:`LiveProvenanceStore` over the epochs visible *now* -- a
+        consistent snapshot, since epoch directories are complete before
+        the manifest references them.  *max_epoch* restricts the view to
+        epochs admitted at or before it (how a query that was admitted
+        mid-ingest stays pinned to what it saw); batch runs ignore it.
         """
         num_partitions = resolve_partitions(num_partitions)
         record = self._catalog.find(run_id) if run_id else self._catalog.latest()
         run_dir = self._dir_for(record)
         with get_tracer().span("warehouse-load", "warehouse", run_id=record.run_id):
             manifest = load_manifest(run_dir)
-            store = LazyProvenanceStore(
-                run_dir, manifest, cache_size=cache_size, metrics=metrics
-            )
-            rows = read_rows(run_dir, manifest, metrics=store.metrics)
+            store: LazyProvenanceStore | LiveProvenanceStore
+            if is_epoch_layout(manifest):
+                store = LiveProvenanceStore(run_dir, manifest, max_epoch=max_epoch)
+                rows = read_epoch_rows(run_dir, manifest, max_epoch=max_epoch)
+            else:
+                store = LazyProvenanceStore(
+                    run_dir, manifest, cache_size=cache_size, metrics=metrics
+                )
+                rows = read_rows(run_dir, manifest, metrics=store.metrics)
         from repro.engine.executor import SCHEMA_SAMPLE
 
         schema = (
@@ -471,7 +728,9 @@ class Warehouse:
                         run_id, num_partitions=num_partitions, cache_size=cache_size
                     )
                 result = query_provenance(execution, pattern)
-                assert isinstance(execution.store, LazyProvenanceStore)
+                assert isinstance(
+                    execution.store, (LazyProvenanceStore, LiveProvenanceStore)
+                )
                 metrics = execution.store.metrics
                 span.set(
                     run_id=execution.store.run_id,
@@ -523,21 +782,32 @@ class Warehouse:
         record = self._catalog.find(run_id) if run_id else self._catalog.latest()
         run_dir = self._dir_for(record)
         manifest = load_manifest(run_dir)
+        if is_epoch_layout(manifest):
+            # Epoch layout: fold per-epoch operator entries into the same
+            # shape the batch footer provides, plus streaming gauges.
+            operator_entries = self._inspect_epochs(record, manifest)["operators"]
+            operators = {str(e["oid"]): e for e in operator_entries}
+            registry.gauge("repro_run_segment_epoch", run_id=record.run_id).set(
+                manifest["segment_epoch"]
+            )
+            registry.gauge("repro_run_live", run_id=record.run_id).set(
+                1 if manifest.get("live") else 0
+            )
+        else:
+            operators = manifest["operators"]
         # Sharded runs carry their shard as an extra label; unsharded runs
         # keep the historical label set so existing dashboards stay intact.
         size_labels: dict[str, str] = {"run_id": record.run_id}
         if record.shard:
             size_labels["shard"] = record.shard
-        registry.gauge("repro_run_operators", **size_labels).set(
-            len(manifest["operators"])
-        )
+        registry.gauge("repro_run_operators", **size_labels).set(len(operators))
         registry.gauge("repro_run_rows", **size_labels).set(
             manifest["rows"]["count"]
         )
         registry.gauge("repro_run_bytes", **size_labels).set(
             manifest["total_bytes"]
         )
-        for oid, entry in sorted(manifest["operators"].items(), key=lambda p: int(p[0])):
+        for oid, entry in sorted(operators.items(), key=lambda p: int(p[0])):
             registry.counter(
                 "repro_run_operator_records_total", op_type=entry["op_type"]
             ).inc(entry["records"])

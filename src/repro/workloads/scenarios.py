@@ -186,6 +186,10 @@ class Scenario:
 
 
 def _twitter_reader(session: Session, tweets: list[dict[str, Any]]) -> Dataset:
+    # A Dataset passes through untouched: a StreamSession hands its source
+    # dataset in as the "workload", so the same builders run over live feeds.
+    if isinstance(tweets, Dataset):
+        return tweets
     return session.create_dataset(tweets, "tweets.json")
 
 
@@ -358,6 +362,42 @@ def _build_d4(session: Session, data: Any) -> Dataset:
     )
 
 
+# ---------------------------------------------------------------------------
+# Streaming scenario (S1)
+# ---------------------------------------------------------------------------
+
+
+def _s1_event_time(item: DataItem) -> DataItem:
+    """S1's UDF: numeric event time (hours into June 2019) from ``created_at``."""
+    stamp = item["created_at"]
+    return item.replace(event_ts=float(int(stamp[8:10]) * 24 + int(stamp[11:13])))
+
+
+def _build_s1(session: Session, tweets: Any) -> Dataset:
+    """S1: daily tumbling windows of authored tweets per user.
+
+    The only streamable scenario: a linear read-map-select chain into a
+    windowed aggregation, so a :class:`~repro.stream.StreamSession` can run
+    it over micro-batches.  Without a stream runtime the window degrades to
+    batch semantics (one final flush), so the scenario also runs under
+    ``repro scenario S1`` like any other.
+    """
+    # Imported here, not at module top: pulling in the streaming package
+    # registers the windowed-aggregation executor handler as a side effect,
+    # and only this scenario needs it.
+    from repro.stream.window import TumblingWindow, window_by
+
+    authored = (
+        _twitter_reader(session, tweets)
+        .filter(col("retweet_count") == 0)
+        .map(_s1_event_time, "event_time")
+        .select(col("text"), col("user.id_str"), col("event_ts"))
+    )
+    return window_by(
+        authored, col("event_ts"), TumblingWindow(24.0), col("id_str")
+    ).agg(collect_list(col("text")).alias("texts"), count().alias("n"))
+
+
 def _count_authors(item: DataItem) -> DataItem:
     """D5's UDF: total number of author slots across a proceeding's papers."""
     total = sum(len(paper["authors"]) for paper in item["papers"])
@@ -451,6 +491,19 @@ SCENARIOS: dict[str, Scenario] = {
     # which outputs derive from one data subject's tweets and mentions.  The
     # //text leg makes the same pattern meaningful backwards too (it seeds
     # the collected-tweet paths, not just the group key).
+    # The streaming scenario sits outside the paper's T/D tables (like G1):
+    # it exercises the micro-batch capture path of `repro bench stream` and
+    # the windowed-provenance model.  Sentinel tweets t1/t3 (user u1, day 1)
+    # land in the same daily window at every scale, so the pattern always
+    # matches -- in batch mode and over any micro-batch split.
+    "S1": Scenario(
+        "S1",
+        "twitter",
+        "streaming: daily tumbling windows of authored tweets per user "
+        "(micro-batch capture workload)",
+        _build_s1,
+        'root{/id_str="u1", /texts}',
+    ),
     "G1": Scenario(
         "G1",
         "twitter",

@@ -1,0 +1,168 @@
+"""Streaming capture end to end: live runs through the serve tier.
+
+The contract pinned here spans the three layers the stream subsystem
+touches.  Capture: micro-batches append epochs to a live run that stays
+queryable throughout.  Serve: a live run's cached answers drop exactly
+when *its* segment epoch moves (append, seal, retention) while batch
+runs' answers stay resident, and ``GET /v1/runs/<id>`` reports liveness
+and the watermark.  Retention: a TTL sweep expires old epochs, writes a
+verified receipt, and the swept run keeps answering (empty once fully
+erased) instead of failing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.engine.expressions import col, collect_list, count
+from repro.obs.metrics import MetricsRegistry
+from repro.pebble.query import query_provenance
+from repro.serve import ProvenanceServer, QueryService, ServeClient, ServeConfig
+from repro.stream import StreamSession, TumblingWindow, window_by
+from repro.warehouse import Warehouse
+
+PATTERN = 'root{/user="u1", /ids}'
+
+
+def _rows(lo: int, hi: int) -> list[dict]:
+    return [{"id": i, "user": f"u{i % 2}", "ts": float(i)} for i in range(lo, hi)]
+
+
+def _open_stream(warehouse, name: str = "feed") -> StreamSession:
+    stream = StreamSession(warehouse=warehouse, name=name, num_partitions=2)
+    windowed = window_by(
+        stream.dataset(), col("ts"), TumblingWindow(4.0), col("user")
+    ).agg(collect_list(col("id")).alias("ids"), count().alias("n"))
+    stream.open(windowed)
+    return stream
+
+
+def _service(root) -> QueryService:
+    return QueryService.open(
+        ServeConfig(root=str(root / "wh"), port=0), registry=MetricsRegistry()
+    )
+
+
+class TestLiveQuerying:
+    def test_serve_answers_match_direct_query_while_live(self, tmp_path):
+        stream = _open_stream(Warehouse.open(tmp_path / "wh"))
+        stream.ingest(_rows(0, 6))
+        stream.ingest(_rows(6, 10))
+        service = _service(tmp_path)
+        served = service.query(PATTERN, run_id=stream.run_id)
+        direct = query_provenance(
+            stream.warehouse.load(stream.run_id), PATTERN
+        )
+        from repro.serve import result_to_json
+
+        assert served["result"] == result_to_json(direct)
+        assert served["server"]["cached"] is False
+        assert service.query(PATTERN, run_id=stream.run_id)["server"]["cached"]
+
+    def test_run_detail_reports_liveness_and_watermark(self, tmp_path):
+        stream = _open_stream(Warehouse.open(tmp_path / "wh"))
+        stream.ingest(_rows(0, 6))
+        service = _service(tmp_path)
+        with ProvenanceServer(service, port=0) as server:
+            client = ServeClient(server.url)
+            detail = client.run(stream.run_id)
+            assert detail["live"] is True
+            assert detail["watermark"] == 5.0
+            assert [entry["epoch"] for entry in detail["epochs"]] == [1]
+            stream.finish(compact=False)
+            service.check_catalog()
+            sealed = client.run(stream.run_id)
+        assert sealed["live"] is False
+        # The final flush emits the still-open windows as one more epoch.
+        assert [entry["epoch"] for entry in sealed["epochs"]] == [1, 2]
+
+    def test_compacted_run_serves_through_the_batch_path(self, tmp_path):
+        stream = _open_stream(Warehouse.open(tmp_path / "wh"))
+        stream.ingest(_rows(0, 6))
+        stream.ingest(_rows(6, 10))
+        stream.finish(compact=True)
+        service = _service(tmp_path)
+        detail = service.run_detail(stream.run_id)
+        assert "live" not in detail  # batch layout: no epoch surface
+        from repro.serve import result_to_json
+
+        compacted = service.query(PATTERN, run_id=stream.run_id)
+        direct = query_provenance(stream.warehouse.load(stream.run_id), PATTERN)
+        assert compacted["result"] == result_to_json(direct)
+        assert compacted["result"]["matched_output_ids"]
+
+
+class TestSegmentInvalidation:
+    def test_append_invalidates_only_the_live_run(self, tmp_path):
+        warehouse = Warehouse.open(tmp_path / "wh")
+        stream = _open_stream(warehouse)
+        stream.ingest(_rows(0, 6))
+        batch_session = _open_stream(warehouse, name="done")
+        batch_session.ingest(_rows(0, 6))
+        batch_record = batch_session.finish(compact=True)
+
+        service = _service(tmp_path)
+        for run in (stream.run_id, batch_record.run_id):
+            service.query(PATTERN, run_id=run)
+            assert service.query(PATTERN, run_id=run)["server"]["cached"]
+
+        stream.ingest(_rows(6, 10))
+        assert service.check_catalog() is True
+        assert service.query(PATTERN, run_id=batch_record.run_id)["server"]["cached"]
+        fresh = service.query(PATTERN, run_id=stream.run_id)
+        assert fresh["server"]["cached"] is False
+        invalidations = service.registry.counter(
+            "repro_serve_segment_invalidations_total"
+        )
+        assert invalidations.value >= 1.0
+
+
+class TestRetention:
+    def test_sweep_writes_verified_receipt_and_keeps_run_answering(self, tmp_path):
+        stream = _open_stream(Warehouse.open(tmp_path / "wh"))
+        stream.ingest(_rows(0, 6))
+        stream.ingest(_rows(6, 10))
+        warehouse = stream.warehouse
+        before = query_provenance(warehouse.load(stream.run_id), PATTERN)
+        assert before.matched_output_ids
+
+        time.sleep(0.05)
+        report = warehouse.retain(0.01, run_id=stream.run_id)
+        assert report["swept"] == 1
+        (receipt,) = report["receipts"]
+        assert receipt["run_id"] == stream.run_id
+        assert [entry["epoch"] for entry in receipt["expired_epochs"]] == [1, 2]
+        assert receipt["verified"] == {
+            "sink_ids_absent": True,
+            "source_ids_absent": True,
+        }
+        on_disk = json.loads(
+            (warehouse.run_dir(stream.run_id) / "retention" / "receipt-0002.json")
+            .read_text()
+        )
+        assert on_disk["digest"] == receipt["digest"]
+
+        # Fully erased: the run answers empty, and still accepts new epochs.
+        erased = query_provenance(warehouse.load(stream.run_id), PATTERN)
+        assert erased.matched_output_ids == []
+        stream.ingest(_rows(10, 16))
+        refilled = query_provenance(warehouse.load(stream.run_id), PATTERN)
+        assert refilled.matched_output_ids
+
+    def test_service_sweep_counts_and_invalidates(self, tmp_path):
+        stream = _open_stream(Warehouse.open(tmp_path / "wh"))
+        stream.ingest(_rows(0, 6))
+        service = _service(tmp_path)
+        service.query(PATTERN, run_id=stream.run_id)
+        time.sleep(0.05)
+        report = service.sweep_retention(0.01)
+        assert report["swept"] == 1
+        registry = service.registry
+        assert registry.counter("repro_serve_retention_sweeps_total").value == 1.0
+        assert registry.counter("repro_serve_segments_expired_total").value >= 1.0
+        swept = service.query(PATTERN, run_id=stream.run_id)
+        assert swept["server"]["cached"] is False
+        assert swept["result"]["matched_output_ids"] == []

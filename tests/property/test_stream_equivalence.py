@@ -1,0 +1,171 @@
+"""Streaming == batch: the equivalence property of micro-batch capture.
+
+Splitting one bounded input into N micro-batches, streaming them through a
+:class:`~repro.stream.StreamSession`, and sealing with ``compact=True`` must
+leave the warehouse with the *same run* a one-shot batch capture of the
+concatenated input records: identical segment bytes (operator provenance,
+sink rows, index) and identical backtrace answers -- across split points,
+partition counts, layouts, and schedulers.  And a query admitted mid-ingest
+must answer exactly like the sealed run restricted to the epochs that were
+visible at admission (``max_epoch``), which is the incremental-query
+consistency contract of the serve tier.
+
+Event times are monotone here: late rows are *defined* to diverge from
+batch (a batch run has no lateness), so they are exercised in the unit
+tests, not in this equivalence matrix.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.config import EngineConfig
+from repro.engine.expressions import col, collect_list, count
+from repro.engine.session import Session
+from repro.nested.values import DataItem
+from repro.pebble.query import query_provenance
+from repro.stream import StreamSession, TumblingWindow, window_by
+from repro.warehouse import Warehouse
+
+CONFIGS = (
+    ("rows serial", EngineConfig(layout="rows")),
+    ("columnar serial", EngineConfig(layout="columnar")),
+    ("columnar threads", EngineConfig(layout="columnar", scheduler="threads")),
+)
+
+#: Streamable plan shapes: a narrow chain and a windowed aggregation.
+SHAPES = {
+    "narrow": 'root{/user="u1", /tag="red"}',
+    "window": 'root{/user="u1", /ids}',
+}
+
+
+def _rows(n: int) -> list[dict]:
+    return [
+        {
+            "id": i,
+            "user": f"u{i % 3}",
+            "ts": float(i),  # monotone: no late rows, exact equivalence
+            "tags": [{"tag": ["red", "blue"][i % 2]}, {"tag": "green"}],
+        }
+        for i in range(n)
+    ]
+
+
+def _build(shape: str, dataset):
+    if shape == "narrow":
+        return (
+            dataset.filter(col("id") >= 1)
+            .flatten("tags", "t")
+            .select(col("user"), col("id"), col("t.tag"))
+        )
+    return window_by(
+        dataset, col("ts"), TumblingWindow(4.0), col("user")
+    ).agg(collect_list(col("id")).alias("ids"), count().alias("n"))
+
+
+def _chunks(rows: list[dict], cuts: list[int]) -> list[list[dict]]:
+    bounds = sorted({cut % (len(rows) + 1) for cut in cuts} | {0, len(rows)})
+    return [
+        rows[lo:hi] for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+def _segment_files(run_dir: Path) -> dict[str, bytes]:
+    return {
+        str(path.relative_to(run_dir)): path.read_bytes()
+        for path in sorted(run_dir.rglob("*.seg"))
+    }
+
+
+def _stable_manifest(run_dir: Path) -> dict:
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    for volatile in ("run_id", "name", "created"):
+        manifest.pop(volatile, None)
+    return manifest
+
+
+@given(
+    shape=st.sampled_from(sorted(SHAPES)),
+    n=st.integers(min_value=6, max_value=14),
+    cuts=st.lists(st.integers(min_value=1, max_value=13), min_size=1, max_size=3),
+    named_config=st.sampled_from(CONFIGS),
+    partitions=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_streaming_compacted_equals_one_shot_batch(
+    tmp_path_factory, shape, n, cuts, named_config, partitions
+):
+    name, config = named_config
+    rows = _rows(n)
+    root = tmp_path_factory.mktemp("stream-eq")
+
+    stream = StreamSession(
+        warehouse=root / "wh", name="s", num_partitions=partitions, config=config
+    )
+    stream.open(_build(shape, stream.dataset()))
+    for chunk in _chunks(rows, cuts):
+        if chunk:
+            stream.ingest(chunk)
+    record = stream.finish(compact=True)
+    warehouse = stream.warehouse
+
+    batch_session = Session(num_partitions=partitions, config=config)
+    batch = _build(
+        shape, batch_session.create_dataset([DataItem(row) for row in rows], "stream")
+    ).execute(capture=True)
+    batch_record = warehouse.record(batch, name="batch", index=True)
+
+    stream_dir = warehouse.run_dir(record.run_id)
+    batch_dir = warehouse.run_dir(batch_record.run_id)
+    assert _segment_files(stream_dir) == _segment_files(batch_dir), name
+    assert _stable_manifest(stream_dir) == _stable_manifest(batch_dir), name
+
+    pattern = SHAPES[shape]
+    streamed, _ = warehouse.backtrace(record.run_id, pattern)
+    batched = query_provenance(batch, pattern)
+    assert streamed.matched_output_ids == batched.matched_output_ids, name
+    assert streamed.all_ids() == batched.all_ids(), name
+    assert streamed.render() == batched.render(), name
+
+
+@given(
+    shape=st.sampled_from(sorted(SHAPES)),
+    n=st.integers(min_value=6, max_value=12),
+    cuts=st.lists(st.integers(min_value=1, max_value=11), min_size=1, max_size=2),
+    partitions=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=15, deadline=None)
+def test_mid_ingest_query_equals_sealed_run_at_admission_epoch(
+    tmp_path_factory, shape, n, cuts, partitions
+):
+    rows = _rows(n)
+    root = tmp_path_factory.mktemp("stream-mid")
+    stream = StreamSession(
+        warehouse=root / "wh", name="s", num_partitions=partitions
+    )
+    stream.open(_build(shape, stream.dataset()))
+    warehouse = stream.warehouse
+    pattern = SHAPES[shape]
+
+    live_answers: list[tuple[int, list, dict, str]] = []
+    for chunk in _chunks(rows, cuts):
+        if not chunk:
+            continue
+        stream.ingest(chunk)
+        answer, _ = warehouse.backtrace(stream.run_id, pattern)
+        live_answers.append(
+            (stream.epochs, answer.matched_output_ids, answer.all_ids(), answer.render())
+        )
+    stream.finish(compact=False)
+
+    for epoch, matched, ids, rendered in live_answers:
+        pinned = query_provenance(
+            warehouse.load(stream.run_id, max_epoch=epoch), pattern
+        )
+        assert pinned.matched_output_ids == matched, epoch
+        assert pinned.all_ids() == ids, epoch
+        assert pinned.render() == rendered, epoch

@@ -16,9 +16,9 @@ from repro.workloads.scenarios import (
 
 class TestRegistry:
     def test_registered_scenarios(self):
-        assert len(SCENARIOS) == 11
-        # The GDPR audit scenario (G prefix) stays out of the paper's
-        # T/D evaluation tables.
+        assert len(SCENARIOS) == 12
+        # The GDPR audit (G prefix) and streaming (S prefix) scenarios stay
+        # out of the paper's T/D evaluation tables.
         assert TWITTER_SCENARIOS == ("T1", "T2", "T3", "T4", "T5")
         assert DBLP_SCENARIOS == ("D1", "D2", "D3", "D4", "D5")
         assert scenario("G1").kind == "twitter"
